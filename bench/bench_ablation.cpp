@@ -1,0 +1,117 @@
+// Ablations of HeteroG's design choices (DESIGN.md §5):
+//   1. Hybrid PS+AllReduce vs forcing a single sync method.
+//   2. NCCL serialisation: why hybrid plans help (single channel idle time).
+//   3. Gradient-fusion bucket size sweep.
+//   4. Grouping size N sweep (action space vs plan quality).
+#include "bench_util.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+int main() {
+  print_header("Ablations: hybrid sync, fusion bucket size, grouping size",
+               "Sec. 6.2 (hybrid of PS and AllReduce), Sec. 4.1.1 (grouping)");
+
+  BenchRig rig(cluster::make_paper_testbed_8gpu());
+
+  // 1. Hybrid vs forced single sync method, on the Bert plan (where the
+  //    hybrid matters most: AllReduce serialises, PS floods NICs).
+  {
+    models::Benchmark bench = models::standard_benchmarks()[6];  // Bert-large
+    const auto graph = models::build_training(bench.kind, bench.layers, bench.batch_8gpu);
+    const auto plan = heterog_plan(rig, bench, bench.batch_8gpu, "t1_6_24_48_8gpu");
+
+    auto force = [&](strategy::CommMethod comm) {
+      strategy::StrategyMap forced = plan.map;
+      for (auto& a : forced.group_actions) {
+        if (!a.is_mp) a.comm = comm;
+      }
+      return sim::evaluate_plan(*rig.costs, graph, plan.grouping, forced)
+          .per_iteration_ms;
+    };
+    TextTable table({"Variant", "per-iteration (ms)"});
+    table.add_row({"HeteroG plan (hybrid PS+AR as searched)",
+                   fmt_double(plan.per_iteration_ms, 1)});
+    table.add_row({"same plan, all gradient sync forced to PS",
+                   fmt_double(force(strategy::CommMethod::kPS), 1)});
+    table.add_row({"same plan, all gradient sync forced to AllReduce",
+                   fmt_double(force(strategy::CommMethod::kAllReduce), 1)});
+    std::printf("Ablation 1: hybrid vs single sync method (Bert-large)\n%s\n",
+                table.render().c_str());
+  }
+
+  // 2. Fusion bucket size sweep on ResNet EV-AR.
+  {
+    const auto graph = models::build_training(models::ModelKind::kResNet200, 0, 192);
+    const auto grouping = strategy::Grouping::build(graph, *rig.costs, max_groups());
+    const auto map = strategy::StrategyMap::uniform(
+        grouping.group_count(), strategy::Action::dp(strategy::ReplicationMode::kEven,
+                                                     strategy::CommMethod::kAllReduce));
+    TextTable table({"fusion bucket", "collectives", "per-iteration (ms)"});
+    for (int64_t bucket : {int64_t{0}, int64_t{1} << 20, int64_t{8} << 20,
+                           int64_t{64} << 20, int64_t{512} << 20}) {
+      compile::CompilerOptions options;
+      options.allreduce_fusion_bytes = bucket;
+      const compile::GraphCompiler compiler(*rig.costs, options);
+      const auto compiled = compiler.compile(graph, grouping, map);
+      const auto result = sim::evaluate(compiled.graph, rig.cluster);
+      table.add_row({bucket == 0 ? "off" : fmt_bytes(bucket),
+                     std::to_string(compiled.stats.collectives),
+                     fmt_double(result.makespan_ms, 1)});
+    }
+    std::printf(
+        "Ablation 2: AllReduce fusion bucket size (ResNet200 EV-AR; launch overhead\n"
+        "dominates without fusion)\n%s\n",
+        table.render().c_str());
+  }
+
+  // 3. Bandwidth sensitivity (paper Sec. 4.1 footnote: "If the bandwidth
+  //    changes, the input to the GNN changes and the output strategy changes
+  //    correspondingly"): the best sync scheme flips as the network scales.
+  {
+    const auto graph = models::build_training(models::ModelKind::kBertLarge, 24, 48);
+    TextTable table({"network scale", "EV-PS (ms)", "EV-AR (ms)", "winner"});
+    for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const auto scaled = cluster::scale_network_bandwidth(rig.cluster, factor);
+      profiler::HardwareModel hw(scaled);
+      profiler::GroundTruthCosts scaled_costs(hw);
+      const auto grouping = strategy::Grouping::build(graph, scaled_costs, max_groups());
+      auto eval = [&](strategy::CommMethod comm) {
+        const auto map = strategy::StrategyMap::uniform(
+            grouping.group_count(),
+            strategy::Action::dp(strategy::ReplicationMode::kEven, comm));
+        return sim::evaluate_plan(scaled_costs, graph, grouping, map).per_iteration_ms;
+      };
+      const double ps = eval(strategy::CommMethod::kPS);
+      const double ar = eval(strategy::CommMethod::kAllReduce);
+      table.add_row({fmt_double(factor, 2) + "x", fmt_double(ps, 1), fmt_double(ar, 1),
+                     ps < ar ? "PS" : "AllReduce"});
+    }
+    std::printf(
+        "Ablation 3: inter-host bandwidth sensitivity (Bert-large, EV sync schemes)\n"
+        "%s\n",
+        table.render().c_str());
+  }
+
+  // 4. Grouping size sweep: plan quality of the heuristic+repair search as
+  //    the action space grows.
+  {
+    const auto graph = models::build_training(models::ModelKind::kVgg19, 0, 192);
+    TextTable table({"max groups", "actual groups", "best heuristic plan (ms)"});
+    for (int n : {4, 12, 24, 48, 96}) {
+      const auto grouping = strategy::Grouping::build(graph, *rig.costs, n);
+      rl::TrainConfig config;
+      rl::Trainer trainer(*rig.costs, config);
+      double best = 1e300;
+      for (const auto& candidate : trainer.heuristic_candidates(graph, grouping)) {
+        const auto eval = trainer.evaluate(graph, grouping, candidate);
+        if (!eval.oom) best = std::min(best, eval.time_ms);
+      }
+      table.add_row({std::to_string(n), std::to_string(grouping.group_count()),
+                     fmt_double(best, 1)});
+    }
+    std::printf("Ablation 4: grouping size N (VGG-19, heuristic candidates)\n%s\n",
+                table.render().c_str());
+  }
+  return 0;
+}

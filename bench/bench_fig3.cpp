@@ -1,0 +1,84 @@
+// Figure 3: (a) per-iteration time of whole-model even vs proportional
+// replica allocation on the 4-GPU mixed cluster (2x V100 + 2x 1080Ti);
+// (b) normalised per-op execution time of representative operations on the
+// 1080Ti relative to the V100.
+#include "bench_util.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+int main() {
+  print_header(
+      "Figure 3: proportional whole-model replication and per-op heterogeneity",
+      "(a) proportional allocation is only ~9-27% faster than even allocation; "
+      "(b) V100 speed-up varies by op type between ~1.1x and ~1.9x and with "
+      "input size");
+
+  // (a) even vs proportional on 2x V100 + 2x 1080Ti.
+  BenchRig rig(cluster::make_fig3_testbed());
+  TextTable table_a({"Model", "even (s)", "proportional (s)", "speed-up"});
+  for (const auto& bench : models::cnn_benchmarks()) {
+    const double batch = 128.0;
+    const auto graph = models::build_training(bench.kind, bench.layers, batch);
+    const auto grouping = strategy::Grouping::build(graph, *rig.costs, max_groups());
+    const auto even = baselines::run_uniform_dp(
+        *rig.evaluator, graph, grouping, strategy::ReplicationMode::kEven,
+        strategy::CommMethod::kAllReduce);
+    const auto prop = baselines::run_uniform_dp(
+        *rig.evaluator, graph, grouping, strategy::ReplicationMode::kProportional,
+        strategy::CommMethod::kAllReduce);
+    table_a.add_row({bench.label, fmt_double(even.time_ms / 1000.0),
+                     fmt_double(prop.time_ms / 1000.0),
+                     fmt_double(100.0 * (even.time_ms - prop.time_ms) / prop.time_ms, 1) +
+                         "%"});
+  }
+  // Transformer row of Fig. 3(a).
+  {
+    const auto graph = models::build_training(models::ModelKind::kTransformer, 6, 360);
+    const auto grouping = strategy::Grouping::build(graph, *rig.costs, max_groups());
+    const auto even = baselines::run_uniform_dp(
+        *rig.evaluator, graph, grouping, strategy::ReplicationMode::kEven,
+        strategy::CommMethod::kAllReduce);
+    const auto prop = baselines::run_uniform_dp(
+        *rig.evaluator, graph, grouping, strategy::ReplicationMode::kProportional,
+        strategy::CommMethod::kAllReduce);
+    table_a.add_row({"Transformer", fmt_double(even.time_ms / 1000.0),
+                     fmt_double(prop.time_ms / 1000.0),
+                     fmt_double(100.0 * (even.time_ms - prop.time_ms) / prop.time_ms, 1) +
+                         "%"});
+  }
+  std::printf("Fig. 3(a): even vs proportional whole-model replicas\n%s\n",
+              table_a.render().c_str());
+
+  // (b) normalised op execution times (V100 = 1.0) at two input sizes.
+  profiler::HardwareModel hw(rig.cluster);
+  TextTable table_b(
+      {"Operation", "1080Ti / V100 (large input)", "1080Ti / V100 (small input)"});
+  struct OpSpec {
+    const char* name;
+    graph::OpKind kind;
+  };
+  const OpSpec ops[] = {
+      {"Conv2D", graph::OpKind::kConv2D},
+      {"MatMul", graph::OpKind::kMatMul},
+      {"Conv1D", graph::OpKind::kConv1D},
+      {"Conv2DBpFilter", graph::OpKind::kConv2DBpFilter},
+      {"Conv2DBpInput", graph::OpKind::kConv2DBpInput},
+  };
+  for (const auto& spec : ops) {
+    graph::OpDef big;
+    big.kind = spec.kind;
+    big.flops_per_sample = 2.0e9;
+    graph::OpDef small = big;
+    small.flops_per_sample = 0.0002e9;  // ~13 MFLOP kernel: under-utilises the V100
+    const double ratio_big = hw.op_time_ms(big, 64, 2) / hw.op_time_ms(big, 64, 0);
+    const double ratio_small = hw.op_time_ms(small, 64, 2) / hw.op_time_ms(small, 64, 0);
+    table_b.add_row({spec.name, fmt_double(ratio_big, 2), fmt_double(ratio_small, 2)});
+  }
+  std::printf("Fig. 3(b): normalised average execution time (V100 = 1.0)\n%s\n",
+              table_b.render().c_str());
+  std::printf(
+      "Expected shape: (a) proportional beats even by a modest margin; (b) ratios\n"
+      "span roughly 1.1-1.9 across op types and shrink on small inputs.\n");
+  return 0;
+}

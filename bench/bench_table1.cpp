@@ -1,0 +1,88 @@
+// Table 1: per-iteration training time of the benchmark DNNs on 8 GPUs —
+// HeteroG vs the four uniform-DP baselines, plus the six large
+// configurations where every DP variant runs out of memory.
+#include "bench_util.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+namespace {
+
+// Paper values (seconds) for side-by-side comparison.
+struct PaperRow {
+  const char* label;
+  double heterog, ev_ps, ev_ar, cp_ps, cp_ar;  // <0 = OOM
+};
+const PaperRow kPaperStandard[] = {
+    {"VGG-19", 0.462, 0.907, 0.653, 0.853, 0.591},
+    {"ResNet200", 0.693, 1.431, 0.955, 1.273, 0.897},
+    {"Inception_v3", 0.528, 0.933, 0.701, 0.911, 0.659},
+    {"MobileNet_v2", 0.232, 0.413, 0.368, 0.394, 0.325},
+    {"NasNet", 0.862, 1.244, 1.028, 1.203, 1.116},
+    {"Transformer (6 layers)", 0.298, 0.961, 0.496, 0.931, 0.361},
+    {"Bert-large (24 layers)", 0.451, 0.612, 1.064, 0.795, 1.049},
+    {"XlNet-large (24 layers)", 0.851, 1.232, 1.551, 1.283, 1.566},
+};
+const PaperRow kPaperLarge[] = {
+    {"ResNet200 (384)", 2.285, -1, -1, -1, -1},
+    {"Transformer (48 layers)", 1.147, -1, -1, -1, -1},
+    {"Bert-large (24 layers, 96)", 2.241, -1, -1, -1, -1},
+    {"XlNet-large (24 layers, 96)", 4.254, -1, -1, -1, -1},
+    {"Bert-large (48 layers)", 1.892, -1, -1, -1, -1},
+    {"XlNet-large (48 layers)", 3.468, -1, -1, -1, -1},
+};
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 1: per-iteration time (s), 8 GPUs: HeteroG vs DP baselines "
+      "(cells: time / HeteroG speed-up)",
+      "HeteroG outperforms every DP baseline (19.2%-222.4% speed-ups); the six "
+      "large configs OOM under all DP variants but HeteroG deploys them");
+
+  BenchRig rig(cluster::make_paper_testbed_8gpu());
+  TextTable table({"Model (batch)", "HeteroG", "EV-PS/spd", "EV-AR/spd", "CP-PS/spd",
+                   "CP-AR/spd", "paper HeteroG"});
+
+  auto run_row = [&](const models::Benchmark& bench, const PaperRow& paper) {
+    const double batch = bench.batch_8gpu;
+    const auto graph = models::build_training(bench.kind, bench.layers, batch);
+    const auto plan = heterog_plan(rig, bench, batch,
+                                   "t1_" + std::to_string(static_cast<int>(bench.kind)) +
+                                       "_" + std::to_string(bench.layers) + "_" +
+                                       std::to_string(static_cast<int>(batch)) + "_8gpu");
+
+    std::vector<std::string> cells;
+    cells.push_back(bench.label + " (" + std::to_string(static_cast<int>(batch)) + ")");
+    cells.push_back(plan.feasible ? fmt_double(plan.per_iteration_ms / 1000.0) : "OOM");
+
+    const strategy::ReplicationMode modes[] = {strategy::ReplicationMode::kEven,
+                                               strategy::ReplicationMode::kEven,
+                                               strategy::ReplicationMode::kProportional,
+                                               strategy::ReplicationMode::kProportional};
+    const strategy::CommMethod comms[] = {strategy::CommMethod::kPS,
+                                          strategy::CommMethod::kAllReduce,
+                                          strategy::CommMethod::kPS,
+                                          strategy::CommMethod::kAllReduce};
+    for (int b = 0; b < 4; ++b) {
+      const auto outcome = baselines::run_uniform_dp(*rig.evaluator, graph, plan.grouping,
+                                                     modes[b], comms[b]);
+      cells.push_back(baseline_cell(outcome.time_ms, plan.per_iteration_ms, outcome.oom));
+    }
+    cells.push_back(fmt_double(paper.heterog));
+    table.add_row(cells);
+  };
+
+  const auto standard = models::standard_benchmarks();
+  for (size_t i = 0; i < standard.size(); ++i) run_row(standard[i], kPaperStandard[i]);
+  const auto large = models::large_benchmarks();
+  for (size_t i = 0; i < large.size(); ++i) run_row(large[i], kPaperLarge[i]);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: HeteroG fastest everywhere; AllReduce beats PS for the CNNs\n"
+      "and Transformer, PS beats AllReduce for BERT/XLNet; all large rows OOM under\n"
+      "DP while HeteroG deploys them.\n");
+  return 0;
+}

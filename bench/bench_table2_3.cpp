@@ -1,0 +1,63 @@
+// Tables 2 and 3: the fraction of operations assigned to each strategy by
+// HeteroG's plans — MP per device (Gx columns) and the four DP schemes — for
+// the standard benchmarks (Table 2) and the large models (Table 3).
+//
+// Re-uses the plans cached by bench_table1 when available.
+#include "bench_util.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+namespace {
+
+void render(const char* title, const std::vector<models::Benchmark>& benches,
+            const BenchRig& rig) {
+  TextTable table({"Model (batch)", "MP total", "top MP devices", "EV-PS", "EV-AR",
+                   "CP-PS", "CP-AR"});
+  for (const auto& bench : benches) {
+    const double batch = bench.batch_8gpu;
+    const auto graph = models::build_training(bench.kind, bench.layers, batch);
+    const auto plan = heterog_plan(rig, bench, batch,
+                                   "t1_" + std::to_string(static_cast<int>(bench.kind)) +
+                                       "_" + std::to_string(bench.layers) + "_" +
+                                       std::to_string(static_cast<int>(batch)) + "_8gpu");
+    const auto bd = strategy::summarize_strategy(graph, plan.grouping, plan.map,
+                                                 rig.cluster.device_count());
+    double mp_total = 0.0;
+    std::vector<std::pair<double, int>> devices;
+    for (size_t d = 0; d < bd.mp_fraction.size(); ++d) {
+      mp_total += bd.mp_fraction[d];
+      if (bd.mp_fraction[d] > 0.0) {
+        devices.emplace_back(bd.mp_fraction[d], static_cast<int>(d));
+      }
+    }
+    std::sort(devices.rbegin(), devices.rend());
+    std::string top;
+    for (size_t i = 0; i < devices.size() && i < 3; ++i) {
+      if (!top.empty()) top += " ";
+      top += "G" + std::to_string(devices[i].second) + "=" +
+             fmt_percent(devices[i].first);
+    }
+    if (top.empty()) top = "-";
+    table.add_row({bench.label + " (" + std::to_string(static_cast<int>(batch)) + ")",
+                   fmt_percent(mp_total), top, fmt_percent(bd.ev_ps),
+                   fmt_percent(bd.ev_ar), fmt_percent(bd.cp_ps), fmt_percent(bd.cp_ar)});
+  }
+  std::printf("%s\n%s\n", title, table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Tables 2 / 3: operation fractions per strategy in HeteroG's plans (8 GPUs)",
+      "Table 2: small models mostly DP with a small MP share pinned to the fast "
+      "GPUs (parameter-heavy ops); a hybrid of PS and AllReduce and of even and "
+      "proportional replication. Table 3: large models mostly MP spread across "
+      "devices, with a small DP remainder");
+
+  BenchRig rig(cluster::make_paper_testbed_8gpu());
+  render("Table 2 (standard benchmarks):", models::standard_benchmarks(), rig);
+  render("Table 3 (large models):", models::large_benchmarks(), rig);
+  return 0;
+}

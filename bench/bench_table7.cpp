@@ -1,0 +1,49 @@
+// Table 7: per-iteration time with HeteroG's execution-order scheduling vs
+// TensorFlow's default FIFO order, on HeteroG's plans (8 GPUs).
+#include "bench_util.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+int main() {
+  print_header(
+      "Table 7: HeteroG order scheduling vs FIFO (8 GPUs, HeteroG plans)",
+      "Rank-based order scheduling accelerates training by ~10-20%");
+
+  BenchRig rig(cluster::make_paper_testbed_8gpu());
+  TextTable table({"Model (batch)", "HeteroG schedule (s)", "FIFO schedule (s)",
+                   "speed-up", "paper speed-up"});
+  const double paper_speedup[] = {10.8, 9.8, 14.1, 15.9, 14.8, 11.4, 13.9, 18.1};
+
+  const auto standard = models::standard_benchmarks();
+  for (size_t i = 0; i < standard.size(); ++i) {
+    const auto& bench = standard[i];
+    const double batch = bench.batch_8gpu;
+    const auto graph = models::build_training(bench.kind, bench.layers, batch);
+    const auto plan = heterog_plan(rig, bench, batch,
+                                   "t1_" + std::to_string(static_cast<int>(bench.kind)) +
+                                       "_" + std::to_string(bench.layers) + "_" +
+                                       std::to_string(static_cast<int>(batch)) + "_8gpu");
+    sim::PlanEvalOptions rank_opts;
+    const auto rank = sim::evaluate_plan(*rig.costs, graph, plan.grouping, plan.map,
+                                         rank_opts);
+    sim::PlanEvalOptions fifo_opts;
+    fifo_opts.policy = sched::OrderPolicy::kFifo;
+    const auto fifo = sim::evaluate_plan(*rig.costs, graph, plan.grouping, plan.map,
+                                         fifo_opts);
+    const double speedup =
+        100.0 * (fifo.per_iteration_ms - rank.per_iteration_ms) / rank.per_iteration_ms;
+    table.add_row({bench.label + " (" + std::to_string(static_cast<int>(batch)) + ")",
+                   fmt_double(rank.per_iteration_ms / 1000.0),
+                   fmt_double(fifo.per_iteration_ms / 1000.0),
+                   fmt_double(speedup, 1) + "%",
+                   fmt_double(paper_speedup[i], 1) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: the rank-based order is never slower than FIFO. Note: our\n"
+      "deterministic simulator's FIFO dispatches in arrival order per resource,\n"
+      "which is a stronger baseline than TensorFlow's executor; the measured gap is\n"
+      "therefore smaller than the paper's 10-20%% (see EXPERIMENTS.md).\n");
+  return 0;
+}

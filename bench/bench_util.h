@@ -1,0 +1,130 @@
+// Shared plumbing for the reproduction benches (one binary per paper table /
+// figure).
+//
+// Knobs (environment variables):
+//   HETEROG_EPISODES       RL episodes per HeteroG search (default 150)
+//   HETEROG_MAX_GROUPS     grouping size (default 48)
+//   HETEROG_BENCH_FAST     =1 shrinks searches for smoke runs
+//   HETEROG_PLAN_CACHE     directory for cached plans (default ./bench_cache)
+//
+// HeteroG searches are cached on disk keyed by (model, batch, cluster) so
+// benches that share plans (Table 1 <-> Tables 2/3, Fig. 8) do not repeat
+// the RL search.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "agent/policy.h"
+#include "baselines/baselines.h"
+#include "common/table.h"
+#include "models/models.h"
+#include "profiler/profiler.h"
+#include "rl/trainer.h"
+#include "sim/plan_eval.h"
+#include "strategy/serialize.h"
+
+namespace heterog::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline bool fast_mode() { return env_int("HETEROG_BENCH_FAST", 0) != 0; }
+
+inline int episodes() {
+  return env_int("HETEROG_EPISODES", fast_mode() ? 20 : 150);
+}
+
+inline int max_groups() { return env_int("HETEROG_MAX_GROUPS", 48); }
+
+inline std::string plan_cache_dir() {
+  const char* dir = std::getenv("HETEROG_PLAN_CACHE");
+  return dir != nullptr ? dir : "bench_cache";
+}
+
+/// Cluster + ground-truth cost oracle + evaluation harness.
+struct BenchRig {
+  cluster::ClusterSpec cluster;
+  std::unique_ptr<profiler::HardwareModel> hardware;
+  std::unique_ptr<profiler::GroundTruthCosts> costs;
+  std::unique_ptr<baselines::Evaluator> evaluator;
+
+  explicit BenchRig(cluster::ClusterSpec spec) : cluster(std::move(spec)) {
+    hardware = std::make_unique<profiler::HardwareModel>(cluster);
+    costs = std::make_unique<profiler::GroundTruthCosts>(*hardware);
+    evaluator = std::make_unique<baselines::Evaluator>(*costs);
+  }
+};
+
+struct HeteroGPlan {
+  strategy::StrategyMap map;
+  strategy::Grouping grouping;
+  double per_iteration_ms = 0.0;
+  bool feasible = false;
+  bool from_cache = false;
+};
+
+/// Runs (or loads) the HeteroG search for one benchmark configuration.
+inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& bench,
+                                double batch, const std::string& cache_tag,
+                                compile::CompilerOptions compiler_options =
+                                    compile::CompilerOptions()) {
+  const auto graph = models::build_training(bench.kind, bench.layers, batch);
+  HeteroGPlan plan;
+  plan.grouping = strategy::Grouping::build(graph, *rig.costs, max_groups());
+
+  const std::string cache_path =
+      plan_cache_dir() + "/" + cache_tag + ".plan";
+  std::filesystem::create_directories(plan_cache_dir());
+  if (auto cached = strategy::load_plan(cache_path, rig.cluster.device_count())) {
+    if (static_cast<int>(cached->group_actions.size()) == plan.grouping.group_count()) {
+      plan.map = std::move(*cached);
+      plan.from_cache = true;
+    }
+  }
+  if (plan.map.group_actions.empty()) {
+    rl::TrainConfig config;
+    config.compiler = compiler_options;
+    config.episodes = episodes();
+    agent::AgentConfig agent_config;
+    agent_config.max_groups = max_groups();
+    agent::PolicyNetwork policy(rig.cluster.device_count(), agent_config);
+    const auto encoded = agent::encode_graph(graph, *rig.costs, max_groups());
+    rl::Trainer trainer(*rig.costs, config);
+    const auto result = trainer.search(policy, encoded);
+    plan.map = result.best_strategy;
+    strategy::save_plan(cache_path, plan.map, rig.cluster.device_count());
+  }
+
+  sim::PlanEvalOptions eval_options;
+  eval_options.compiler = compiler_options;
+  const auto eval =
+      sim::evaluate_plan(*rig.costs, graph, plan.grouping, plan.map, eval_options);
+  plan.per_iteration_ms = eval.per_iteration_ms;
+  plan.feasible = !eval.oom;
+  return plan;
+}
+
+/// Formats "our / speed-up" cells in Table 1/4 style: baseline time with the
+/// speed-up of HeteroG over it.
+inline std::string baseline_cell(double baseline_ms, double heterog_ms, bool oom) {
+  if (oom) return "OOM / -";
+  const double speedup = 100.0 * (baseline_ms - heterog_ms) / heterog_ms;
+  return fmt_double(baseline_ms / 1000.0) + " / " + fmt_double(speedup, 1) + "%";
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("episodes=%d max_groups=%d fast=%d\n", episodes(), max_groups(),
+              fast_mode() ? 1 : 0);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace heterog::bench

@@ -1,0 +1,44 @@
+// Model feature encoding for the GNN agent (paper Sec. 4.1.1).
+//
+// "The GAT takes as input the DAG of the DNN model, in the form of: (1) a
+//  node feature matrix, where each row contains the operation's attributes
+//  (e.g., execution time when running on different devices, the input and
+//  output sizes, the average tensor transfer time between each pair of
+//  devices); (2) an adjacency matrix describing data dependencies."
+//
+// The adjacency is carried as an edge list (undirected + self loops), the
+// sparse form our GAT layer consumes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/matrix.h"
+#include "profiler/cost_provider.h"
+#include "strategy/strategy.h"
+
+namespace heterog::agent {
+
+struct EncodedGraph {
+  nn::Matrix features;        // [op_count x feature_dim], column-normalised
+  std::vector<int> edge_src;  // both directions + self loops
+  std::vector<int> edge_dst;
+  strategy::Grouping grouping;
+  const graph::GraphDef* graph = nullptr;
+
+  int node_count() const { return features.rows(); }
+  int group_count() const { return grouping.group_count(); }
+};
+
+/// Feature width for a cluster with `device_count` GPUs:
+/// per-device execution times (M) + avg transfer time + output bytes +
+/// parameter bytes + batch-divisible flag + compute-intensive flag + role
+/// one-hot (3) = M + 8.
+int feature_dim(int device_count);
+
+/// Encodes a training graph against profiled costs, grouping ops per the
+/// paper's nearest-neighbour scheme.
+EncodedGraph encode_graph(const graph::GraphDef& graph,
+                          const profiler::CostProvider& costs, int max_groups);
+
+}  // namespace heterog::agent

@@ -1,0 +1,103 @@
+#include "agent/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heterog::agent {
+
+PolicyNetwork::PolicyNetwork(int device_count, AgentConfig config)
+    : device_count_(device_count), config_(config), init_rng_(config.seed) {
+  check(device_count >= 1, "PolicyNetwork: need at least one device");
+  check(config_.gat_layers >= 1 && config_.strategy_layers >= 0,
+        "PolicyNetwork: bad layer counts");
+
+  int in_dim = feature_dim(device_count);
+  for (int l = 0; l < config_.gat_layers; ++l) {
+    gat_layers_.emplace_back(params_, in_dim, config_.gat_dim_per_head,
+                             config_.gat_heads, init_rng_);
+    in_dim = config_.gat_dim_per_head * config_.gat_heads;
+  }
+  group_projection_ =
+      std::make_unique<nn::Linear>(params_, in_dim, config_.strategy_dim, init_rng_);
+  for (int l = 0; l < config_.strategy_layers; ++l) {
+    strategy_blocks_.emplace_back(params_, config_.strategy_dim, config_.strategy_heads,
+                                  config_.strategy_ffn_dim, init_rng_);
+  }
+  head_ = std::make_unique<nn::Linear>(params_, config_.strategy_dim,
+                                       device_count_ + 4, init_rng_);
+}
+
+PolicyForward PolicyNetwork::forward(nn::Tape& tape, const EncodedGraph& encoded) const {
+  check(encoded.features.cols() == feature_dim(device_count_),
+        "PolicyNetwork: encoded graph built for a different cluster size");
+  nn::Var h = tape.leaf(encoded.features, /*requires_grad=*/false);
+  for (const auto& layer : gat_layers_) {
+    h = layer.forward(tape, h, encoded.edge_src, encoded.edge_dst,
+                      encoded.node_count());
+  }
+  // Per-group embeddings: g_n = sigma(W * mean over member nodes) — the
+  // paper's sum-pool composed with a learned transform.
+  nn::Var groups = tape.segment_mean_rows(h, encoded.grouping.assignment(),
+                                          encoded.group_count());
+  nn::Var z = tape.tanh_act(group_projection_->forward(tape, groups));
+  for (const auto& block : strategy_blocks_) {
+    z = block.forward(tape, z);
+  }
+  PolicyForward out;
+  out.logits = head_->forward(tape, z);
+  return out;
+}
+
+std::vector<int> PolicyNetwork::sample_actions(const nn::Matrix& logits, Rng& rng,
+                                               double temperature) const {
+  check(logits.cols() == action_count(), "sample_actions: logits width mismatch");
+  check(temperature > 0.0, "sample_actions: temperature must be positive");
+  std::vector<int> actions(static_cast<size_t>(logits.rows()));
+  std::vector<double> probs(static_cast<size_t>(logits.cols()));
+  for (int g = 0; g < logits.rows(); ++g) {
+    double row_max = -1e300;
+    for (int a = 0; a < logits.cols(); ++a) {
+      row_max = std::max(row_max, logits.at(g, a) / temperature);
+    }
+    double total = 0.0;
+    for (int a = 0; a < logits.cols(); ++a) {
+      probs[static_cast<size_t>(a)] = std::exp(logits.at(g, a) / temperature - row_max);
+      total += probs[static_cast<size_t>(a)];
+    }
+    for (double& p : probs) p /= total;
+    actions[static_cast<size_t>(g)] = rng.sample_categorical(probs);
+  }
+  return actions;
+}
+
+std::vector<int> PolicyNetwork::greedy_actions(const nn::Matrix& logits) const {
+  std::vector<int> actions(static_cast<size_t>(logits.rows()));
+  for (int g = 0; g < logits.rows(); ++g) {
+    int best = 0;
+    for (int a = 1; a < logits.cols(); ++a) {
+      if (logits.at(g, a) > logits.at(g, best)) best = a;
+    }
+    actions[static_cast<size_t>(g)] = best;
+  }
+  return actions;
+}
+
+std::vector<nn::Matrix> PolicyNetwork::snapshot_params() const {
+  std::vector<nn::Matrix> snapshot;
+  snapshot.reserve(params_.all().size());
+  for (const auto& p : params_.all()) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void PolicyNetwork::restore_params(const std::vector<nn::Matrix>& snapshot) {
+  check(snapshot.size() == params_.all().size(), "restore_params: size mismatch");
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    nn::Var param = params_.all()[i];  // handle copy shares the storage
+    check(snapshot[i].same_shape(param.value()), "restore_params: shape mismatch");
+    param.mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace heterog::agent

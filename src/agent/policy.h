@@ -1,0 +1,82 @@
+// The Agent's policy network (paper Sec. 4.1, Fig. 6):
+//
+//   node features --GAT--> per-node embeddings --grouping--> per-group
+//   embeddings --Transformer strategy network--> N x (M+4) logits --softmax
+//   --> one action per group.
+//
+// Scaled-down defaults relative to the paper (12x8-head GAT, 8-layer
+// Transformer-XL, N=2000) for CPU-only training; every size is configurable
+// (see DESIGN.md §6). A standard Transformer encoder replaces Transformer-XL
+// — at our group counts no segment recurrence is needed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agent/features.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace heterog::agent {
+
+struct AgentConfig {
+  // GAT encoder.
+  int gat_layers = 3;
+  int gat_heads = 4;
+  int gat_dim_per_head = 8;  // concat -> 32-dim node embeddings
+
+  // Strategy network.
+  int strategy_dim = 64;
+  int strategy_layers = 2;
+  int strategy_heads = 4;
+  int strategy_ffn_dim = 128;
+
+  // Grouping (paper: N = 2000).
+  int max_groups = 48;
+
+  double sample_temperature = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Output of one policy forward pass: per-group logits plus bookkeeping to
+/// build the REINFORCE loss on the same tape.
+struct PolicyForward {
+  nn::Var logits;  // [group_count x (M+4)]
+};
+
+class PolicyNetwork {
+ public:
+  PolicyNetwork(int device_count, AgentConfig config);
+
+  PolicyForward forward(nn::Tape& tape, const EncodedGraph& encoded) const;
+
+  /// Samples one action per group from softmax(logits / temperature).
+  std::vector<int> sample_actions(const nn::Matrix& logits, Rng& rng,
+                                  double temperature) const;
+  /// Greedy (argmax) actions.
+  std::vector<int> greedy_actions(const nn::Matrix& logits) const;
+
+  int action_count() const { return device_count_ + 4; }
+  int device_count() const { return device_count_; }
+  const AgentConfig& config() const { return config_; }
+
+  nn::ParameterSet& params() { return params_; }
+  const nn::ParameterSet& params() const { return params_; }
+
+  /// Deep copy of all parameter values (for pre-train / fine-tune studies).
+  std::vector<nn::Matrix> snapshot_params() const;
+  void restore_params(const std::vector<nn::Matrix>& snapshot);
+
+ private:
+  int device_count_;
+  AgentConfig config_;
+  nn::ParameterSet params_;
+  Rng init_rng_;
+
+  std::vector<nn::GatLayer> gat_layers_;
+  std::unique_ptr<nn::Linear> group_projection_;
+  std::vector<nn::TransformerBlock> strategy_blocks_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace heterog::agent

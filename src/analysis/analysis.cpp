@@ -1,0 +1,87 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace heterog::analysis {
+
+std::string PlanDiff::summary() const {
+  std::ostringstream os;
+  os << groups_changed << "/" << groups_total << " groups changed ("
+     << dp_to_mp << " DP->MP, " << mp_to_dp << " MP->DP, " << device_moves
+     << " device moves, " << comm_flips << " PS/AR flips, " << replication_flips
+     << " EV/CP flips)";
+  return os.str();
+}
+
+PlanDiff diff_plans(const strategy::StrategyMap& before,
+                    const strategy::StrategyMap& after) {
+  check(before.group_actions.size() == after.group_actions.size(),
+        "diff_plans: group counts differ");
+  PlanDiff diff;
+  diff.groups_total = static_cast<int>(before.group_actions.size());
+  for (size_t g = 0; g < before.group_actions.size(); ++g) {
+    const auto& a = before.group_actions[g];
+    const auto& b = after.group_actions[g];
+    if (a == b) continue;
+    ++diff.groups_changed;
+    if (a.is_mp && !b.is_mp) ++diff.mp_to_dp;
+    if (!a.is_mp && b.is_mp) ++diff.dp_to_mp;
+    if (a.is_mp && b.is_mp && a.mp_device != b.mp_device) ++diff.device_moves;
+    if (!a.is_mp && !b.is_mp) {
+      if (a.comm != b.comm) ++diff.comm_flips;
+      if (a.replication != b.replication) ++diff.replication_flips;
+    }
+  }
+  return diff;
+}
+
+UtilizationReport utilization(const compile::DistGraph& graph,
+                              const sim::SimResult& result) {
+  check(static_cast<int>(result.resource_busy_ms.size()) ==
+            graph.resources().resource_count(),
+        "utilization: result does not match graph");
+  const auto& resources = graph.resources();
+  UtilizationReport report;
+  report.makespan_ms = result.makespan_ms;
+  const double span = std::max(result.makespan_ms, 1e-9);
+
+  double gpu_total = 0.0;
+  for (int d = 0; d < resources.device_count(); ++d) {
+    DeviceUtilization u;
+    u.device = d;
+    u.busy_ms = result.resource_busy_ms[static_cast<size_t>(resources.gpu_resource(d))];
+    u.busy_fraction = u.busy_ms / span;
+    gpu_total += u.busy_fraction;
+    report.devices.push_back(u);
+  }
+  report.mean_gpu_utilization = gpu_total / std::max(resources.device_count(), 1);
+  report.nccl_busy_ms =
+      result.resource_busy_ms[static_cast<size_t>(resources.nccl_resource())];
+  for (int r = 0; r < resources.resource_count(); ++r) {
+    if (resources.is_nic_resource(r)) {
+      report.max_nic_busy_ms =
+          std::max(report.max_nic_busy_ms, result.resource_busy_ms[static_cast<size_t>(r)]);
+    }
+  }
+  return report;
+}
+
+std::string UtilizationReport::render() const {
+  TextTable table({"device", "busy (ms)", "utilization"});
+  for (const auto& u : devices) {
+    table.add_row({"G" + std::to_string(u.device), fmt_double(u.busy_ms, 1),
+                   fmt_percent(u.busy_fraction)});
+  }
+  std::ostringstream os;
+  os << "makespan " << fmt_double(makespan_ms, 1) << " ms, mean GPU utilization "
+     << fmt_percent(mean_gpu_utilization) << ", NCCL busy " << fmt_double(nccl_busy_ms, 1)
+     << " ms, busiest NIC " << fmt_double(max_nic_busy_ms, 1) << " ms\n"
+     << table.render();
+  return os.str();
+}
+
+}  // namespace heterog::analysis

@@ -1,0 +1,53 @@
+// Plan inspection utilities: diffing two strategies and summarising how a
+// simulated schedule used the cluster. Consumed by examples, the CLI and
+// operators comparing deployments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compile/dist_graph.h"
+#include "sim/simulator.h"
+#include "strategy/strategy.h"
+
+namespace heterog::analysis {
+
+/// Structural difference between two strategies over the same grouping.
+struct PlanDiff {
+  int groups_total = 0;
+  int groups_changed = 0;
+  int mp_to_dp = 0;        // groups that left model parallelism
+  int dp_to_mp = 0;        // groups that became model parallel
+  int device_moves = 0;    // MP groups that changed device
+  int comm_flips = 0;      // DP groups that switched PS <-> AllReduce
+  int replication_flips = 0;  // DP groups that switched even <-> proportional
+
+  std::string summary() const;
+};
+
+PlanDiff diff_plans(const strategy::StrategyMap& before,
+                    const strategy::StrategyMap& after);
+
+/// Per-device utilisation of one simulated schedule.
+struct DeviceUtilization {
+  cluster::DeviceId device = 0;
+  double busy_ms = 0.0;
+  double busy_fraction = 0.0;  // busy / makespan
+};
+
+struct UtilizationReport {
+  double makespan_ms = 0.0;
+  std::vector<DeviceUtilization> devices;
+  double nccl_busy_ms = 0.0;
+  double max_nic_busy_ms = 0.0;
+  /// Mean GPU busy fraction — the "devices are less efficiently used"
+  /// quantity the paper's Sec. 1 motivates improving.
+  double mean_gpu_utilization = 0.0;
+
+  std::string render() const;
+};
+
+UtilizationReport utilization(const compile::DistGraph& graph,
+                              const sim::SimResult& result);
+
+}  // namespace heterog::analysis

@@ -1,0 +1,283 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/plan_eval.h"
+
+namespace heterog::baselines {
+
+namespace {
+
+using strategy::Action;
+using strategy::CommMethod;
+using strategy::ReplicationMode;
+
+double samples_per_second(double batch, double time_ms) {
+  return time_ms > 0.0 ? batch / (time_ms / 1000.0) : 0.0;
+}
+
+}  // namespace
+
+PlanOutcome Evaluator::evaluate(const graph::GraphDef& graph,
+                                const strategy::Grouping& grouping,
+                                const strategy::StrategyMap& map,
+                                sched::OrderPolicy policy,
+                                compile::CompilerOptions compiler_options) const {
+  sim::PlanEvalOptions options;
+  options.policy = policy;
+  options.compiler = compiler_options;
+  const auto result = sim::evaluate_plan(*costs_, graph, grouping, map, options);
+  PlanOutcome outcome;
+  outcome.map = map;
+  outcome.time_ms = result.per_iteration_ms;
+  outcome.oom = result.oom;
+  outcome.samples_per_second =
+      samples_per_second(graph.global_batch(), result.per_iteration_ms);
+  outcome.evaluations = 1;
+  return outcome;
+}
+
+PlanOutcome run_uniform_dp(const Evaluator& evaluator, const graph::GraphDef& graph,
+                           const strategy::Grouping& grouping,
+                           strategy::ReplicationMode mode, strategy::CommMethod comm,
+                           sched::OrderPolicy policy) {
+  const auto map =
+      strategy::StrategyMap::uniform(grouping.group_count(), Action::dp(mode, comm));
+  return evaluator.evaluate(graph, grouping, map, policy);
+}
+
+PlanOutcome run_horovod(const Evaluator& evaluator, const graph::GraphDef& graph,
+                        const strategy::Grouping& grouping) {
+  const auto map = strategy::StrategyMap::uniform(
+      grouping.group_count(), Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+  compile::CompilerOptions horovod_options;
+  horovod_options.allreduce_fusion_bytes = 64LL << 20;  // Horovod tensor fusion
+  return evaluator.evaluate(graph, grouping, map, sched::OrderPolicy::kFifo,
+                            horovod_options);
+}
+
+PlanOutcome run_flexflow(const Evaluator& evaluator, const graph::GraphDef& graph,
+                         const strategy::Grouping& grouping, FlexFlowOptions options) {
+  Rng rng(options.seed);
+  const int m = evaluator.costs().cluster().device_count();
+
+  // FlexFlow's config space: per-group device placement or replication
+  // degree; AllReduce gradient sync only, no order optimisation.
+  std::vector<Action> palette;
+  for (int d = 0; d < m; ++d) palette.push_back(Action::mp(d));
+  palette.push_back(Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+  palette.push_back(Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce));
+
+  auto cost_of = [&](const strategy::StrategyMap& map) {
+    const auto outcome = evaluator.evaluate(graph, grouping, map,
+                                            sched::OrderPolicy::kFifo, options.compiler);
+    double cost = std::sqrt(std::max(outcome.time_ms, 0.0) / 1000.0);
+    if (outcome.oom) cost *= 10.0;
+    return std::make_pair(cost, outcome);
+  };
+
+  strategy::StrategyMap current = strategy::StrategyMap::uniform(
+      grouping.group_count(), Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+  auto [current_cost, current_outcome] = cost_of(current);
+  PlanOutcome best = current_outcome;
+  int evaluations = 1;
+
+  for (int it = 0; it < options.iterations; ++it) {
+    const double temperature =
+        options.initial_temperature *
+        (1.0 - static_cast<double>(it) / std::max(options.iterations, 1));
+    strategy::StrategyMap proposal = current;
+    const int g = rng.uniform_int(0, grouping.group_count() - 1);
+    proposal.group_actions[static_cast<size_t>(g)] =
+        palette[static_cast<size_t>(rng.uniform_int(0, static_cast<int>(palette.size()) - 1))];
+    auto [cost, outcome] = cost_of(proposal);
+    ++evaluations;
+    const double delta = cost - current_cost;
+    if (delta < 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature))) {
+      current = std::move(proposal);
+      current_cost = cost;
+      current_outcome = outcome;
+    }
+    const bool better =
+        !outcome.oom && (best.oom || outcome.time_ms < best.time_ms);
+    if (better || (best.oom && !outcome.oom)) best = outcome;
+  }
+  best.evaluations = evaluations;
+  return best;
+}
+
+PlanOutcome run_post(const Evaluator& evaluator, const graph::GraphDef& graph,
+                     const strategy::Grouping& grouping, PostOptions options) {
+  Rng rng(options.seed);
+  const int m = evaluator.costs().cluster().device_count();
+  const int groups = grouping.group_count();
+
+  // Per-group categorical distribution over devices (placement only),
+  // warm-started toward a contiguous capacity-proportional split so the
+  // search begins from a locality-preserving placement.
+  std::vector<std::vector<double>> probs(
+      static_cast<size_t>(groups), std::vector<double>(static_cast<size_t>(m), 1.0 / m));
+  if (options.locality_bias > 0.0) {
+    const auto& cluster = evaluator.costs().cluster();
+    double capacity_total = 0.0;
+    for (const auto& d : cluster.devices()) {
+      capacity_total += static_cast<double>(d.memory_bytes);
+    }
+    std::vector<double> capacity_prefix;
+    double acc = 0.0;
+    for (const auto& d : cluster.devices()) {
+      acc += static_cast<double>(d.memory_bytes);
+      capacity_prefix.push_back(acc / capacity_total);
+    }
+    size_t device_index = 0;
+    for (int g = 0; g < groups; ++g) {
+      const double fraction = (g + 0.5) / groups;
+      while (device_index + 1 < capacity_prefix.size() &&
+             fraction > capacity_prefix[device_index]) {
+        ++device_index;
+      }
+      auto& p = probs[static_cast<size_t>(g)];
+      for (double& v : p) v = (1.0 - options.locality_bias) / m;
+      p[device_index] += options.locality_bias;
+    }
+  }
+
+  PlanOutcome best;
+  best.oom = true;
+  best.time_ms = 1e300;
+  int evaluations = 0;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    struct Sample {
+      std::vector<int> placement;
+      double cost;
+      PlanOutcome outcome;
+    };
+    std::vector<Sample> samples;
+    for (int s = 0; s < options.samples_per_round; ++s) {
+      Sample sample;
+      sample.placement.resize(static_cast<size_t>(groups));
+      strategy::StrategyMap map;
+      map.group_actions.reserve(static_cast<size_t>(groups));
+      for (int g = 0; g < groups; ++g) {
+        const int d = rng.sample_categorical(probs[static_cast<size_t>(g)]);
+        sample.placement[static_cast<size_t>(g)] = d;
+        map.group_actions.push_back(Action::mp(d));
+      }
+      sample.outcome = evaluator.evaluate(graph, grouping, map,
+                                          sched::OrderPolicy::kFifo, options.compiler);
+      ++evaluations;
+      sample.cost = std::sqrt(std::max(sample.outcome.time_ms, 0.0) / 1000.0);
+      if (sample.outcome.oom) sample.cost *= 10.0;
+      const bool better = !sample.outcome.oom &&
+                          (best.oom || sample.outcome.time_ms < best.time_ms);
+      if (better || (best.oom && best.time_ms > 1e299)) best = sample.outcome;
+      samples.push_back(std::move(sample));
+    }
+    // Elite update.
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) { return a.cost < b.cost; });
+    const int elites = std::max(1, static_cast<int>(options.elite_fraction *
+                                                    options.samples_per_round));
+    for (int g = 0; g < groups; ++g) {
+      std::vector<double> counts(static_cast<size_t>(m), 1e-3);
+      for (int e = 0; e < elites; ++e) {
+        counts[static_cast<size_t>(samples[static_cast<size_t>(e)]
+                                       .placement[static_cast<size_t>(g)])] += 1.0;
+      }
+      double total = 0.0;
+      for (double c : counts) total += c;
+      for (int d = 0; d < m; ++d) {
+        auto& p = probs[static_cast<size_t>(g)][static_cast<size_t>(d)];
+        p = options.smoothing * p + (1.0 - options.smoothing) * counts[static_cast<size_t>(d)] / total;
+      }
+    }
+  }
+  best.evaluations = evaluations;
+  return best;
+}
+
+PlanOutcome run_hetpipe(const profiler::CostProvider& costs,
+                        const std::function<graph::GraphDef(double batch)>& build_training,
+                        double global_batch, HetPipeOptions options) {
+  const auto& cluster = costs.cluster();
+
+  // Virtual workers = physical hosts (HetPipe groups whimpy GPUs into VWs).
+  struct VirtualWorker {
+    std::vector<cluster::DeviceId> devices;
+    double power = 0.0;
+  };
+  std::vector<VirtualWorker> workers;
+  for (int h = 0; h < cluster.host_count(); ++h) {
+    VirtualWorker vw;
+    vw.devices = cluster.devices_on_host(h);
+    if (vw.devices.empty()) continue;
+    for (auto d : vw.devices) vw.power += cluster.relative_power(d);
+    workers.push_back(std::move(vw));
+  }
+  check(!workers.empty(), "run_hetpipe: empty cluster");
+  double total_power = 0.0;
+  for (const auto& vw : workers) total_power += vw.power;
+
+  // Per-VW: batch share proportional to VW power; layers partitioned across
+  // the VW's GPUs balanced by compute power (layer-level model parallelism).
+  double slowest_vw_ms = 0.0;
+  bool oom = false;
+  int64_t params = 0;
+  for (const auto& vw : workers) {
+    const double share = global_batch * vw.power / total_power;
+    graph::GraphDef sub = build_training(std::max(share, 1.0));
+    params = sub.total_param_bytes();
+    const auto grouping = strategy::Grouping::build(sub, costs, 64);
+
+    // Balanced layer assignment: walk groups in id order (graph order) and
+    // cut into contiguous spans proportional to device power.
+    strategy::StrategyMap map;
+    map.group_actions.resize(static_cast<size_t>(grouping.group_count()));
+    double vw_power_seen = 0.0;
+    size_t device_index = 0;
+    for (strategy::GroupId g = 0; g < grouping.group_count(); ++g) {
+      const double progress = static_cast<double>(g) / grouping.group_count();
+      while (device_index + 1 < vw.devices.size() &&
+             progress >= (vw_power_seen + cluster.relative_power(
+                                              vw.devices[device_index])) /
+                             vw.power) {
+        vw_power_seen += cluster.relative_power(vw.devices[device_index]);
+        ++device_index;
+      }
+      map.group_actions[static_cast<size_t>(g)] =
+          Action::mp(vw.devices[device_index]);
+    }
+    sim::PlanEvalOptions eval_options;
+    eval_options.compiler = options.compiler;
+    const auto result = sim::evaluate_plan(costs, sub, grouping, map, eval_options);
+    slowest_vw_ms = std::max(slowest_vw_ms, result.per_iteration_ms);
+    oom = oom || result.oom;
+  }
+
+  // PS synchronisation across VW chiefs: push + pull of the full parameter
+  // set over the slowest chief link, partially hidden by pipelining.
+  double sync_ms = 0.0;
+  if (workers.size() > 1) {
+    const cluster::DeviceId ps = workers.front().devices.front();
+    for (size_t w = 1; w < workers.size(); ++w) {
+      const cluster::DeviceId chief = workers[w].devices.front();
+      sync_ms = std::max(sync_ms, costs.transfer_time_ms(params, chief, ps) +
+                                      costs.transfer_time_ms(params, ps, chief));
+    }
+  }
+
+  PlanOutcome outcome;
+  outcome.time_ms = slowest_vw_ms + (1.0 - options.sync_overlap) * sync_ms;
+  outcome.oom = oom;
+  outcome.samples_per_second = samples_per_second(global_batch, outcome.time_ms);
+  outcome.evaluations = static_cast<int>(workers.size());
+  return outcome;
+}
+
+}  // namespace heterog::baselines

@@ -1,0 +1,111 @@
+// Baseline deployment schemes the paper compares against (Sec. 6.1, 6.8).
+//
+// All baselines are evaluated through the same compile + simulate harness as
+// HeteroG, but each is restricted to the decision space of the original
+// system (Fig. 9 discussion):
+//   * EV-PS / EV-AR / CP-PS / CP-AR — uniform data parallelism;
+//   * Horovod — EV-AR (ring/hierarchical AllReduce), TF default FIFO order;
+//   * FlexFlow — MCMC search over per-group parallelisation configs (MP
+//     placements and replication degree) with AllReduce only, no gradient-
+//     communication-method choice and no execution-order optimisation;
+//   * Post — cross-entropy-method search over operation placement only (no
+//     replication decisions);
+//   * HetPipe — hosts become virtual workers; layers are partitioned across
+//     a VW's GPUs, data parallelism with PS across VWs (approximation
+//     documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "compile/compiler.h"
+#include "profiler/cost_provider.h"
+#include "sim/simulator.h"
+#include "strategy/strategy.h"
+
+namespace heterog::baselines {
+
+struct PlanOutcome {
+  strategy::StrategyMap map;  // empty for HetPipe (not expressible as a map)
+  double time_ms = 0.0;
+  bool oom = false;
+  double samples_per_second = 0.0;
+  int evaluations = 0;  // search cost, where applicable
+};
+
+/// Shared compile + simulate harness.
+class Evaluator {
+ public:
+  explicit Evaluator(const profiler::CostProvider& costs)
+      : costs_(&costs), compiler_(costs) {}
+
+  PlanOutcome evaluate(const graph::GraphDef& graph, const strategy::Grouping& grouping,
+                       const strategy::StrategyMap& map,
+                       sched::OrderPolicy policy = sched::OrderPolicy::kRankPriority,
+                       compile::CompilerOptions compiler_options =
+                           compile::CompilerOptions()) const;
+
+  const profiler::CostProvider& costs() const { return *costs_; }
+  const compile::GraphCompiler& compiler() const { return compiler_; }
+
+ private:
+  const profiler::CostProvider* costs_;
+  compile::GraphCompiler compiler_;
+};
+
+/// Uniform data parallelism (the Table 1/4 baselines). Runs under the given
+/// order policy (the paper's DP baselines use TF's FIFO executor).
+PlanOutcome run_uniform_dp(const Evaluator& evaluator, const graph::GraphDef& graph,
+                           const strategy::Grouping& grouping,
+                           strategy::ReplicationMode mode, strategy::CommMethod comm,
+                           sched::OrderPolicy policy = sched::OrderPolicy::kFifo);
+
+/// Horovod: EV-AR under FIFO, with Horovod's 64 MB tensor fusion (unlike the
+/// paper's per-tensor NCCL collectives).
+PlanOutcome run_horovod(const Evaluator& evaluator, const graph::GraphDef& graph,
+                        const strategy::Grouping& grouping);
+
+struct FlexFlowOptions {
+  int iterations = 400;
+  double initial_temperature = 0.05;  // on sqrt-seconds deltas
+  uint64_t seed = 11;
+  compile::CompilerOptions compiler;
+};
+
+/// FlexFlow-style MCMC over {MP(d), EV-AR, CP-AR} per group, FIFO order.
+PlanOutcome run_flexflow(const Evaluator& evaluator, const graph::GraphDef& graph,
+                         const strategy::Grouping& grouping,
+                         FlexFlowOptions options = FlexFlowOptions());
+
+struct PostOptions {
+  int rounds = 12;
+  int samples_per_round = 24;
+  double elite_fraction = 0.2;
+  double smoothing = 0.7;
+  uint64_t seed = 13;
+  compile::CompilerOptions compiler;
+  /// Bias the initial placement distribution toward a contiguous
+  /// capacity-proportional split (Post's warm start); 0 = uniform.
+  double locality_bias = 0.5;
+};
+
+/// Post-style cross-entropy search over per-group device placement (MP only).
+PlanOutcome run_post(const Evaluator& evaluator, const graph::GraphDef& graph,
+                     const strategy::Grouping& grouping, PostOptions options = PostOptions());
+
+struct HetPipeOptions {
+  /// Fraction of the parameter-synchronisation time hidden by HetPipe's
+  /// pipelining / WSP overlap.
+  double sync_overlap = 0.5;
+  compile::CompilerOptions compiler;
+};
+
+/// HetPipe approximation: per-host virtual workers, intra-VW layer
+/// partitioning, PS across VWs. `build_training` must return the training
+/// graph of the model at a given global batch (HetPipe shards the batch
+/// across virtual workers, so sub-graphs at fractional batches are needed).
+PlanOutcome run_hetpipe(const profiler::CostProvider& costs,
+                        const std::function<graph::GraphDef(double batch)>& build_training,
+                        double global_batch, HetPipeOptions options = HetPipeOptions());
+
+}  // namespace heterog::baselines

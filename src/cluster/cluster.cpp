@@ -1,0 +1,254 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace heterog::cluster {
+
+const char* gpu_model_name(GpuModel model) {
+  switch (model) {
+    case GpuModel::kV100:
+      return "Tesla V100";
+    case GpuModel::kGtx1080Ti:
+      return "GTX 1080Ti";
+    case GpuModel::kP100:
+      return "Tesla P100";
+  }
+  return "Unknown GPU";
+}
+
+double base_gflops_per_ms(GpuModel model) {
+  // GFLOPs per ms == TFLOPS. Effective (not peak-datasheet) figures chosen so
+  // the average V100 : 1080Ti speed-up over the paper's op mix lands near the
+  // measured ~2:1 after per-op-type efficiency modulation.
+  switch (model) {
+    case GpuModel::kV100:
+      return 14.0;
+    case GpuModel::kGtx1080Ti:
+      return 7.0;
+    case GpuModel::kP100:
+      return 7.8;
+  }
+  return 1.0;
+}
+
+int64_t memory_capacity_bytes(GpuModel model) {
+  constexpr int64_t kGiB = 1024LL * 1024 * 1024;
+  switch (model) {
+    case GpuModel::kV100:
+      return 16 * kGiB;
+    case GpuModel::kGtx1080Ti:
+      return 11 * kGiB;
+    case GpuModel::kP100:
+      return 12 * kGiB;
+  }
+  return 8 * kGiB;
+}
+
+double gbps_to_bytes_per_ms(double gbps) {
+  // gbps * 1e9 bits/s = gbps * 1e9 / 8 bytes/s = gbps * 1.25e5 bytes/ms.
+  return gbps * 1.25e5;
+}
+
+ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
+                         double switch_gbps)
+    : hosts_(std::move(hosts)), devices_(std::move(devices)), switch_gbps_(switch_gbps) {
+  check(!devices_.empty(), "ClusterSpec: no devices");
+  check(!hosts_.empty(), "ClusterSpec: no hosts");
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    check(hosts_[i].id == static_cast<int>(i), "ClusterSpec: host ids must be dense");
+  }
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    auto& d = devices_[i];
+    check(d.id == static_cast<DeviceId>(i), "ClusterSpec: device ids must be dense");
+    check(d.host >= 0 && d.host < host_count(), "ClusterSpec: bad host index");
+    if (d.gflops_per_ms <= 0.0) d.gflops_per_ms = base_gflops_per_ms(d.model);
+    if (d.memory_bytes <= 0) d.memory_bytes = memory_capacity_bytes(d.model);
+  }
+}
+
+const DeviceSpec& ClusterSpec::device(DeviceId id) const {
+  check(id >= 0 && id < device_count(), "device: bad id");
+  return devices_[static_cast<size_t>(id)];
+}
+
+const HostSpec& ClusterSpec::host(int id) const {
+  check(id >= 0 && id < host_count(), "host: bad id");
+  return hosts_[static_cast<size_t>(id)];
+}
+
+bool ClusterSpec::same_host(DeviceId a, DeviceId b) const {
+  return device(a).host == device(b).host;
+}
+
+std::vector<DeviceId> ClusterSpec::devices_on_host(int host_id) const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.host == host_id) out.push_back(d.id);
+  }
+  return out;
+}
+
+double ClusterSpec::link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const {
+  check(a != b, "link_bandwidth: same device");
+  const DeviceSpec& da = device(a);
+  const DeviceSpec& db = device(b);
+  if (da.host == db.host) {
+    return gbps_to_bytes_per_ms(host(da.host).intra_gbps);
+  }
+  const double path_gbps = std::min(
+      {host(da.host).nic_gbps, host(db.host).nic_gbps, switch_gbps_});
+  return gbps_to_bytes_per_ms(path_gbps);
+}
+
+double ClusterSpec::link_latency_ms(DeviceId a, DeviceId b) const {
+  return same_host(a, b) ? 0.01 : 0.05;
+}
+
+double ClusterSpec::relative_power(DeviceId id) const {
+  double slowest = devices_.front().gflops_per_ms;
+  for (const auto& d : devices_) slowest = std::min(slowest, d.gflops_per_ms);
+  return device(id).gflops_per_ms / slowest;
+}
+
+double ClusterSpec::total_relative_power() const {
+  double total = 0.0;
+  for (const auto& d : devices_) total += relative_power(d.id);
+  return total;
+}
+
+double ClusterSpec::min_link_bandwidth_bytes_per_ms() const {
+  double min_bw = -1.0;
+  for (const auto& a : devices_) {
+    for (const auto& b : devices_) {
+      if (a.id == b.id) continue;
+      const double bw = link_bandwidth_bytes_per_ms(a.id, b.id);
+      if (min_bw < 0.0 || bw < min_bw) min_bw = bw;
+    }
+  }
+  check(min_bw > 0.0, "min_link_bandwidth: cluster has a single device");
+  return min_bw;
+}
+
+std::string ClusterSpec::summary() const {
+  std::ostringstream os;
+  os << device_count() << " GPUs on " << host_count() << " hosts:";
+  for (const auto& d : devices_) {
+    os << " G" << d.id << "=" << gpu_model_name(d.model) << "(host" << d.host << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+DeviceSpec make_device(DeviceId id, GpuModel model, int host) {
+  DeviceSpec d;
+  d.id = id;
+  d.name = "G" + std::to_string(id);
+  d.model = model;
+  d.host = host;
+  d.gflops_per_ms = base_gflops_per_ms(model);
+  d.memory_bytes = memory_capacity_bytes(model);
+  return d;
+}
+
+HostSpec make_host(int id, double nic_gbps, double intra_gbps) {
+  HostSpec h;
+  h.id = id;
+  h.name = "host" + std::to_string(id);
+  h.nic_gbps = nic_gbps;
+  h.intra_gbps = intra_gbps;
+  return h;
+}
+
+}  // namespace
+
+ClusterSpec make_paper_testbed_8gpu() {
+  // host0: V100 machine (NVLink-class fabric, 100 GbE); hosts 1-2: 1080Ti
+  // machines; host 3: P100 machine. Matches Table 2's G0..G7 ordering.
+  std::vector<HostSpec> hosts = {
+      make_host(0, 100.0, 320.0),
+      make_host(1, 50.0, 96.0),
+      make_host(2, 50.0, 96.0),
+      make_host(3, 50.0, 96.0),
+  };
+  std::vector<DeviceSpec> devices = {
+      make_device(0, GpuModel::kV100, 0),      make_device(1, GpuModel::kV100, 0),
+      make_device(2, GpuModel::kGtx1080Ti, 1), make_device(3, GpuModel::kGtx1080Ti, 1),
+      make_device(4, GpuModel::kGtx1080Ti, 2), make_device(5, GpuModel::kGtx1080Ti, 2),
+      make_device(6, GpuModel::kP100, 3),      make_device(7, GpuModel::kP100, 3),
+  };
+  return ClusterSpec(std::move(hosts), std::move(devices), 100.0);
+}
+
+ClusterSpec make_paper_testbed_12gpu() {
+  std::vector<HostSpec> hosts = {
+      make_host(0, 100.0, 320.0),
+      make_host(1, 50.0, 96.0),
+      make_host(2, 50.0, 96.0),
+      make_host(3, 50.0, 96.0),
+      make_host(4, 50.0, 96.0),
+  };
+  std::vector<DeviceSpec> devices = {
+      make_device(0, GpuModel::kV100, 0),       make_device(1, GpuModel::kV100, 0),
+      make_device(2, GpuModel::kV100, 0),       make_device(3, GpuModel::kV100, 0),
+      make_device(4, GpuModel::kGtx1080Ti, 1),  make_device(5, GpuModel::kGtx1080Ti, 1),
+      make_device(6, GpuModel::kGtx1080Ti, 2),  make_device(7, GpuModel::kGtx1080Ti, 2),
+      make_device(8, GpuModel::kP100, 3),       make_device(9, GpuModel::kP100, 3),
+      make_device(10, GpuModel::kP100, 4),      make_device(11, GpuModel::kP100, 4),
+  };
+  return ClusterSpec(std::move(hosts), std::move(devices), 100.0);
+}
+
+ClusterSpec make_homogeneous(int n, GpuModel model, int per_host) {
+  check(n > 0, "make_homogeneous: n must be positive");
+  check(per_host > 0, "make_homogeneous: per_host must be positive");
+  const int host_count = (n + per_host - 1) / per_host;
+  std::vector<HostSpec> hosts;
+  for (int h = 0; h < host_count; ++h) hosts.push_back(make_host(h, 100.0, 96.0));
+  std::vector<DeviceSpec> devices;
+  for (int i = 0; i < n; ++i) devices.push_back(make_device(i, model, i / per_host));
+  return ClusterSpec(std::move(hosts), std::move(devices), 100.0);
+}
+
+ClusterSpec make_fig3_testbed() {
+  std::vector<HostSpec> hosts = {
+      make_host(0, 100.0, 320.0),
+      make_host(1, 50.0, 96.0),
+  };
+  std::vector<DeviceSpec> devices = {
+      make_device(0, GpuModel::kV100, 0),
+      make_device(1, GpuModel::kV100, 0),
+      make_device(2, GpuModel::kGtx1080Ti, 1),
+      make_device(3, GpuModel::kGtx1080Ti, 1),
+  };
+  return ClusterSpec(std::move(hosts), std::move(devices), 100.0);
+}
+
+ClusterSpec make_motivation_cluster() {
+  // Fig. 1/2: GPU0 half the compute power of GPU1/GPU2, one GPU per machine
+  // (gradient aggregation crosses the network, as in the figures' timelines
+  // where communication is a first-order cost).
+  std::vector<HostSpec> hosts = {
+      make_host(0, 50.0, 96.0),
+      make_host(1, 50.0, 96.0),
+      make_host(2, 50.0, 96.0),
+  };
+  std::vector<DeviceSpec> devices = {
+      make_device(0, GpuModel::kGtx1080Ti, 0),
+      make_device(1, GpuModel::kV100, 1),
+      make_device(2, GpuModel::kV100, 2),
+  };
+  return ClusterSpec(std::move(hosts), std::move(devices), 100.0);
+}
+
+ClusterSpec scale_network_bandwidth(const ClusterSpec& base, double factor) {
+  check(factor > 0.0, "scale_network_bandwidth: factor must be positive");
+  std::vector<HostSpec> hosts = base.hosts();
+  for (auto& h : hosts) h.nic_gbps *= factor;
+  return ClusterSpec(std::move(hosts), base.devices(), base.switch_gbps() * factor);
+}
+
+}  // namespace heterog::cluster

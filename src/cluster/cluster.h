@@ -1,0 +1,120 @@
+// Heterogeneous cluster description.
+//
+// Mirrors the paper's testbed (Sec. 6.1): five machines — one with 4x Tesla
+// V100 (16 GB) and a 100 GbE RDMA NIC, two with 2x GTX 1080 Ti (11 GB) and
+// 50 GbE NICs, two with 2x Tesla P100 (12 GB) and 50 GbE NICs — joined by a
+// 100 Gbps switch. The scheduler treats every ordered GPU pair as a "link
+// device"; bandwidth of a link is the min of the path segments it crosses
+// (intra-host fabric, either NIC, the switch).
+//
+// Units: time in milliseconds, bandwidth in bytes/ms, memory in bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heterog::cluster {
+
+using DeviceId = int32_t;
+
+enum class GpuModel : uint8_t { kV100, kGtx1080Ti, kP100 };
+
+const char* gpu_model_name(GpuModel model);
+
+/// Peak effective compute of a GPU model in GFLOPs per millisecond.
+/// Calibrated so that V100 : 1080Ti effective speed is roughly 2 : 1 as
+/// measured in the paper (Sec. 2.3), with per-op-type modulation applied by
+/// the synthetic hardware model in src/profiler.
+double base_gflops_per_ms(GpuModel model);
+
+/// Device memory capacity in bytes.
+int64_t memory_capacity_bytes(GpuModel model);
+
+struct HostSpec {
+  int id = 0;
+  std::string name;
+  double nic_gbps = 50.0;    // NIC line rate
+  double intra_gbps = 96.0;  // intra-host GPU-GPU fabric (PCIe / NVLink)
+};
+
+struct DeviceSpec {
+  DeviceId id = 0;
+  std::string name;
+  GpuModel model = GpuModel::kGtx1080Ti;
+  int host = 0;
+  double gflops_per_ms = 0.0;
+  int64_t memory_bytes = 0;
+};
+
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
+              double switch_gbps);
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  const DeviceSpec& device(DeviceId id) const;
+  const HostSpec& host(int id) const;
+  const std::vector<DeviceSpec>& devices() const { return devices_; }
+  const std::vector<HostSpec>& hosts() const { return hosts_; }
+  double switch_gbps() const { return switch_gbps_; }
+
+  bool same_host(DeviceId a, DeviceId b) const;
+  std::vector<DeviceId> devices_on_host(int host) const;
+
+  /// Effective bandwidth of the (a -> b) link in bytes per millisecond.
+  double link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const;
+
+  /// One-way latency of the (a -> b) link in milliseconds.
+  double link_latency_ms(DeviceId a, DeviceId b) const;
+
+  /// Compute power of `id` relative to the slowest device (>= 1.0). Used for
+  /// the paper's proportional ("CP") replica allocation.
+  double relative_power(DeviceId id) const;
+
+  /// Sum of relative powers; proportional share of device d is
+  /// relative_power(d) / total_relative_power().
+  double total_relative_power() const;
+
+  /// Minimum link bandwidth over all ordered device pairs (ring AllReduce
+  /// bottleneck term).
+  double min_link_bandwidth_bytes_per_ms() const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<HostSpec> hosts_;
+  std::vector<DeviceSpec> devices_;
+  double switch_gbps_ = 100.0;
+};
+
+/// Convenience: converts Gbps (network convention, bits) to bytes per ms.
+double gbps_to_bytes_per_ms(double gbps);
+
+/// Builders -------------------------------------------------------------
+
+/// The paper's 8-GPU configuration: G0,G1 = V100; G2..G5 = 1080Ti; G6,G7 =
+/// P100 (Table 2 header).
+ClusterSpec make_paper_testbed_8gpu();
+
+/// The paper's full 12-GPU testbed: 4x V100 + 4x 1080Ti + 4x P100.
+ClusterSpec make_paper_testbed_12gpu();
+
+/// A homogeneous n-GPU cluster of the given model, `per_host` GPUs per host.
+ClusterSpec make_homogeneous(int n, GpuModel model, int per_host = 4);
+
+/// The 4-GPU cluster used in Fig. 3(a): 2x V100 + 2x 1080Ti.
+ClusterSpec make_fig3_testbed();
+
+/// A 3-GPU cluster with compute power ratio 1:2:2, one GPU per host
+/// (Fig. 1 / 2).
+ClusterSpec make_motivation_cluster();
+
+/// Copy of `base` with every NIC and switch bandwidth scaled by `factor`
+/// (intra-host fabric unchanged). Used for bandwidth-sensitivity studies —
+/// the paper notes that strategies must change when bandwidth changes.
+ClusterSpec scale_network_bandwidth(const ClusterSpec& base, double factor);
+
+}  // namespace heterog::cluster

@@ -1,0 +1,14 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace heterog {
+
+void check_failed(std::string_view message, std::source_location loc) {
+  std::ostringstream os;
+  os << "check failed at " << loc.file_name() << ":" << loc.line() << " ("
+     << loc.function_name() << "): " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace heterog

@@ -1,0 +1,41 @@
+// Runtime invariant checks for the HeteroG library.
+//
+// All preconditions and internal invariants are enforced through check() /
+// check_msg(); violations throw heterog::CheckError carrying the source
+// location, so library misuse surfaces as a catchable exception rather than
+// an abort. Hot paths may use check() freely: the predicates are trivially
+// cheap compared to graph compilation / simulation work.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace heterog {
+
+/// Exception thrown when a library invariant or precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(
+    std::string_view message,
+    std::source_location loc = std::source_location::current());
+
+/// Throws CheckError when `condition` is false.
+inline void check(bool condition,
+                  std::string_view message = "invariant violated",
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) check_failed(message, loc);
+}
+
+/// check() with lazily-built message; `fn` is only invoked on failure.
+template <typename MessageFn>
+void check_lazy(bool condition, MessageFn&& fn,
+                std::source_location loc = std::source_location::current()) {
+  if (!condition) check_failed(fn(), loc);
+}
+
+}  // namespace heterog

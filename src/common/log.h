@@ -1,0 +1,45 @@
+// Minimal leveled logger. The library logs sparingly (search progress,
+// plan summaries); benches and examples raise the level for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace heterog {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+
+inline internal::LogLine log_debug() { return internal::LogLine(LogLevel::kDebug); }
+inline internal::LogLine log_info() { return internal::LogLine(LogLevel::kInfo); }
+inline internal::LogLine log_warn() { return internal::LogLine(LogLevel::kWarn); }
+inline internal::LogLine log_error() { return internal::LogLine(LogLevel::kError); }
+
+}  // namespace heterog

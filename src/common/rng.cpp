@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace heterog {
+
+int Rng::sample_weighted(const std::vector<double>& weights) {
+  check(!weights.empty(), "sample_weighted: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    check(w >= 0.0, "sample_weighted: negative weight");
+    total += w;
+  }
+  check(total > 0.0, "sample_weighted: all-zero weights");
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::sample_categorical(const std::vector<double>& probabilities) {
+  return sample_weighted(probabilities);
+}
+
+}  // namespace heterog

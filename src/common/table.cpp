@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace heterog {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  check(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  check(cells.size() == header_.size(), "TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << render_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) os << render_row(row);
+  return os.str();
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_bytes(long long bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(value < 10 ? 2 : 1) << value << " " << units[unit];
+  return os.str();
+}
+
+}  // namespace heterog

@@ -1,0 +1,45 @@
+// AllReduce time estimation (paper Sec. 3.4, Gradient Aggregation):
+// "ring-based AllReduce, or a hierarchical AllReduce structure that
+//  aggregates gradients among GPUs on the same physical server first and
+//  then across servers. We always use the better structure among the two by
+//  estimating the communication time of the two based on the given network
+//  topology."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "profiler/cost_provider.h"
+
+namespace heterog::compile {
+
+enum class AllReduceStructure { kRing, kHierarchical };
+
+struct AllReduceEstimate {
+  double time_ms = 0.0;
+  AllReduceStructure structure = AllReduceStructure::kRing;
+};
+
+/// Ring AllReduce over `devices` (>= 2, ring in the given order): 2(R-1)
+/// phases, each moving bytes/R per link; phase time is the slowest ring link.
+double ring_allreduce_ms(int64_t bytes, const std::vector<cluster::DeviceId>& devices,
+                         const profiler::CostProvider& costs);
+
+/// Hierarchical: intra-host ring reduce, inter-host ring over host chiefs
+/// with the full payload, intra-host broadcast.
+double hierarchical_allreduce_ms(int64_t bytes,
+                                 const std::vector<cluster::DeviceId>& devices,
+                                 const profiler::CostProvider& costs);
+
+/// Fixed per-collective launch/rendezvous overhead added by
+/// estimate_allreduce (NCCL kernels synchronise all participants).
+inline constexpr double kCollectiveLaunchOverheadMs = 1.0;
+
+/// The better of the two structures for this payload and device set, plus
+/// the launch overhead.
+AllReduceEstimate estimate_allreduce(int64_t bytes,
+                                     const std::vector<cluster::DeviceId>& devices,
+                                     const profiler::CostProvider& costs);
+
+}  // namespace heterog::compile

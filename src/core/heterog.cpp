@@ -1,0 +1,93 @@
+#include "core/heterog.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace heterog {
+
+RunStats DistRunner::run(int steps) const {
+  check(steps >= 0, "DistRunner::run: negative steps");
+  RunStats stats;
+  stats.steps = steps;
+  stats.per_iteration_ms = deployment_.per_iteration_ms;
+  stats.total_ms = deployment_.per_iteration_ms * steps;
+  stats.computation_ms = deployment_.computation_ms;
+  stats.communication_ms = deployment_.communication_ms;
+  stats.oom = deployment_.oom;
+  return stats;
+}
+
+strategy::StrategyBreakdown DistRunner::breakdown() const {
+  return strategy::summarize_strategy(training_graph_, grouping_, strategy_,
+                                      cluster_.device_count());
+}
+
+DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
+                      const cluster::ClusterSpec& device_info,
+                      const HeteroGConfig& config) {
+  check(static_cast<bool>(model_func), "get_runner: model_func is empty");
+
+  DistRunner runner;
+  runner.cluster_ = device_info;
+  runner.use_order_scheduling_ = config.use_order_scheduling;
+
+  // Graph Analyzer: single-GPU forward graph -> full training DAG.
+  const graph::GraphDef forward = model_func();
+  runner.training_graph_ = graph::build_training_graph(forward);
+
+  // Profiler: regression cost models over the (synthetic) hardware.
+  runner.hardware_ = std::make_shared<profiler::HardwareModel>(runner.cluster_);
+  profiler::Profiler prof(*runner.hardware_, config.profiler_seed);
+  runner.cost_model_ = prof.profile(runner.training_graph_);
+
+  // Strategy Maker.
+  const agent::EncodedGraph encoded = agent::encode_graph(
+      runner.training_graph_, *runner.cost_model_, config.agent.max_groups);
+  runner.grouping_ = encoded.grouping;
+
+  rl::Trainer trainer(*runner.cost_model_, config.train);
+  if (config.search_with_rl && config.train.episodes > 0) {
+    agent::PolicyNetwork policy(runner.cluster_.device_count(), config.agent);
+    runner.search_ = trainer.search(policy, encoded);
+  } else {
+    // Heuristic-only mode: evaluate warm-start candidates and keep the best.
+    rl::SearchResult best;
+    for (const auto& candidate :
+         trainer.heuristic_candidates(runner.training_graph_, runner.grouping_)) {
+      const auto eval =
+          trainer.evaluate(runner.training_graph_, runner.grouping_, candidate);
+      const bool better =
+          !eval.oom && (!best.best_feasible || eval.time_ms < best.best_time_ms);
+      if (better || best.best_strategy.group_actions.empty()) {
+        best.best_strategy = candidate;
+        best.best_time_ms = eval.time_ms;
+        best.best_feasible = !eval.oom;
+      }
+    }
+    runner.search_ = std::move(best);
+  }
+  check(!runner.search_.best_strategy.group_actions.empty(),
+        "get_runner: search produced no strategy");
+  runner.strategy_ = runner.search_.best_strategy;
+
+  // Graph Compiler against the ground-truth hardware (deployment).
+  profiler::GroundTruthCosts ground_truth(*runner.hardware_);
+  compile::GraphCompiler deploy_compiler(ground_truth);
+  runner.compiled_ = std::make_shared<compile::CompileResult>(
+      deploy_compiler.compile(runner.training_graph_, runner.grouping_, runner.strategy_));
+
+  sim::PlanEvalOptions options;
+  options.policy = config.use_order_scheduling ? sched::OrderPolicy::kRankPriority
+                                               : sched::OrderPolicy::kFifo;
+  runner.deployment_ = sim::evaluate_plan(ground_truth, runner.training_graph_,
+                                          runner.grouping_, runner.strategy_, options);
+  runner.per_iteration_ms_ = runner.deployment_.per_iteration_ms;
+  runner.feasible_ = !runner.deployment_.oom;
+
+  log_info() << "get_runner(" << forward.name() << "): deployed plan runs "
+             << runner.per_iteration_ms_ << " ms/iteration (feasible="
+             << runner.feasible_ << ")";
+  return runner;
+}
+
+}  // namespace heterog

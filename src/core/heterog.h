@@ -1,0 +1,98 @@
+// HeteroG public API — the C++ analogue of the paper's Fig. 5 programming
+// interface.
+//
+//   auto runner = heterog::get_runner(
+//       [] { return my_forward_graph(batch); },   // model_func (single-GPU)
+//       cluster::make_paper_testbed_8gpu(),       // device_info
+//       heterog::HeteroGConfig{});                // optional config
+//   auto stats = runner.run(steps);
+//
+// get_runner performs the full pipeline: Graph Analyzer (training-graph
+// expansion), Profiler (regression cost models over the synthetic hardware),
+// Strategy Maker (GNN agent + REINFORCE search + order scheduling) and Graph
+// Compiler, returning a DistRunner holding the deployed plan. run() executes
+// the plan on the simulated cluster (the execution-engine substitute; see
+// DESIGN.md §2) and reports per-iteration statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "agent/policy.h"
+#include "baselines/baselines.h"
+#include "cluster/cluster.h"
+#include "compile/compiler.h"
+#include "graph/training.h"
+#include "profiler/profiler.h"
+#include "rl/trainer.h"
+#include "sim/plan_eval.h"
+#include "sim/simulator.h"
+#include "strategy/strategy.h"
+
+namespace heterog {
+
+struct HeteroGConfig {
+  agent::AgentConfig agent;
+  rl::TrainConfig train;
+  /// Seed for the synthetic profiling noise.
+  uint64_t profiler_seed = 42;
+  /// Use HeteroG's execution-order scheduling (vs TF FIFO) — the Fig. 5
+  /// heterog_config knob evaluated in Table 7.
+  bool use_order_scheduling = true;
+  /// Skip RL and deploy the best heuristic candidate only (fast mode for
+  /// examples and smoke tests).
+  bool search_with_rl = true;
+};
+
+struct RunStats {
+  int steps = 0;
+  double per_iteration_ms = 0.0;
+  double total_ms = 0.0;
+  double computation_ms = 0.0;
+  double communication_ms = 0.0;
+  bool oom = false;
+};
+
+/// A deployed distributed training model (Fig. 5's dist_runner).
+class DistRunner {
+ public:
+  /// Executes `steps` training iterations on the (simulated) cluster.
+  RunStats run(int steps) const;
+
+  double per_iteration_ms() const { return per_iteration_ms_; }
+  bool feasible() const { return feasible_; }
+
+  const strategy::StrategyMap& strategy() const { return strategy_; }
+  const strategy::Grouping& grouping() const { return grouping_; }
+  const graph::GraphDef& training_graph() const { return training_graph_; }
+  const compile::DistGraph& dist_graph() const { return compiled_->graph; }
+  const rl::SearchResult& search_result() const { return search_; }
+
+  /// Table 2/3-style per-strategy op fractions of the deployed plan.
+  strategy::StrategyBreakdown breakdown() const;
+
+ private:
+  friend DistRunner get_runner(const std::function<graph::GraphDef()>&,
+                               const cluster::ClusterSpec&, const HeteroGConfig&);
+
+  cluster::ClusterSpec cluster_;
+  std::shared_ptr<profiler::HardwareModel> hardware_;
+  std::shared_ptr<const profiler::CostModel> cost_model_;
+  graph::GraphDef training_graph_;
+  strategy::Grouping grouping_;
+  strategy::StrategyMap strategy_;
+  std::shared_ptr<compile::CompileResult> compiled_;  // against ground truth
+  rl::SearchResult search_;
+  sim::PlanEvaluation deployment_;
+  double per_iteration_ms_ = 0.0;
+  bool feasible_ = false;
+  bool use_order_scheduling_ = true;
+};
+
+/// The paper's get_runner: converts a single-GPU model into an optimised
+/// distributed deployment for the given device set.
+DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
+                      const cluster::ClusterSpec& device_info,
+                      const HeteroGConfig& config = HeteroGConfig());
+
+}  // namespace heterog

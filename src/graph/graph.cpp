@@ -1,0 +1,160 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace heterog::graph {
+
+OpId GraphDef::add_op(OpDef op) {
+  op.id = static_cast<OpId>(ops_.size());
+  ops_.push_back(std::move(op));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return ops_.back().id;
+}
+
+void GraphDef::add_edge(OpId producer, OpId consumer) {
+  check(producer >= 0 && producer < op_count(), "add_edge: bad producer");
+  check(consumer >= 0 && consumer < op_count(), "add_edge: bad consumer");
+  check(producer != consumer, "add_edge: self loop");
+  auto& out = succ_[static_cast<size_t>(producer)];
+  if (std::find(out.begin(), out.end(), consumer) != out.end()) return;
+  out.push_back(consumer);
+  pred_[static_cast<size_t>(consumer)].push_back(producer);
+  ++edge_count_;
+}
+
+const OpDef& GraphDef::op(OpId id) const {
+  check(id >= 0 && id < op_count(), "op: bad id");
+  return ops_[static_cast<size_t>(id)];
+}
+
+OpDef& GraphDef::mutable_op(OpId id) {
+  check(id >= 0 && id < op_count(), "mutable_op: bad id");
+  return ops_[static_cast<size_t>(id)];
+}
+
+const std::vector<OpId>& GraphDef::successors(OpId id) const {
+  check(id >= 0 && id < op_count(), "successors: bad id");
+  return succ_[static_cast<size_t>(id)];
+}
+
+const std::vector<OpId>& GraphDef::predecessors(OpId id) const {
+  check(id >= 0 && id < op_count(), "predecessors: bad id");
+  return pred_[static_cast<size_t>(id)];
+}
+
+bool GraphDef::has_edge(OpId producer, OpId consumer) const {
+  const auto& out = successors(producer);
+  return std::find(out.begin(), out.end(), consumer) != out.end();
+}
+
+std::vector<OpId> GraphDef::topological_order() const {
+  std::vector<int> in_degree(static_cast<size_t>(op_count()), 0);
+  for (OpId id = 0; id < op_count(); ++id) {
+    in_degree[static_cast<size_t>(id)] = static_cast<int>(pred_[static_cast<size_t>(id)].size());
+  }
+  std::deque<OpId> ready;
+  for (OpId id = 0; id < op_count(); ++id) {
+    if (in_degree[static_cast<size_t>(id)] == 0) ready.push_back(id);
+  }
+  std::vector<OpId> order;
+  order.reserve(static_cast<size_t>(op_count()));
+  while (!ready.empty()) {
+    OpId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (OpId s : succ_[static_cast<size_t>(id)]) {
+      if (--in_degree[static_cast<size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  check(static_cast<int>(order.size()) == op_count(), "topological_order: graph has a cycle");
+  return order;
+}
+
+bool GraphDef::validate(std::string* error) const {
+  for (OpId id = 0; id < op_count(); ++id) {
+    const OpDef& o = op(id);
+    if (o.id != id) {
+      if (error) *error = "op id mismatch at index " + std::to_string(id);
+      return false;
+    }
+    if (o.flops_per_sample < 0 || o.flops_fixed < 0 || o.param_bytes < 0 ||
+        o.out_bytes_per_sample < 0 || o.out_bytes_fixed < 0) {
+      if (error) *error = "negative cost on op " + o.name;
+      return false;
+    }
+  }
+  // Cycle detection via Kahn count.
+  std::vector<int> in_degree(static_cast<size_t>(op_count()), 0);
+  for (OpId id = 0; id < op_count(); ++id) {
+    in_degree[static_cast<size_t>(id)] = static_cast<int>(pred_[static_cast<size_t>(id)].size());
+  }
+  std::deque<OpId> ready;
+  for (OpId id = 0; id < op_count(); ++id) {
+    if (in_degree[static_cast<size_t>(id)] == 0) ready.push_back(id);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    OpId id = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (OpId s : succ_[static_cast<size_t>(id)]) {
+      if (--in_degree[static_cast<size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (visited != op_count()) {
+    if (error) *error = "graph has a cycle";
+    return false;
+  }
+  return true;
+}
+
+int64_t GraphDef::total_param_bytes() const {
+  int64_t total = 0;
+  for (const OpDef& o : ops_) total += o.param_bytes;
+  return total;
+}
+
+double GraphDef::total_flops() const {
+  double total = 0.0;
+  for (const OpDef& o : ops_) total += o.flops(global_batch_);
+  return total;
+}
+
+std::vector<GraphDef::NearestSource> GraphDef::nearest_sources(
+    const std::vector<OpId>& sources) const {
+  std::vector<NearestSource> result(static_cast<size_t>(op_count()));
+  std::deque<OpId> frontier;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    OpId s = sources[i];
+    check(s >= 0 && s < op_count(), "nearest_sources: bad source");
+    auto& ns = result[static_cast<size_t>(s)];
+    if (ns.source_index == -1) {
+      ns.source_index = static_cast<int>(i);
+      ns.hops = 0;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    OpId id = frontier.front();
+    frontier.pop_front();
+    const auto& here = result[static_cast<size_t>(id)];
+    auto relax = [&](OpId nb) {
+      auto& entry = result[static_cast<size_t>(nb)];
+      if (entry.source_index == -1) {
+        entry.source_index = here.source_index;
+        entry.hops = here.hops + 1;
+        frontier.push_back(nb);
+      }
+    };
+    for (OpId s : succ_[static_cast<size_t>(id)]) relax(s);
+    for (OpId p : pred_[static_cast<size_t>(id)]) relax(p);
+  }
+  return result;
+}
+
+}  // namespace heterog::graph

@@ -1,0 +1,132 @@
+#include "graph/pipeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace heterog::graph {
+
+PipelineResult pipeline_microbatches(const GraphDef& training_graph, int micro_batches) {
+  check(micro_batches >= 1, "pipeline_microbatches: need at least one micro-batch");
+  const int n = training_graph.op_count();
+  const double inv_m = 1.0 / micro_batches;
+
+  PipelineResult result;
+  result.micro_batches = micro_batches;
+  result.graph = GraphDef(training_graph.name() + "/mb" + std::to_string(micro_batches),
+                          training_graph.global_batch());
+  GraphDef& g = result.graph;
+
+  // new id of op `i` in micro-batch copy `m` (apply ops exist once, in copy 0;
+  // kInvalidOp marks "not instantiated in this copy").
+  std::vector<std::vector<OpId>> copy_id(
+      static_cast<size_t>(micro_batches), std::vector<OpId>(static_cast<size_t>(n), kInvalidOp));
+
+  // 1. Forward/backward copies, one per micro-batch. Apply ops are deferred.
+  for (int m = 0; m < micro_batches; ++m) {
+    for (const OpDef& op : training_graph.ops()) {
+      if (op.role == OpRole::kApply) continue;
+      OpDef copy = op;
+      copy.id = kInvalidOp;
+      if (m > 0) copy.name += "~mb" + std::to_string(m);
+      // Each copy processes 1/m of the batch.
+      copy.flops_per_sample *= inv_m;
+      copy.out_bytes_per_sample =
+          static_cast<int64_t>(static_cast<double>(copy.out_bytes_per_sample) * inv_m);
+      // Parameters are shared: only copy 0 carries the variable residency.
+      if (m > 0) copy.param_bytes = 0;
+      // Per-micro gradient producers become plain backward ops; the
+      // accumulation op takes over the grad_of marker below.
+      const bool is_grad = op.grad_of != kInvalidOp;
+      copy.grad_of = kInvalidOp;
+      copy.mirror_of = kInvalidOp;  // re-pointed after ids are known
+      (void)is_grad;
+      const OpId nid = g.add_op(std::move(copy));
+      copy_id[static_cast<size_t>(m)][static_cast<size_t>(op.id)] = nid;
+      result.origin.push_back(op.id);
+    }
+  }
+  // mirror_of re-pointing (to the same micro-batch's copy).
+  for (int m = 0; m < micro_batches; ++m) {
+    for (const OpDef& op : training_graph.ops()) {
+      if (op.role == OpRole::kApply) continue;
+      if (op.mirror_of == kInvalidOp) continue;
+      const OpId nid = copy_id[static_cast<size_t>(m)][static_cast<size_t>(op.id)];
+      g.mutable_op(nid).mirror_of =
+          copy_id[static_cast<size_t>(m)][static_cast<size_t>(op.mirror_of)];
+    }
+  }
+
+  // 2. Intra-copy edges (skipping edges into apply ops).
+  for (int m = 0; m < micro_batches; ++m) {
+    for (OpId id = 0; id < n; ++id) {
+      if (training_graph.op(id).role == OpRole::kApply) continue;
+      for (OpId s : training_graph.successors(id)) {
+        if (training_graph.op(s).role == OpRole::kApply) continue;
+        g.add_edge(copy_id[static_cast<size_t>(m)][static_cast<size_t>(id)],
+                   copy_id[static_cast<size_t>(m)][static_cast<size_t>(s)]);
+      }
+    }
+  }
+
+  // 3. Gradient accumulation + apply per parameter op.
+  for (OpId id = 0; id < n; ++id) {
+    const OpDef& op = training_graph.op(id);
+    if (op.role != OpRole::kApply) continue;
+    check(op.mirror_of != kInvalidOp, "pipeline: apply without mirror");
+    const OpId fw = op.mirror_of;
+    // Its gradient producer in the base graph is the unique grad_of == fw op.
+    OpId grad = kInvalidOp;
+    for (OpId p : training_graph.predecessors(id)) {
+      if (training_graph.op(p).grad_of == fw) grad = p;
+    }
+    check(grad != kInvalidOp, "pipeline: apply without gradient producer");
+
+    OpId grad_source;
+    if (micro_batches == 1) {
+      grad_source = copy_id[0][static_cast<size_t>(grad)];
+      g.mutable_op(grad_source).grad_of = copy_id[0][static_cast<size_t>(fw)];
+    } else {
+      // Chained (in-place style) accumulation: accum_k = accum_{k-1} +
+      // grad_k, so each micro-batch's partial gradient is freed as soon as
+      // it is folded in — holding all m partials until one final sum would
+      // inflate peak memory by m x param bytes.
+      OpId running = copy_id[0][static_cast<size_t>(grad)];
+      for (int m = 1; m < micro_batches; ++m) {
+        OpDef accum;
+        accum.name = training_graph.op(fw).name + "/grad_accum" +
+                     (m + 1 < micro_batches ? std::to_string(m) : std::string());
+        accum.kind = OpKind::kAdd;
+        accum.role = OpRole::kBackward;
+        accum.flops_fixed = static_cast<double>(training_graph.op(fw).param_bytes) / 4.0;
+        accum.out_bytes_fixed = training_graph.op(fw).param_bytes;
+        accum.batch_divisible = training_graph.op(grad).batch_divisible;
+        if (m + 1 == micro_batches) {
+          // The final accumulator is the gradient the GA pass aggregates.
+          accum.grad_of = copy_id[0][static_cast<size_t>(fw)];
+          accum.mirror_of = copy_id[0][static_cast<size_t>(fw)];
+        }
+        const OpId accum_id = g.add_op(std::move(accum));
+        result.origin.push_back(grad);
+        g.add_edge(running, accum_id);
+        g.add_edge(copy_id[static_cast<size_t>(m)][static_cast<size_t>(grad)], accum_id);
+        running = accum_id;
+      }
+      grad_source = running;
+    }
+
+    OpDef apply = op;
+    apply.id = kInvalidOp;
+    apply.mirror_of = copy_id[0][static_cast<size_t>(fw)];
+    const OpId apply_id = g.add_op(std::move(apply));
+    result.origin.push_back(id);
+    g.add_edge(grad_source, apply_id);
+  }
+
+  check(g.validate(), "pipeline_microbatches produced an invalid graph");
+  check(static_cast<int>(result.origin.size()) == g.op_count(),
+        "pipeline_microbatches: origin map incomplete");
+  return result;
+}
+
+}  // namespace heterog::graph

@@ -1,0 +1,43 @@
+// Micro-batch pipelining (the integration sketched in the paper's Sec. 7:
+// "split a mini-batch into micro-batches, carry out pipelined training
+// across operations deployed on different devices").
+//
+// pipeline_microbatches() rewrites a training graph into m micro-batch
+// copies of the forward/backward portion, each processing 1/m of the global
+// batch, with per-parameter gradient accumulation feeding a single apply:
+//
+//   fw_i / bw_i copies (i = 0..m-1, costs scaled by 1/m)
+//   grad_i(o)  ->  accumulate(o)  ->  apply(o)
+//
+// Parameters stay shared: only the first micro-batch's copy of a parameter
+// op carries param_bytes (variable residency) and the accumulation op takes
+// over the `grad_of` marker, so the Graph Compiler's gradient-aggregation
+// pass (PS / AllReduce) applies unchanged to the accumulated gradients —
+// synchronous-SGD semantics are preserved exactly (gradients of the full
+// mini-batch are summed before the update), unlike asynchronous pipeline
+// schemes.
+//
+// Micro-batches carry no artificial cross-copy dependencies; the simulator's
+// resource model serialises same-device work, so stages on different devices
+// pipeline naturally — which is precisely the benefit for the mostly-MP
+// plans HeteroG produces for large models.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace heterog::graph {
+
+struct PipelineResult {
+  GraphDef graph;
+  /// For every op of `graph`, the op of the base training graph it realises.
+  std::vector<OpId> origin;
+  int micro_batches = 1;
+};
+
+/// Requires a training graph (build_training_graph output) and m >= 1.
+/// m == 1 returns a structural copy.
+PipelineResult pipeline_microbatches(const GraphDef& training_graph, int micro_batches);
+
+}  // namespace heterog::graph

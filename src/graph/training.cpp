@@ -1,0 +1,215 @@
+#include "graph/training.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace heterog::graph {
+
+namespace {
+
+/// Sums the output bytes (per-sample, fixed) of the predecessors of `id`,
+/// used to size input-gradient tensors.
+struct BytesPair {
+  int64_t per_sample = 0;
+  int64_t fixed = 0;
+};
+
+BytesPair input_bytes(const GraphDef& g, OpId id) {
+  BytesPair total;
+  const bool aliased = g.op(id).kind == OpKind::kAdd;
+  for (OpId p : g.predecessors(id)) {
+    if (aliased) {
+      // The gradient of an elementwise Add is the incoming gradient itself,
+      // aliased to every input — one tensor, not one per input.
+      total.per_sample = std::max(total.per_sample, g.op(p).out_bytes_per_sample);
+      total.fixed = std::max(total.fixed, g.op(p).out_bytes_fixed);
+    } else {
+      total.per_sample += g.op(p).out_bytes_per_sample;
+      total.fixed += g.op(p).out_bytes_fixed;
+    }
+  }
+  return total;
+}
+
+OpKind input_grad_kind(OpKind forward_kind) {
+  switch (forward_kind) {
+    case OpKind::kConv2D:
+    case OpKind::kDepthwiseConv2D:
+      return OpKind::kConv2DBpInput;
+    case OpKind::kMatMul:
+    case OpKind::kConv1D:
+    case OpKind::kAttentionScore:
+    case OpKind::kAttentionContext:
+      return OpKind::kMatMul;  // gradients of dense math are dense math
+    default:
+      return OpKind::kGenericBackward;
+  }
+}
+
+OpKind param_grad_kind(OpKind forward_kind) {
+  switch (forward_kind) {
+    case OpKind::kConv2D:
+    case OpKind::kDepthwiseConv2D:
+      return OpKind::kConv2DBpFilter;
+    case OpKind::kMatMul:
+    case OpKind::kConv1D:
+      return OpKind::kMatMul;
+    default:
+      return OpKind::kGenericBackward;
+  }
+}
+
+}  // namespace
+
+GraphDef build_training_graph(const GraphDef& forward) {
+  std::string error;
+  check_lazy(forward.validate(&error), [&] { return "build_training_graph: " + error; });
+  for (const OpDef& o : forward.ops()) {
+    check(o.role == OpRole::kForward, "build_training_graph: input has non-forward ops");
+  }
+
+  GraphDef g(forward.name(), forward.global_batch());
+
+  // 1. Copy forward ops and edges (ids are preserved because we copy in id
+  //    order into an empty graph).
+  for (const OpDef& o : forward.ops()) {
+    OpDef copy = o;
+    copy.id = kInvalidOp;
+    OpId nid = g.add_op(std::move(copy));
+    check(nid == o.id, "forward id not preserved");
+  }
+  for (OpId id = 0; id < forward.op_count(); ++id) {
+    for (OpId s : forward.successors(id)) g.add_edge(id, s);
+  }
+
+  // 2. Backward ops, generated in reverse topological order so that bp(succ)
+  //    already exists when bp(op) is created.
+  std::vector<OpId> order = forward.topological_order();
+  std::vector<OpId> input_grad_op(static_cast<size_t>(forward.op_count()), kInvalidOp);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpId fid = *it;
+    const OpDef& fwd = forward.op(fid);
+    const bool has_params = fwd.param_bytes > 0;
+    const double bw_total_flops_ps = 2.0 * fwd.flops_per_sample;
+    const double bw_total_flops_fixed = 2.0 * fwd.flops_fixed;
+    const double split = has_params ? 0.5 : 1.0;
+
+    // 2a. Input-gradient op.
+    OpDef bp;
+    bp.name = fwd.name + "/grad_input";
+    bp.kind = input_grad_kind(fwd.kind);
+    bp.role = OpRole::kBackward;
+    bp.flops_per_sample = bw_total_flops_ps * split;
+    bp.flops_fixed = bw_total_flops_fixed * split;
+    const BytesPair in_bytes = input_bytes(forward, fid);
+    bp.out_bytes_per_sample = in_bytes.per_sample;
+    bp.out_bytes_fixed = in_bytes.fixed;
+    bp.batch_divisible = fwd.batch_divisible;
+    bp.mirror_of = fid;
+    const OpId bp_id = g.add_op(std::move(bp));
+    input_grad_op[static_cast<size_t>(fid)] = bp_id;
+
+    // Dependencies: forward activation + gradients from forward successors.
+    g.add_edge(fid, bp_id);
+    for (OpId s : forward.successors(fid)) {
+      const OpId sg = input_grad_op[static_cast<size_t>(s)];
+      check(sg != kInvalidOp, "reverse order violated");
+      g.add_edge(sg, bp_id);
+    }
+
+    // 2b. Parameter-gradient + apply ops.
+    if (has_params) {
+      OpDef pg;
+      pg.name = fwd.name + "/grad_param";
+      pg.kind = param_grad_kind(fwd.kind);
+      pg.role = OpRole::kBackward;
+      pg.flops_per_sample = bw_total_flops_ps * (1.0 - split);
+      pg.flops_fixed = bw_total_flops_fixed * (1.0 - split);
+      pg.out_bytes_per_sample = 0;
+      pg.out_bytes_fixed = fwd.param_bytes;  // gradient is parameter-shaped
+      pg.batch_divisible = fwd.batch_divisible;
+      pg.grad_of = fid;
+      pg.mirror_of = fid;
+      const OpId pg_id = g.add_op(std::move(pg));
+      g.add_edge(fid, pg_id);
+      for (OpId s : forward.successors(fid)) {
+        g.add_edge(input_grad_op[static_cast<size_t>(s)], pg_id);
+      }
+
+      OpDef apply;
+      apply.name = fwd.name + "/apply";
+      apply.kind = OpKind::kApplyGradient;
+      apply.role = OpRole::kApply;
+      // SGD-style update touches each parameter a constant number of times.
+      apply.flops_per_sample = 0.0;
+      apply.flops_fixed = static_cast<double>(fwd.param_bytes) / 4.0 * 2.0;
+      apply.out_bytes_per_sample = 0;
+      apply.out_bytes_fixed = 0;
+      apply.batch_divisible = false;
+      apply.mirror_of = fid;
+      const OpId apply_id = g.add_op(std::move(apply));
+      g.add_edge(pg_id, apply_id);
+    }
+  }
+
+  check(g.validate(), "build_training_graph produced an invalid graph");
+  return g;
+}
+
+GraphDef unroll_iterations(const GraphDef& training_graph, int iterations) {
+  check(iterations >= 1, "unroll_iterations: need at least one iteration");
+  const int n = training_graph.op_count();
+  GraphDef g(training_graph.name() + "/x" + std::to_string(iterations),
+             training_graph.global_batch());
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (const OpDef& op : training_graph.ops()) {
+      OpDef copy = op;
+      copy.id = kInvalidOp;
+      if (iter > 0) copy.name += "#" + std::to_string(iter);
+      if (copy.grad_of != kInvalidOp) copy.grad_of += iter * n;
+      if (copy.mirror_of != kInvalidOp) copy.mirror_of += iter * n;
+      const OpId nid = g.add_op(std::move(copy));
+      check(nid == iter * n + op.id, "unroll_iterations: id scheme violated");
+    }
+  }
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (OpId id = 0; id < n; ++id) {
+      for (OpId s : training_graph.successors(id)) {
+        g.add_edge(iter * n + id, iter * n + s);
+      }
+    }
+  }
+  // Parameter dependencies across iterations.
+  for (int iter = 0; iter + 1 < iterations; ++iter) {
+    for (const OpDef& op : training_graph.ops()) {
+      if (op.role != OpRole::kApply) continue;
+      check(op.mirror_of != kInvalidOp, "unroll_iterations: apply without mirror");
+      g.add_edge(iter * n + op.id, (iter + 1) * n + op.mirror_of);
+    }
+  }
+  check(g.validate(), "unroll_iterations: invalid result");
+  return g;
+}
+
+RoleCounts count_roles(const GraphDef& graph) {
+  RoleCounts counts;
+  for (const OpDef& o : graph.ops()) {
+    switch (o.role) {
+      case OpRole::kForward:
+        ++counts.forward;
+        break;
+      case OpRole::kBackward:
+        ++counts.backward;
+        break;
+      case OpRole::kApply:
+        ++counts.apply;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace heterog::graph

@@ -1,0 +1,47 @@
+// Expands a forward-only model DAG into a full training DAG (forward +
+// backward + apply), the form the paper's Graph Analyzer hands to the
+// Strategy Maker.
+//
+// Backward generation follows standard reverse-mode structure:
+//   * every forward op o gets an input-gradient op bp(o) that depends on
+//     fw(o) (activations) and on bp(s) for every forward successor s
+//     (incoming gradient);
+//   * every parameter-owning op additionally gets a parameter-gradient op
+//     (Conv2DBpFilter for convolutions, GenericBackward otherwise) whose
+//     `grad_of` field names the forward op — the Graph Compiler inserts
+//     gradient aggregation after these when the op is replicated;
+//   * every parameter-owning op gets an ApplyGradient op consuming the
+//     parameter gradient.
+//
+// Cost conventions: backward work totals ~2x forward flops (split evenly
+// between input- and parameter-gradients when both exist), input-gradient
+// tensors are sized like the forward inputs, parameter-gradient tensors are
+// sized like the parameters (batch-independent).
+#pragma once
+
+#include "graph/graph.h"
+
+namespace heterog::graph {
+
+/// Builds the training DAG for a forward graph. The input must be a valid
+/// DAG containing only forward-role ops.
+GraphDef build_training_graph(const GraphDef& forward);
+
+/// Counts ops per role; convenience for tests and reporting.
+struct RoleCounts {
+  int forward = 0;
+  int backward = 0;
+  int apply = 0;
+};
+RoleCounts count_roles(const GraphDef& graph);
+
+/// Unrolls a training graph over `iterations` consecutive steps for
+/// steady-state timing: op i of iteration k is op `k * op_count + i`, and a
+/// parameter op's forward copy in iteration k+1 depends on its apply op in
+/// iteration k (synchronous SGD: the next step reads updated parameters).
+/// Everything else is independent across iterations, so communication tails
+/// (pulls, collectives) overlap the next iteration's forward pass exactly as
+/// they do in a real training loop.
+GraphDef unroll_iterations(const GraphDef& training_graph, int iterations);
+
+}  // namespace heterog::graph

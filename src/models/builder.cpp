@@ -1,0 +1,79 @@
+#include "models/builder.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heterog::models {
+
+namespace {
+constexpr double kMB = 1024.0 * 1024.0;
+}
+
+ForwardBuilder::ForwardBuilder(std::string name, double batch)
+    : graph_(std::move(name), batch) {}
+
+graph::OpId ForwardBuilder::input(double mb_per_sample) {
+  return op(graph::OpKind::kIdentity, "input", {}, 0.0, mb_per_sample);
+}
+
+graph::OpId ForwardBuilder::op(graph::OpKind kind, const std::string& name,
+                               const std::vector<graph::OpId>& deps,
+                               double gflops_per_sample, double out_mb_per_sample,
+                               double param_mb, bool batch_divisible) {
+  check(!finalized_, "ForwardBuilder: already finalized");
+  check(gflops_per_sample >= 0.0 && out_mb_per_sample >= 0.0 && param_mb >= 0.0,
+        "ForwardBuilder: negative workload");
+  graph::OpDef def;
+  def.name = graph_.name() + "/" + name;
+  def.kind = kind;
+  def.role = graph::OpRole::kForward;
+  def.flops_per_sample = gflops_per_sample * 1e9;
+  def.out_bytes_per_sample = static_cast<int64_t>(out_mb_per_sample * kMB);
+  def.param_bytes = static_cast<int64_t>(param_mb * kMB);
+  def.batch_divisible = batch_divisible;
+  const graph::OpId id = graph_.add_op(std::move(def));
+  for (graph::OpId d : deps) graph_.add_edge(d, id);
+  return id;
+}
+
+graph::GraphDef ForwardBuilder::finalize(double target_fwd_gflops_per_sample,
+                                         double target_act_mb_per_sample,
+                                         double target_param_mb) {
+  check(!finalized_, "ForwardBuilder: already finalized");
+  finalized_ = true;
+
+  double total_gflops = 0.0, total_act_mb = 0.0, total_param_mb = 0.0;
+  for (const auto& o : graph_.ops()) {
+    total_gflops += o.flops_per_sample / 1e9;
+    total_act_mb += static_cast<double>(o.out_bytes_per_sample) / kMB;
+    total_param_mb += static_cast<double>(o.param_bytes) / kMB;
+  }
+
+  const double flop_scale =
+      (target_fwd_gflops_per_sample > 0.0 && total_gflops > 0.0)
+          ? target_fwd_gflops_per_sample / total_gflops
+          : 1.0;
+  const double act_scale = (target_act_mb_per_sample > 0.0 && total_act_mb > 0.0)
+                               ? target_act_mb_per_sample / total_act_mb
+                               : 1.0;
+  const double param_scale = (target_param_mb > 0.0 && total_param_mb > 0.0)
+                                 ? target_param_mb / total_param_mb
+                                 : 1.0;
+
+  for (graph::OpId id = 0; id < graph_.op_count(); ++id) {
+    auto& o = graph_.mutable_op(id);
+    o.flops_per_sample *= flop_scale;
+    o.out_bytes_per_sample =
+        static_cast<int64_t>(std::llround(static_cast<double>(o.out_bytes_per_sample) *
+                                          act_scale));
+    o.param_bytes = static_cast<int64_t>(
+        std::llround(static_cast<double>(o.param_bytes) * param_scale));
+  }
+
+  std::string error;
+  check_lazy(graph_.validate(&error), [&] { return "ForwardBuilder: " + error; });
+  return std::move(graph_);
+}
+
+}  // namespace heterog::models

@@ -1,0 +1,46 @@
+// Forward-graph construction helper used by the benchmark model generators.
+//
+// Substitution note (DESIGN.md §2): we do not parse real TF graphdefs; each
+// generator reproduces the model family's *structure* (op kinds, layer
+// pattern, branching) with per-op workloads computed from layer shapes, then
+// calibrates the totals (forward GFLOPs/sample, activation bytes/sample,
+// parameter bytes) to published figures so that the planner sees the same
+// compute/memory/communication trade-offs the paper's testbed exposed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace heterog::models {
+
+class ForwardBuilder {
+ public:
+  ForwardBuilder(std::string name, double batch);
+
+  /// Adds an input (data-feed) op producing `mb_per_sample` MB per sample.
+  graph::OpId input(double mb_per_sample);
+
+  /// Adds an op. Workload units: GFLOPs per sample, MB per sample output,
+  /// MB of parameters (batch-independent).
+  graph::OpId op(graph::OpKind kind, const std::string& name,
+                 const std::vector<graph::OpId>& deps, double gflops_per_sample,
+                 double out_mb_per_sample, double param_mb = 0.0,
+                 bool batch_divisible = true);
+
+  /// Calibrates totals and returns the finished forward graph:
+  /// per-sample flops, per-sample output bytes and parameter bytes are each
+  /// scaled uniformly so the graph totals hit the targets (<= 0 disables a
+  /// target). Call once.
+  graph::GraphDef finalize(double target_fwd_gflops_per_sample,
+                           double target_act_mb_per_sample, double target_param_mb);
+
+  graph::GraphDef& graph() { return graph_; }
+
+ private:
+  graph::GraphDef graph_;
+  bool finalized_ = false;
+};
+
+}  // namespace heterog::models

@@ -1,0 +1,519 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heterog::nn {
+
+double Var::scalar() const {
+  check(rows() == 1 && cols() == 1, "Var::scalar: not 1x1");
+  return value().at(0, 0);
+}
+
+Var Tape::leaf(Matrix value, bool requires_grad) {
+  auto data = std::make_shared<VarData>();
+  data->value = std::move(value);
+  data->requires_grad = requires_grad;
+  return Var(std::move(data));
+}
+
+Var Tape::record(Matrix value, std::vector<Var> inputs,
+                 std::function<void(VarData&)> backward_body) {
+  auto data = std::make_shared<VarData>();
+  data->value = std::move(value);
+  data->requires_grad = false;
+  for (const Var& v : inputs) {
+    check(v.defined(), "record: undefined input");
+    data->inputs.push_back(v.data());
+    data->requires_grad = data->requires_grad || v.data()->requires_grad;
+  }
+  if (data->requires_grad) {
+    VarData* raw = data.get();
+    data->backward = [raw, body = std::move(backward_body)]() { body(*raw); };
+    order_.push_back(data);
+  }
+  return Var(std::move(data));
+}
+
+Var Tape::matmul(const Var& a, const Var& b) {
+  Matrix out = nn::matmul(a.value(), b.value());
+  return record(std::move(out), {a, b}, [a, b](VarData& node) {
+    if (a.data()->requires_grad) {
+      a.data()->ensure_grad().add_in_place(matmul_nt(node.grad, b.value()));
+    }
+    if (b.data()->requires_grad) {
+      b.data()->ensure_grad().add_in_place(matmul_tn(a.value(), node.grad));
+    }
+  });
+}
+
+Var Tape::add(const Var& a, const Var& b) {
+  return record(nn::add(a.value(), b.value()), {a, b}, [a, b](VarData& node) {
+    if (a.data()->requires_grad) a.data()->ensure_grad().add_in_place(node.grad);
+    if (b.data()->requires_grad) b.data()->ensure_grad().add_in_place(node.grad);
+  });
+}
+
+Var Tape::subtract(const Var& a, const Var& b) {
+  return record(nn::subtract(a.value(), b.value()), {a, b}, [a, b](VarData& node) {
+    if (a.data()->requires_grad) a.data()->ensure_grad().add_in_place(node.grad);
+    if (b.data()->requires_grad) {
+      b.data()->ensure_grad().add_scaled_in_place(node.grad, -1.0);
+    }
+  });
+}
+
+Var Tape::add_row_broadcast(const Var& a, const Var& row) {
+  check(row.rows() == 1 && row.cols() == a.cols(), "add_row_broadcast: bad row shape");
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) += row.value().at(0, c);
+  }
+  return record(std::move(out), {a, row}, [a, row](VarData& node) {
+    if (a.data()->requires_grad) a.data()->ensure_grad().add_in_place(node.grad);
+    if (row.data()->requires_grad) {
+      Matrix& g = row.data()->ensure_grad();
+      for (int r = 0; r < node.grad.rows(); ++r) {
+        for (int c = 0; c < node.grad.cols(); ++c) g.at(0, c) += node.grad.at(r, c);
+      }
+    }
+  });
+}
+
+Var Tape::hadamard(const Var& a, const Var& b) {
+  return record(nn::hadamard(a.value(), b.value()), {a, b}, [a, b](VarData& node) {
+    if (a.data()->requires_grad) {
+      a.data()->ensure_grad().add_in_place(nn::hadamard(node.grad, b.value()));
+    }
+    if (b.data()->requires_grad) {
+      b.data()->ensure_grad().add_in_place(nn::hadamard(node.grad, a.value()));
+    }
+  });
+}
+
+Var Tape::scale(const Var& a, double factor) {
+  return record(nn::scale(a.value(), factor), {a}, [a, factor](VarData& node) {
+    if (a.data()->requires_grad) {
+      a.data()->ensure_grad().add_scaled_in_place(node.grad, factor);
+    }
+  });
+}
+
+Var Tape::mul_col_broadcast(const Var& a, const Var& col) {
+  check(col.cols() == 1 && col.rows() == a.rows(), "mul_col_broadcast: bad col shape");
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    const double w = col.value().at(r, 0);
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) *= w;
+  }
+  return record(std::move(out), {a, col}, [a, col](VarData& node) {
+    if (a.data()->requires_grad) {
+      Matrix& g = a.data()->ensure_grad();
+      for (int r = 0; r < node.grad.rows(); ++r) {
+        const double w = col.value().at(r, 0);
+        for (int c = 0; c < node.grad.cols(); ++c) g.at(r, c) += node.grad.at(r, c) * w;
+      }
+    }
+    if (col.data()->requires_grad) {
+      Matrix& g = col.data()->ensure_grad();
+      for (int r = 0; r < node.grad.rows(); ++r) {
+        double dot = 0.0;
+        for (int c = 0; c < node.grad.cols(); ++c) {
+          dot += node.grad.at(r, c) * a.value().at(r, c);
+        }
+        g.at(r, 0) += dot;
+      }
+    }
+  });
+}
+
+Var Tape::relu(const Var& a) {
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = std::max(out.data()[i], 0.0);
+  return record(std::move(out), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (a.data()->value.data()[i] > 0.0) g.data()[i] += node.grad.data()[i];
+    }
+  });
+}
+
+Var Tape::leaky_relu(const Var& a, double slope) {
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0) out.data()[i] *= slope;
+  }
+  return record(std::move(out), {a}, [a, slope](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      const double factor = a.data()->value.data()[i] > 0.0 ? 1.0 : slope;
+      g.data()[i] += factor * node.grad.data()[i];
+    }
+  });
+}
+
+Var Tape::elu(const Var& a) {
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    const double x = out.data()[i];
+    if (x < 0.0) out.data()[i] = std::exp(x) - 1.0;
+  }
+  return record(std::move(out), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      const double x = a.data()->value.data()[i];
+      const double factor = x > 0.0 ? 1.0 : std::exp(x);
+      g.data()[i] += factor * node.grad.data()[i];
+    }
+  });
+}
+
+Var Tape::tanh_act(const Var& a) {
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  return record(std::move(out), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      const double y = node.value.data()[i];
+      g.data()[i] += (1.0 - y * y) * node.grad.data()[i];
+    }
+  });
+}
+
+namespace {
+
+Matrix softmax_rows_value(const Matrix& a) {
+  Matrix out = a;
+  for (int r = 0; r < out.rows(); ++r) {
+    double row_max = -1e300;
+    for (int c = 0; c < out.cols(); ++c) row_max = std::max(row_max, out.at(r, c));
+    double total = 0.0;
+    for (int c = 0; c < out.cols(); ++c) {
+      out.at(r, c) = std::exp(out.at(r, c) - row_max);
+      total += out.at(r, c);
+    }
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) /= total;
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Tape::softmax_rows(const Var& a) {
+  return record(softmax_rows_value(a.value()), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    const Matrix& p = node.value;
+    for (int r = 0; r < p.rows(); ++r) {
+      double dot = 0.0;
+      for (int c = 0; c < p.cols(); ++c) dot += node.grad.at(r, c) * p.at(r, c);
+      for (int c = 0; c < p.cols(); ++c) {
+        g.at(r, c) += p.at(r, c) * (node.grad.at(r, c) - dot);
+      }
+    }
+  });
+}
+
+Var Tape::log_softmax_rows(const Var& a) {
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    double row_max = -1e300;
+    for (int c = 0; c < out.cols(); ++c) row_max = std::max(row_max, out.at(r, c));
+    double total = 0.0;
+    for (int c = 0; c < out.cols(); ++c) total += std::exp(out.at(r, c) - row_max);
+    const double log_z = row_max + std::log(total);
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) -= log_z;
+  }
+  return record(std::move(out), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int r = 0; r < node.value.rows(); ++r) {
+      double grad_sum = 0.0;
+      for (int c = 0; c < node.value.cols(); ++c) grad_sum += node.grad.at(r, c);
+      for (int c = 0; c < node.value.cols(); ++c) {
+        g.at(r, c) += node.grad.at(r, c) - std::exp(node.value.at(r, c)) * grad_sum;
+      }
+    }
+  });
+}
+
+Var Tape::layer_norm_rows(const Var& a, const Var& gain, const Var& bias,
+                          double epsilon) {
+  const int n = a.rows(), d = a.cols();
+  check(gain.rows() == 1 && gain.cols() == d, "layer_norm: bad gain shape");
+  check(bias.rows() == 1 && bias.cols() == d, "layer_norm: bad bias shape");
+
+  // Cache normalised activations and inverse stddevs for the backward pass.
+  auto xhat = std::make_shared<Matrix>(n, d);
+  auto inv_std = std::make_shared<std::vector<double>>(static_cast<size_t>(n));
+  Matrix out(n, d);
+  for (int r = 0; r < n; ++r) {
+    double mean = 0.0;
+    for (int c = 0; c < d; ++c) mean += a.value().at(r, c);
+    mean /= d;
+    double var = 0.0;
+    for (int c = 0; c < d; ++c) {
+      const double diff = a.value().at(r, c) - mean;
+      var += diff * diff;
+    }
+    var /= d;
+    const double istd = 1.0 / std::sqrt(var + epsilon);
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    for (int c = 0; c < d; ++c) {
+      const double norm = (a.value().at(r, c) - mean) * istd;
+      xhat->at(r, c) = norm;
+      out.at(r, c) = gain.value().at(0, c) * norm + bias.value().at(0, c);
+    }
+  }
+
+  return record(std::move(out), {a, gain, bias},
+                [a, gain, bias, xhat, inv_std](VarData& node) {
+                  const int n2 = node.value.rows(), d2 = node.value.cols();
+                  if (gain.data()->requires_grad) {
+                    Matrix& gg = gain.data()->ensure_grad();
+                    for (int r = 0; r < n2; ++r) {
+                      for (int c = 0; c < d2; ++c) {
+                        gg.at(0, c) += node.grad.at(r, c) * xhat->at(r, c);
+                      }
+                    }
+                  }
+                  if (bias.data()->requires_grad) {
+                    Matrix& bg = bias.data()->ensure_grad();
+                    for (int r = 0; r < n2; ++r) {
+                      for (int c = 0; c < d2; ++c) bg.at(0, c) += node.grad.at(r, c);
+                    }
+                  }
+                  if (a.data()->requires_grad) {
+                    Matrix& ag = a.data()->ensure_grad();
+                    for (int r = 0; r < n2; ++r) {
+                      // dxhat = dy * gain
+                      double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+                      for (int c = 0; c < d2; ++c) {
+                        const double dxh = node.grad.at(r, c) * gain.value().at(0, c);
+                        sum_dxhat += dxh;
+                        sum_dxhat_xhat += dxh * xhat->at(r, c);
+                      }
+                      const double istd = (*inv_std)[static_cast<size_t>(r)];
+                      for (int c = 0; c < d2; ++c) {
+                        const double dxh = node.grad.at(r, c) * gain.value().at(0, c);
+                        ag.at(r, c) += istd * (dxh - sum_dxhat / d2 -
+                                               xhat->at(r, c) * sum_dxhat_xhat / d2);
+                      }
+                    }
+                  }
+                });
+}
+
+Var Tape::transpose(const Var& a) {
+  return record(a.value().transpose(), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    a.data()->ensure_grad().add_in_place(node.grad.transpose());
+  });
+}
+
+Var Tape::concat_cols(const std::vector<Var>& parts) {
+  check(!parts.empty(), "concat_cols: empty");
+  const int n = parts.front().rows();
+  int total_cols = 0;
+  for (const Var& p : parts) {
+    check(p.rows() == n, "concat_cols: row mismatch");
+    total_cols += p.cols();
+  }
+  Matrix out(n, total_cols);
+  int offset = 0;
+  for (const Var& p : parts) {
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < p.cols(); ++c) out.at(r, offset + c) = p.value().at(r, c);
+    }
+    offset += p.cols();
+  }
+  return record(std::move(out), parts, [parts](VarData& node) {
+    int off = 0;
+    for (const Var& p : parts) {
+      if (p.data()->requires_grad) {
+        Matrix& g = p.data()->ensure_grad();
+        for (int r = 0; r < g.rows(); ++r) {
+          for (int c = 0; c < g.cols(); ++c) g.at(r, c) += node.grad.at(r, off + c);
+        }
+      }
+      off += p.cols();
+    }
+  });
+}
+
+Var Tape::slice_cols(const Var& a, int start, int count) {
+  check(start >= 0 && count > 0 && start + count <= a.cols(), "slice_cols: bad range");
+  Matrix out(a.rows(), count);
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < count; ++c) out.at(r, c) = a.value().at(r, start + c);
+  }
+  return record(std::move(out), {a}, [a, start](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int r = 0; r < node.grad.rows(); ++r) {
+      for (int c = 0; c < node.grad.cols(); ++c) g.at(r, start + c) += node.grad.at(r, c);
+    }
+  });
+}
+
+Var Tape::gather_rows(const Var& a, const std::vector<int>& indices) {
+  Matrix out(static_cast<int>(indices.size()), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    check(src >= 0 && src < a.rows(), "gather_rows: index out of range");
+    for (int c = 0; c < a.cols(); ++c) {
+      out.at(static_cast<int>(i), c) = a.value().at(src, c);
+    }
+  }
+  return record(std::move(out), {a}, [a, indices](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      for (int c = 0; c < g.cols(); ++c) {
+        g.at(indices[i], c) += node.grad.at(static_cast<int>(i), c);
+      }
+    }
+  });
+}
+
+Var Tape::segment_sum_rows(const Var& a, const std::vector<int>& segments,
+                           int segment_count) {
+  check(static_cast<int>(segments.size()) == a.rows(), "segment_sum_rows: size mismatch");
+  Matrix out(segment_count, a.cols());
+  for (size_t e = 0; e < segments.size(); ++e) {
+    const int s = segments[e];
+    check(s >= 0 && s < segment_count, "segment_sum_rows: bad segment");
+    for (int c = 0; c < a.cols(); ++c) {
+      out.at(s, c) += a.value().at(static_cast<int>(e), c);
+    }
+  }
+  return record(std::move(out), {a}, [a, segments](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (size_t e = 0; e < segments.size(); ++e) {
+      for (int c = 0; c < g.cols(); ++c) {
+        g.at(static_cast<int>(e), c) += node.grad.at(segments[e], c);
+      }
+    }
+  });
+}
+
+Var Tape::segment_mean_rows(const Var& a, const std::vector<int>& segments,
+                            int segment_count) {
+  std::vector<double> counts(static_cast<size_t>(segment_count), 0.0);
+  for (int s : segments) {
+    check(s >= 0 && s < segment_count, "segment_mean_rows: bad segment");
+    counts[static_cast<size_t>(s)] += 1.0;
+  }
+  const Var sums = segment_sum_rows(a, segments, segment_count);
+  // Scale each row by 1/count using mul_col_broadcast with a constant column.
+  Matrix inv(segment_count, 1);
+  for (int s = 0; s < segment_count; ++s) {
+    inv.at(s, 0) = counts[static_cast<size_t>(s)] > 0.0
+                       ? 1.0 / counts[static_cast<size_t>(s)]
+                       : 0.0;
+  }
+  return mul_col_broadcast(sums, leaf(std::move(inv), false));
+}
+
+Var Tape::segment_softmax(const Var& a, const std::vector<int>& segments,
+                          int segment_count) {
+  check(static_cast<int>(segments.size()) == a.rows(), "segment_softmax: size mismatch");
+  const int h = a.cols();
+  Matrix out = a.value();
+  // Max per (segment, column) for numerical stability.
+  Matrix seg_max(segment_count, h, -1e300);
+  for (size_t e = 0; e < segments.size(); ++e) {
+    const int s = segments[e];
+    check(s >= 0 && s < segment_count, "segment_softmax: bad segment");
+    for (int c = 0; c < h; ++c) {
+      seg_max.at(s, c) = std::max(seg_max.at(s, c), out.at(static_cast<int>(e), c));
+    }
+  }
+  Matrix seg_sum(segment_count, h);
+  for (size_t e = 0; e < segments.size(); ++e) {
+    for (int c = 0; c < h; ++c) {
+      double& v = out.at(static_cast<int>(e), c);
+      v = std::exp(v - seg_max.at(segments[e], c));
+      seg_sum.at(segments[e], c) += v;
+    }
+  }
+  for (size_t e = 0; e < segments.size(); ++e) {
+    for (int c = 0; c < h; ++c) {
+      out.at(static_cast<int>(e), c) /= seg_sum.at(segments[e], c);
+    }
+  }
+  return record(std::move(out), {a}, [a, segments, segment_count](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    const Matrix& p = node.value;
+    const int cols = p.cols();
+    // dot[s, c] = sum over e in s of grad * p
+    Matrix dot(segment_count, cols);
+    for (size_t e = 0; e < segments.size(); ++e) {
+      for (int c = 0; c < cols; ++c) {
+        dot.at(segments[e], c) += node.grad.at(static_cast<int>(e), c) *
+                                  p.at(static_cast<int>(e), c);
+      }
+    }
+    Matrix& g = a.data()->ensure_grad();
+    for (size_t e = 0; e < segments.size(); ++e) {
+      for (int c = 0; c < cols; ++c) {
+        g.at(static_cast<int>(e), c) +=
+            p.at(static_cast<int>(e), c) *
+            (node.grad.at(static_cast<int>(e), c) - dot.at(segments[e], c));
+      }
+    }
+  });
+}
+
+Var Tape::sum_all(const Var& a) {
+  Matrix out(1, 1);
+  out.at(0, 0) = a.value().sum();
+  return record(std::move(out), {a}, [a](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    const double d = node.grad.at(0, 0);
+    for (int64_t i = 0; i < g.size(); ++i) g.data()[i] += d;
+  });
+}
+
+Var Tape::mean_all(const Var& a) {
+  const double inv = 1.0 / static_cast<double>(a.value().size());
+  return scale(sum_all(a), inv);
+}
+
+Var Tape::pick_per_row(const Var& a, const std::vector<int>& columns) {
+  check(static_cast<int>(columns.size()) == a.rows(), "pick_per_row: size mismatch");
+  Matrix out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const int c = columns[static_cast<size_t>(r)];
+    check(c >= 0 && c < a.cols(), "pick_per_row: column out of range");
+    out.at(r, 0) = a.value().at(r, c);
+  }
+  return record(std::move(out), {a}, [a, columns](VarData& node) {
+    if (!a.data()->requires_grad) return;
+    Matrix& g = a.data()->ensure_grad();
+    for (int r = 0; r < g.rows(); ++r) {
+      g.at(r, columns[static_cast<size_t>(r)]) += node.grad.at(r, 0);
+    }
+  });
+}
+
+void Tape::backward(const Var& loss) {
+  check(loss.defined(), "backward: undefined loss");
+  check(loss.rows() == 1 && loss.cols() == 1, "backward: loss must be 1x1");
+  loss.data()->ensure_grad().at(0, 0) = 1.0;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    VarData& node = **it;
+    if (node.backward && node.grad.rows() == node.value.rows() &&
+        node.grad.cols() == node.value.cols()) {
+      node.backward();
+    }
+  }
+}
+
+}  // namespace heterog::nn

@@ -1,0 +1,131 @@
+// Trainable layers for HeteroG's policy networks: Linear, LayerNorm, full
+// multi-head self-attention / Transformer encoder blocks (the strategy
+// network), and graph attention layers over edge lists (the GAT encoder,
+// paper Sec. 4.1.1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+
+namespace heterog::nn {
+
+/// Owns the trainable parameter leaves of a model. Parameters persist across
+/// episodes (a fresh Tape is built per forward pass; leaves are not recorded
+/// on tapes).
+class ParameterSet {
+ public:
+  /// Registers a parameter initialised to `init`; returns its Var.
+  Var add(Matrix init);
+
+  const std::vector<Var>& all() const { return params_; }
+  int64_t scalar_count() const;
+  void zero_grads();
+
+ private:
+  std::vector<Var> params_;
+};
+
+/// Adam with global-norm gradient clipping.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double clip_global_norm = 5.0;  // <= 0 disables clipping
+  };
+
+  explicit AdamOptimizer(ParameterSet& params) : AdamOptimizer(params, Options{}) {}
+  AdamOptimizer(ParameterSet& params, Options options);
+
+  /// Applies one update from the accumulated grads, then zeroes them.
+  void step();
+
+  int64_t steps_taken() const { return step_count_; }
+
+ private:
+  ParameterSet* params_;
+  Options options_;
+  std::vector<Matrix> m_, v_;
+  int64_t step_count_ = 0;
+};
+
+class Linear {
+ public:
+  Linear(ParameterSet& params, int in_dim, int out_dim, Rng& rng, bool bias = true);
+  Var forward(Tape& tape, const Var& x) const;
+  int out_dim() const { return weight_.cols(); }
+
+ private:
+  Var weight_;  // [in x out]
+  Var bias_;    // [1 x out] (undefined when bias == false)
+};
+
+class LayerNormLayer {
+ public:
+  LayerNormLayer(ParameterSet& params, int dim);
+  Var forward(Tape& tape, const Var& x) const;
+
+ private:
+  Var gain_, bias_;
+};
+
+/// Full (dense) multi-head self-attention over a sequence of N rows.
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention(ParameterSet& params, int model_dim, int heads, Rng& rng);
+  Var forward(Tape& tape, const Var& x) const;
+
+ private:
+  int heads_;
+  int head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+/// Post-LN Transformer encoder block (attention + FFN with residuals).
+class TransformerBlock {
+ public:
+  TransformerBlock(ParameterSet& params, int model_dim, int heads, int ffn_dim,
+                   Rng& rng);
+  Var forward(Tape& tape, const Var& x) const;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  LayerNormLayer ln1_, ln2_;
+  Linear ffn1_, ffn2_;
+};
+
+/// Graph attention layer (Velickovic et al.) over an explicit edge list.
+///
+///   e_ij = LeakyReLU(a_src . (W h_i) + a_dst . (W h_j))
+///   alpha = softmax over incoming edges of j
+///   h'_j  = ELU( concat_k  sum_i alpha_ij (W_k h_i) )
+///
+/// Callers supply the edge list (src, dst); self-loops should be included
+/// (the paper's neighbourhood "includes o itself").
+class GatLayer {
+ public:
+  GatLayer(ParameterSet& params, int in_dim, int out_dim_per_head, int heads, Rng& rng,
+           bool average_heads = false);
+
+  Var forward(Tape& tape, const Var& x, const std::vector<int>& edge_src,
+              const std::vector<int>& edge_dst, int node_count) const;
+
+  int out_dim() const {
+    return average_heads_ ? head_dim_ : head_dim_ * heads_;
+  }
+
+ private:
+  int heads_;
+  int head_dim_;
+  bool average_heads_;
+  std::vector<Var> w_;      // per head [in x F]
+  std::vector<Var> a_src_;  // per head [F x 1]
+  std::vector<Var> a_dst_;  // per head [F x 1]
+};
+
+}  // namespace heterog::nn

@@ -1,0 +1,144 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace heterog::nn {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  check(rows >= 0 && cols >= 0, "Matrix: negative shape");
+}
+
+Matrix Matrix::glorot(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / (rows + cols));
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-limit, limit);
+  return m;
+}
+
+double& Matrix::at(int r, int c) {
+  check(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Matrix::at: out of range");
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+double Matrix::at(int r, int c) const {
+  check(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Matrix::at: out of range");
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.data()[static_cast<size_t>(c) * rows_ + r] = at(r, c);
+  }
+  return t;
+}
+
+void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::add_in_place(const Matrix& other) {
+  check(same_shape(other), "add_in_place: shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::add_scaled_in_place(const Matrix& other, double factor) {
+  check(same_shape(other), "add_scaled_in_place: shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+}
+
+void Matrix::scale_in_place(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+double Matrix::sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+std::string Matrix::shape_string() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_;
+  return os.str();
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.data()[static_cast<size_t>(i) * a.cols() + k];
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + static_cast<size_t>(k) * b.cols();
+      double* crow = c.data() + static_cast<size_t>(i) * c.cols();
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_tn: dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + static_cast<size_t>(k) * a.cols();
+    const double* brow = b.data() + static_cast<size_t>(k) * b.cols();
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + static_cast<size_t>(i) * c.cols();
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.cols(), "matmul_nt: dimension mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data() + static_cast<size_t>(j) * b.cols();
+      double dot = 0.0;
+      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      c.data()[static_cast<size_t>(i) * b.rows() + j] = dot;
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.add_in_place(b);
+  return c;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.add_scaled_in_place(b, -1.0);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  check(a.same_shape(b), "hadamard: shape mismatch");
+  Matrix c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+Matrix scale(const Matrix& a, double factor) {
+  Matrix c = a;
+  c.scale_in_place(factor);
+  return c;
+}
+
+}  // namespace heterog::nn

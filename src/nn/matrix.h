@@ -1,0 +1,70 @@
+// Dense row-major matrix used by the neural-network substrate.
+//
+// Sized for HeteroG's policy networks (thousands of rows, tens of columns);
+// plain loops are ample at this scale, so no BLAS dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace heterog::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+  /// Glorot-uniform initialisation.
+  static Matrix glorot(int rows, int cols, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+
+  double& at(int r, int c);
+  double at(int r, int c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  Matrix transpose() const;
+
+  void fill(double value);
+  void add_in_place(const Matrix& other);        // this += other
+  void add_scaled_in_place(const Matrix& other, double scale);
+  void scale_in_place(double factor);
+
+  double sum() const;
+  double max_abs() const;
+
+  std::string shape_string() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B (avoids materialising the transpose).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix subtract(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+Matrix scale(const Matrix& a, double factor);
+
+}  // namespace heterog::nn

@@ -1,0 +1,12 @@
+#include "profiler/cost_provider.h"
+
+namespace heterog::profiler {
+
+double CostProvider::average_op_time_ms(const graph::OpDef& op, double batch) const {
+  const auto& c = cluster();
+  double total = 0.0;
+  for (const auto& d : c.devices()) total += op_time_ms(op, batch, d.id);
+  return total / static_cast<double>(c.device_count());
+}
+
+}  // namespace heterog::profiler

@@ -1,0 +1,53 @@
+// Abstract cost oracle consumed by the Graph Compiler and the Simulator.
+//
+// Two implementations exist:
+//   * GroundTruthCosts — adapts HardwareModel; plays the role of running on
+//     the real cluster (used to evaluate final plans).
+//   * CostModel (profiler.h) — the linear-regression fits the paper's
+//     Profiler produces; the planner and the RL reward loop use this one.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "graph/op.h"
+#include "profiler/hardware_model.h"
+
+namespace heterog::profiler {
+
+class CostProvider {
+ public:
+  virtual ~CostProvider() = default;
+
+  /// Predicted execution time of `op` at the given batch on device `dev`.
+  virtual double op_time_ms(const graph::OpDef& op, double batch,
+                            cluster::DeviceId dev) const = 0;
+
+  /// Predicted time to move `bytes` across the (from -> to) link.
+  virtual double transfer_time_ms(int64_t bytes, cluster::DeviceId from,
+                                  cluster::DeviceId to) const = 0;
+
+  virtual const cluster::ClusterSpec& cluster() const = 0;
+
+  /// Average op time over all devices; used for grouping and GNN features.
+  double average_op_time_ms(const graph::OpDef& op, double batch) const;
+};
+
+/// CostProvider backed directly by the synthetic ground truth.
+class GroundTruthCosts final : public CostProvider {
+ public:
+  explicit GroundTruthCosts(const HardwareModel& hw) : hw_(&hw) {}
+
+  double op_time_ms(const graph::OpDef& op, double batch,
+                    cluster::DeviceId dev) const override {
+    return hw_->op_time_ms(op, batch, dev);
+  }
+  double transfer_time_ms(int64_t bytes, cluster::DeviceId from,
+                          cluster::DeviceId to) const override {
+    return hw_->transfer_time_ms(bytes, from, to);
+  }
+  const cluster::ClusterSpec& cluster() const override { return hw_->cluster(); }
+
+ private:
+  const HardwareModel* hw_;
+};
+
+}  // namespace heterog::profiler

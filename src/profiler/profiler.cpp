@@ -1,0 +1,125 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace heterog::profiler {
+
+double CostModel::op_time_ms(const graph::OpDef& op, double batch,
+                             cluster::DeviceId dev) const {
+  check(dev >= 0 && dev < cluster_->device_count(), "op_time_ms: bad device");
+  if (op.id >= 0 && op.id < profiled_op_count_) {
+    const double t = op_fits_[static_cast<size_t>(op.id)][static_cast<size_t>(dev)]
+                         .predict(batch);
+    return std::max(t, 0.0);
+  }
+  // Synthesised op: fall back to the per-kind flops fit.
+  const auto it = kind_fits_.find({static_cast<int>(op.kind), dev});
+  const double flops = std::max(op.flops(batch), 0.0);
+  if (it != kind_fits_.end()) {
+    return std::max(it->second.predict(flops), 0.0);
+  }
+  // Kind never observed during profiling: use a conservative generic rate
+  // derived from the device's base compute throughput.
+  const auto& d = cluster_->device(dev);
+  return 0.004 + flops / (d.gflops_per_ms * 1e9 * 0.25);
+}
+
+double CostModel::transfer_time_ms(int64_t bytes, cluster::DeviceId from,
+                                   cluster::DeviceId to) const {
+  if (from == to) return 0.0;
+  const double t = link_fit(from, to).predict(static_cast<double>(bytes));
+  return std::max(t, 0.0);
+}
+
+const LinearFit& CostModel::op_fit(graph::OpId id, cluster::DeviceId dev) const {
+  check(id >= 0 && id < profiled_op_count_, "op_fit: unprofiled op");
+  check(dev >= 0 && dev < cluster_->device_count(), "op_fit: bad device");
+  return op_fits_[static_cast<size_t>(id)][static_cast<size_t>(dev)];
+}
+
+const LinearFit& CostModel::link_fit(cluster::DeviceId from, cluster::DeviceId to) const {
+  check(from != to, "link_fit: same device");
+  check(from >= 0 && from < cluster_->device_count(), "link_fit: bad from");
+  check(to >= 0 && to < cluster_->device_count(), "link_fit: bad to");
+  return link_fits_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+}
+
+Profiler::Profiler(const HardwareModel& hardware, uint64_t seed, ProfilerOptions options)
+    : hardware_(&hardware), rng_(seed), options_(std::move(options)) {
+  check(options_.batch_fractions.size() >= 2,
+        "Profiler: need >= 2 batch fractions for a regression fit");
+  check(options_.repetitions >= 1, "Profiler: repetitions must be >= 1");
+}
+
+std::shared_ptr<const CostModel> Profiler::profile(const graph::GraphDef& graph) {
+  const auto& cluster = hardware_->cluster();
+  auto model = std::make_shared<CostModel>();
+  model->cluster_ = &cluster;
+  model->profiled_op_count_ = graph.op_count();
+  model->op_fits_.assign(static_cast<size_t>(graph.op_count()),
+                         std::vector<LinearFit>(static_cast<size_t>(cluster.device_count())));
+
+  // Per-kind accumulation for the synthesised-op fallback fits.
+  std::map<std::pair<int, int>, std::pair<std::vector<double>, std::vector<double>>>
+      kind_samples;  // (kind, device) -> (flops, times)
+
+  for (const auto& op : graph.ops()) {
+    for (const auto& dev : cluster.devices()) {
+      std::vector<double> xs, ys;
+      xs.reserve(options_.batch_fractions.size());
+      ys.reserve(options_.batch_fractions.size());
+      for (double fraction : options_.batch_fractions) {
+        const double batch = graph.global_batch() * fraction;
+        double total = 0.0;
+        for (int r = 0; r < options_.repetitions; ++r) {
+          const double truth = hardware_->op_time_ms(op, batch, dev.id);
+          const double noise = 1.0 + rng_.normal(0.0, options_.noise_stddev);
+          total += truth * std::max(noise, 0.5);
+        }
+        const double measured = total / options_.repetitions;
+        xs.push_back(batch);
+        ys.push_back(measured);
+        auto& bucket = kind_samples[{static_cast<int>(op.kind), dev.id}];
+        bucket.first.push_back(std::max(op.flops(batch), 0.0));
+        bucket.second.push_back(measured);
+      }
+      model->op_fits_[static_cast<size_t>(op.id)][static_cast<size_t>(dev.id)] =
+          fit_linear(xs, ys);
+    }
+  }
+
+  for (const auto& [key, samples] : kind_samples) {
+    if (samples.first.size() >= 2) {
+      model->kind_fits_[key] = fit_linear(samples.first, samples.second);
+    }
+  }
+
+  // Link probes.
+  const int n = cluster.device_count();
+  model->link_fits_.assign(static_cast<size_t>(n),
+                           std::vector<LinearFit>(static_cast<size_t>(n)));
+  for (const auto& a : cluster.devices()) {
+    for (const auto& b : cluster.devices()) {
+      if (a.id == b.id) continue;
+      std::vector<double> xs, ys;
+      for (int64_t bytes : options_.transfer_probe_bytes) {
+        double total = 0.0;
+        for (int r = 0; r < options_.repetitions; ++r) {
+          const double truth = hardware_->transfer_time_ms(bytes, a.id, b.id);
+          const double noise = 1.0 + rng_.normal(0.0, options_.noise_stddev);
+          total += truth * std::max(noise, 0.5);
+        }
+        xs.push_back(static_cast<double>(bytes));
+        ys.push_back(total / options_.repetitions);
+      }
+      model->link_fits_[static_cast<size_t>(a.id)][static_cast<size_t>(b.id)] =
+          fit_linear(xs, ys);
+    }
+  }
+
+  return model;
+}
+
+}  // namespace heterog::profiler

@@ -1,0 +1,111 @@
+// REINFORCE training of the policy network (paper Sec. 4.1.3).
+//
+//   reward R = -sqrt(T)        (simulated per-iteration time)
+//              x10 on OOM      (strategies that overflow device memory)
+//   J(theta) = E[R] + lambda * H(pi)       (entropy-regularised)
+//   theta <- theta + alpha * grad log pi(a) (r - R_bar) + lambda grad H
+//
+// where R_bar is a per-graph moving average of rewards.
+//
+// The trainer also evaluates a small set of heuristic warm-start candidates
+// (the four uniform DP strategies, a capacity-balanced MP packing and a
+// parameter-heavy-MP hybrid) and keeps the best feasible plan seen anywhere
+// as the incumbent — the plan HeteroG finally deploys is the best found
+// during search, exactly as in the paper's workflow.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "agent/policy.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "compile/compiler.h"
+#include "sim/simulator.h"
+
+namespace heterog::rl {
+
+struct TrainConfig {
+  int episodes = 150;             // episodes per search
+  /// Compiler behaviour used for every evaluation (collective fusion, PS RPC
+  /// overhead) — defaults to the paper's per-tensor collectives.
+  compile::CompilerOptions compiler;
+  int samples_per_episode = 4;    // strategies sampled per policy update
+  double learning_rate = 1e-3;
+  double entropy_weight = 0.03;
+  double baseline_decay = 0.9;
+  double oom_penalty_factor = 10.0;
+  bool seed_heuristics = true;    // evaluate warm-start candidates
+  /// Greedy single-group polish moves applied to the incumbent after the
+  /// episode budget (cheap hill climbing; particularly effective on the
+  /// memory-repaired large-model plans). <= 0 disables.
+  int polish_moves = 48;
+  /// Stop early when the incumbent has not improved for this many episodes
+  /// (<= 0 disables early stopping).
+  int patience = 60;
+  uint64_t seed = 7;
+};
+
+/// Evaluation of one concrete strategy.
+struct Evaluation {
+  double time_ms = 0.0;
+  bool oom = false;
+  double reward = 0.0;
+};
+
+struct SearchResult {
+  strategy::StrategyMap best_strategy;
+  double best_time_ms = 0.0;
+  bool best_feasible = false;
+  int episodes_run = 0;
+  int episode_of_best = 0;
+  std::vector<double> episode_best_ms;  // incumbent trace per episode
+};
+
+class Trainer {
+ public:
+  Trainer(const profiler::CostProvider& costs, TrainConfig config);
+
+  /// Evaluates a strategy end-to-end (compile + rank-order simulate + OOM
+  /// check) and converts the result to a reward.
+  Evaluation evaluate(const graph::GraphDef& graph, const strategy::Grouping& grouping,
+                      const strategy::StrategyMap& strategy) const;
+
+  /// Trains `policy` on one graph until the episode budget (or patience) is
+  /// exhausted; returns the incumbent best plan.
+  SearchResult search(agent::PolicyNetwork& policy, const agent::EncodedGraph& encoded);
+
+  /// One multi-graph pre-training round (Sec. 4.1.3 samples a set of graphs
+  /// per update). Returns the mean reward across graphs.
+  double pretrain_round(agent::PolicyNetwork& policy,
+                        const std::vector<const agent::EncodedGraph*>& graphs);
+
+  /// Heuristic warm-start candidates for a graph (public for tests/benches).
+  std::vector<strategy::StrategyMap> heuristic_candidates(
+      const graph::GraphDef& graph, const strategy::Grouping& grouping) const;
+
+  /// Greedy memory repair: while the plan OOMs, move the heaviest MP group
+  /// (or demote the heaviest DP group to MP) off each overflowing device onto
+  /// the device with the most simulated headroom. Returns the repaired map
+  /// and its evaluation; gives up after `max_iterations`.
+  std::pair<strategy::StrategyMap, Evaluation> repair_oom(
+      const graph::GraphDef& graph, const strategy::Grouping& grouping,
+      strategy::StrategyMap map, int max_iterations = 16) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  double reward_from(double time_ms, bool oom) const;
+  void reinforce_step(agent::PolicyNetwork& policy, const agent::EncodedGraph& encoded,
+                      MovingAverage& baseline, Rng& rng, SearchResult* result);
+
+  const profiler::CostProvider* costs_;
+  TrainConfig config_;
+  compile::GraphCompiler compiler_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;  // bound to the first policy used
+  agent::PolicyNetwork* bound_policy_ = nullptr;
+  MovingAverage pretrain_baseline_;
+};
+
+}  // namespace heterog::rl

@@ -1,0 +1,83 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace heterog::sched {
+
+std::vector<double> compute_ranks(
+    const compile::DistGraph& graph,
+    const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges) {
+  const int n = graph.node_count();
+  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+
+  std::vector<std::vector<compile::DistNodeId>> extra_succ;
+  if (!extra_edges.empty()) {
+    extra_succ.assign(static_cast<size_t>(n), {});
+    for (const auto& [from, to] : extra_edges) {
+      check(from >= 0 && from < n && to >= 0 && to < n, "compute_ranks: bad extra edge");
+      extra_succ[static_cast<size_t>(from)].push_back(to);
+    }
+  }
+
+  // Reverse topological sweep. Extra edges are assumed consistent with some
+  // topological order of the augmented graph; we process nodes in reverse
+  // order of (graph topo order + extra-edge targets appearing later), which
+  // holds for the collective chains rank_priorities builds (chained in topo
+  // order). A final fixpoint pass guards against ordering violations.
+  const auto order = graph.topological_order();
+  auto relax = [&](compile::DistNodeId id) {
+    double max_succ = 0.0;
+    for (auto s : graph.successors(id)) {
+      max_succ = std::max(max_succ, ranks[static_cast<size_t>(s)]);
+    }
+    if (!extra_succ.empty()) {
+      for (auto s : extra_succ[static_cast<size_t>(id)]) {
+        max_succ = std::max(max_succ, ranks[static_cast<size_t>(s)]);
+      }
+    }
+    const double updated = graph.node(id).duration_ms + max_succ;
+    const bool changed = updated > ranks[static_cast<size_t>(id)] + 1e-12;
+    ranks[static_cast<size_t>(id)] = updated;
+    return changed;
+  };
+  for (auto it = order.rbegin(); it != order.rend(); ++it) relax(*it);
+  if (!extra_edges.empty()) {
+    // Fixpoint sweeps (extra edges may cut across the base topo order).
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 64) {
+      changed = false;
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        changed = relax(*it) || changed;
+      }
+    }
+  }
+  return ranks;
+}
+
+std::vector<double> rank_priorities(const compile::DistGraph& graph) {
+  // Chain the communication nodes of each serialised resource (every
+  // directed link and the single NCCL channel) in topological order, so a
+  // node's rank carries the remaining backlog of its resource; see header
+  // comment. Without this, gradient pushes / pulls / collectives have tiny
+  // upward ranks and bunch up after the backward chain instead of streaming
+  // out as gradients become available.
+  const auto& resources = graph.resources();
+  std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>> chains;
+  std::vector<compile::DistNodeId> prev_on_resource(
+      static_cast<size_t>(resources.resource_count()), -1);
+  for (const auto id : graph.topological_order()) {
+    const auto& node = graph.node(id);
+    if (!node.is_communication()) continue;
+    const int res = resources.resource_of(node);
+    if (prev_on_resource[static_cast<size_t>(res)] >= 0) {
+      chains.emplace_back(prev_on_resource[static_cast<size_t>(res)], id);
+    }
+    prev_on_resource[static_cast<size_t>(res)] = id;
+  }
+  return compute_ranks(graph, chains);
+}
+
+}  // namespace heterog::sched

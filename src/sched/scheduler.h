@@ -1,0 +1,44 @@
+// Execution-order scheduling (paper Sec. 4.2).
+//
+// The scheduler assigns every node of the distributed graph a priority
+//   rank(o) = p(o) + max_{s in succ(o)} rank(s)
+// (upward rank with zero-cost edges — edge costs are explicit transfer nodes
+// in our IR). Each resource (GPU, link, NCCL channel) then executes its
+// ready nodes in descending rank order; the simulator realises that policy.
+//
+// The paper proves T_LS <= (M + M^2) T* and exhibits a matching worst case;
+// tests/bench_appendix_bound reproduce both.
+#pragma once
+
+#include <vector>
+
+#include "compile/dist_graph.h"
+
+namespace heterog::sched {
+
+/// Upward ranks over the distributed graph. rank[i] >= duration[i] > 0 for
+/// every node with positive duration. `extra_edges` (from, to) augment the
+/// graph's edges for ranking only (they must not create a cycle).
+std::vector<double> compute_ranks(
+    const compile::DistGraph& graph,
+    const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges =
+        {});
+
+enum class OrderPolicy {
+  kRankPriority,  // HeteroG's list schedule
+  kFifo,          // TensorFlow's default: ready order (paper Sec. 6.6 baseline)
+};
+
+/// Priorities realising the rank policy (higher runs first).
+///
+/// Collectives all occupy the single NCCL channel and therefore serialise;
+/// plain upward ranks are blind to that, which defers gradient-producing ops
+/// behind the backward chain and starves the channel. Ranks are therefore
+/// computed on a graph augmented with virtual edges chaining the collectives
+/// in their natural (gradient-availability) order, so that an early
+/// gradient's rank carries the whole remaining AllReduce backlog and
+/// gradient ops interleave with backward compute — maximising the paper's
+/// computation/communication overlap objective.
+std::vector<double> rank_priorities(const compile::DistGraph& graph);
+
+}  // namespace heterog::sched

@@ -1,0 +1,47 @@
+// End-to-end plan evaluation: compile + simulate, reporting steady-state
+// per-iteration time.
+//
+// A single-iteration makespan over-charges parameter synchronisation: pulls
+// and late collectives overlap the *next* iteration's forward pass in a real
+// training loop. evaluate_plan therefore simulates an unrolled multi-
+// iteration graph (graph::unroll_iterations) and reports
+//   per_iteration = (T_k - T_1) / (k - 1),
+// while memory (peaks / OOM) comes from the single-iteration simulation —
+// frameworks bound inter-iteration buffering with back-pressure, so one
+// iteration's working set is the honest memory figure.
+#pragma once
+
+#include "compile/compiler.h"
+#include "profiler/cost_provider.h"
+#include "sim/simulator.h"
+#include "strategy/strategy.h"
+
+namespace heterog::sim {
+
+struct PlanEvaluation {
+  double per_iteration_ms = 0.0;    // steady state
+  double cold_iteration_ms = 0.0;   // single-iteration makespan
+  double computation_ms = 0.0;      // busiest GPU, single iteration
+  double communication_ms = 0.0;    // busiest comm resource, single iteration
+  bool oom = false;
+  std::vector<int64_t> peak_memory_bytes;
+  std::vector<cluster::DeviceId> oom_devices;
+};
+
+struct PlanEvalOptions {
+  sched::OrderPolicy policy = sched::OrderPolicy::kRankPriority;
+  compile::CompilerOptions compiler;
+  /// Iterations in the steady-state unroll (>= 1; 1 disables unrolling and
+  /// reports the cold makespan as per-iteration time).
+  int unroll_iterations = 2;
+  double usable_memory_fraction = 0.92;
+};
+
+/// Compiles `strategy` against `costs` and evaluates it.
+PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
+                             const graph::GraphDef& training_graph,
+                             const strategy::Grouping& grouping,
+                             const strategy::StrategyMap& strategy,
+                             PlanEvalOptions options = PlanEvalOptions());
+
+}  // namespace heterog::sim

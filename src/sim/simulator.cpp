@@ -1,0 +1,325 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace heterog::sim {
+
+namespace {
+
+using compile::DistGraph;
+using compile::DistNodeId;
+using compile::NodeKind;
+
+struct ReadyEntry {
+  double priority = 0.0;
+  int64_t sequence = 0;  // FIFO tiebreak / FIFO order
+  DistNodeId node = -1;
+};
+
+struct RankOrder {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;  // max-heap
+    return a.sequence > b.sequence;
+  }
+};
+
+struct FifoOrder {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    return a.sequence > b.sequence;  // min-heap on arrival order
+  }
+};
+
+struct Event {
+  double time = 0.0;
+  DistNodeId node = -1;
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return node > other.node;
+  }
+};
+
+/// Per-device live-tensor memory tracker with reference counting.
+class MemoryTracker {
+ public:
+  MemoryTracker(const DistGraph& graph, int device_count)
+      : graph_(graph),
+        current_(static_cast<size_t>(device_count), 0),
+        peak_(static_cast<size_t>(device_count), 0),
+        remaining_consumers_(static_cast<size_t>(graph.node_count()), 0) {
+    const auto& params = graph.static_param_bytes();
+    for (size_t d = 0; d < current_.size() && d < params.size(); ++d) {
+      current_[d] = params[d];
+      peak_[d] = params[d];
+    }
+    for (DistNodeId id = 0; id < graph.node_count(); ++id) {
+      remaining_consumers_[static_cast<size_t>(id)] =
+          static_cast<int>(graph.successors(id).size());
+    }
+  }
+
+  void on_start(DistNodeId id) {
+    const auto& n = graph_.node(id);
+    if (n.output_bytes <= 0) return;
+    switch (n.kind) {
+      case NodeKind::kCompute:
+        allocate(n.device, n.output_bytes);
+        break;
+      case NodeKind::kTransfer:
+        allocate(n.link_to, n.output_bytes);
+        break;
+      case NodeKind::kCollective:
+        for (auto d : n.participants) allocate(d, n.output_bytes);
+        break;
+    }
+  }
+
+  void on_finish(DistNodeId id) {
+    // A terminal node's output is released immediately; otherwise it lives
+    // until the last consumer finishes.
+    if (remaining_consumers_[static_cast<size_t>(id)] == 0) release_output(id);
+    for (DistNodeId p : graph_.predecessors(id)) {
+      if (--remaining_consumers_[static_cast<size_t>(p)] == 0) release_output(p);
+    }
+  }
+
+  const std::vector<int64_t>& peak() const { return peak_; }
+
+ private:
+  void allocate(cluster::DeviceId device, int64_t bytes) {
+    auto& cur = current_[static_cast<size_t>(device)];
+    cur += bytes;
+    peak_[static_cast<size_t>(device)] = std::max(peak_[static_cast<size_t>(device)], cur);
+  }
+
+  void release_output(DistNodeId id) {
+    const auto& n = graph_.node(id);
+    if (n.output_bytes <= 0) return;
+    switch (n.kind) {
+      case NodeKind::kCompute:
+        current_[static_cast<size_t>(n.device)] -= n.output_bytes;
+        break;
+      case NodeKind::kTransfer:
+        current_[static_cast<size_t>(n.link_to)] -= n.output_bytes;
+        break;
+      case NodeKind::kCollective:
+        for (auto d : n.participants) current_[static_cast<size_t>(d)] -= n.output_bytes;
+        break;
+    }
+  }
+
+  const DistGraph& graph_;
+  std::vector<int64_t> current_;
+  std::vector<int64_t> peak_;
+  std::vector<int> remaining_consumers_;
+};
+
+template <typename Order>
+SimResult run_simulation(const DistGraph& graph, const std::vector<double>& priorities,
+                         const SimOptions& options) {
+  const auto& resources = graph.resources();
+  const int n = graph.node_count();
+  const int r = resources.resource_count();
+
+  SimResult result;
+  result.resource_busy_ms.assign(static_cast<size_t>(r), 0.0);
+  result.start_ms.assign(static_cast<size_t>(n), 0.0);
+  result.finish_ms.assign(static_cast<size_t>(n), 0.0);
+
+  if (n == 0) {
+    result.peak_memory_bytes.assign(static_cast<size_t>(resources.device_count()), 0);
+    return result;
+  }
+
+  // Per-node resource sets (multi-resource transfers occupy NIC resources
+  // besides their link; see ResourceModel::resources_of).
+  std::vector<std::vector<int>> node_resources(static_cast<size_t>(n));
+  {
+    std::vector<int> scratch;
+    for (DistNodeId id = 0; id < n; ++id) {
+      resources.resources_of(graph.node(id), scratch);
+      node_resources[static_cast<size_t>(id)] = scratch;
+    }
+  }
+
+  std::vector<std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, Order>> ready(
+      static_cast<size_t>(r));
+  std::vector<bool> busy(static_cast<size_t>(r), false);
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
+  int64_t sequence = 0;
+
+  auto push_on = [&](int res, DistNodeId id, int64_t seq, double priority) {
+    ReadyEntry e;
+    e.priority = priority;
+    e.sequence = seq;
+    e.node = id;
+    ready[static_cast<size_t>(res)].push(e);
+  };
+
+  auto push_ready = [&](DistNodeId id) {
+    const int res = resources.resource_of(graph.node(id));
+    push_on(res, id, sequence++, priorities[static_cast<size_t>(id)]);
+  };
+
+  for (DistNodeId id = 0; id < n; ++id) {
+    in_degree[static_cast<size_t>(id)] = static_cast<int>(graph.predecessors(id).size());
+    if (in_degree[static_cast<size_t>(id)] == 0) push_ready(id);
+  }
+
+  MemoryTracker memory(graph, resources.device_count());
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  double now = 0.0;
+  int completed = 0;
+
+  // Dispatch on one resource: start queued nodes whose resource sets are
+  // entirely free; a node blocked on another resource migrates to that
+  // resource's queue (it will be reconsidered when that resource frees).
+  auto dispatch_resource = [&](int res, double time) {
+    auto& queue = ready[static_cast<size_t>(res)];
+    while (!busy[static_cast<size_t>(res)] && !queue.empty()) {
+      const ReadyEntry entry = queue.top();
+      const auto& needed = node_resources[static_cast<size_t>(entry.node)];
+      int blocking = -1;
+      for (int nr : needed) {
+        if (busy[static_cast<size_t>(nr)]) {
+          blocking = nr;
+          break;
+        }
+      }
+      queue.pop();
+      if (blocking >= 0) {
+        push_on(blocking, entry.node, entry.sequence, entry.priority);
+        continue;
+      }
+      const double duration = graph.node(entry.node).duration_ms;
+      for (int nr : needed) {
+        busy[static_cast<size_t>(nr)] = true;
+        result.resource_busy_ms[static_cast<size_t>(nr)] += duration;
+      }
+      result.start_ms[static_cast<size_t>(entry.node)] = time;
+      result.finish_ms[static_cast<size_t>(entry.node)] = time + duration;
+      if (options.track_memory) memory.on_start(entry.node);
+      events.push(Event{time + duration, entry.node});
+    }
+  };
+
+  auto dispatch_all = [&](double time) {
+    for (int res = 0; res < r; ++res) dispatch_resource(res, time);
+  };
+
+  dispatch_all(0.0);
+  while (!events.empty()) {
+    // Drain all events at the same timestamp before dispatching, so freed
+    // resources see every newly-ready node.
+    const double time = events.top().time;
+    while (!events.empty() && events.top().time == time) {
+      const Event ev = events.top();
+      events.pop();
+      now = ev.time;
+      ++completed;
+      for (int nr : node_resources[static_cast<size_t>(ev.node)]) {
+        busy[static_cast<size_t>(nr)] = false;
+      }
+      if (options.track_memory) memory.on_finish(ev.node);
+      for (DistNodeId s : graph.successors(ev.node)) {
+        if (--in_degree[static_cast<size_t>(s)] == 0) push_ready(s);
+      }
+    }
+    dispatch_all(now);
+  }
+
+  check(completed == n, "simulation deadlocked (cycle or unreachable node)");
+  result.makespan_ms = now;
+
+  for (int res = 0; res < r; ++res) {
+    const double t = result.resource_busy_ms[static_cast<size_t>(res)];
+    if (resources.is_gpu_resource(res)) {
+      result.computation_time_ms = std::max(result.computation_time_ms, t);
+    } else {
+      result.communication_time_ms = std::max(result.communication_time_ms, t);
+    }
+  }
+
+  if (options.track_memory) {
+    result.peak_memory_bytes = memory.peak();
+  } else {
+    result.peak_memory_bytes.assign(static_cast<size_t>(resources.device_count()), 0);
+  }
+  return result;
+}
+
+}  // namespace
+
+SimResult Simulator::run(const compile::DistGraph& graph) const {
+  if (options_.policy == sched::OrderPolicy::kRankPriority) {
+    return run_with_priorities(graph, sched::rank_priorities(graph));
+  }
+  // FIFO ignores priorities; arrival order decides.
+  const std::vector<double> zeros(static_cast<size_t>(graph.node_count()), 0.0);
+  return run_with_priorities(graph, zeros);
+}
+
+SimResult Simulator::run_with_priorities(const compile::DistGraph& graph,
+                                         const std::vector<double>& priorities) const {
+  check(static_cast<int>(priorities.size()) == graph.node_count(),
+        "run_with_priorities: size mismatch");
+  return options_.policy == sched::OrderPolicy::kRankPriority
+             ? run_simulation<RankOrder>(graph, priorities, options_)
+             : run_simulation<FifoOrder>(graph, priorities, options_);
+}
+
+void apply_oom_check(SimResult& result, const cluster::ClusterSpec& cluster,
+                     double usable_memory_fraction) {
+  result.oom = false;
+  result.oom_devices.clear();
+  for (const auto& d : cluster.devices()) {
+    if (static_cast<size_t>(d.id) >= result.peak_memory_bytes.size()) break;
+    const auto usable = static_cast<int64_t>(
+        static_cast<double>(d.memory_bytes) * usable_memory_fraction);
+    if (result.peak_memory_bytes[static_cast<size_t>(d.id)] > usable) {
+      result.oom = true;
+      result.oom_devices.push_back(d.id);
+    }
+  }
+}
+
+double simulate_iteration_ms(const compile::DistGraph& graph) {
+  Simulator sim;
+  return sim.run(graph).makespan_ms;
+}
+
+SimResult evaluate(const compile::DistGraph& graph, const cluster::ClusterSpec& cluster,
+                   SimOptions options) {
+  Simulator sim(options);
+  SimResult result = sim.run(graph);
+  apply_oom_check(result, cluster, options.usable_memory_fraction);
+  return result;
+}
+
+double optimal_makespan_exhaustive(const compile::DistGraph& graph, int max_nodes) {
+  check(graph.node_count() <= max_nodes,
+        "optimal_makespan_exhaustive: graph too large for exhaustive search");
+  std::vector<int> perm(static_cast<size_t>(graph.node_count()));
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+
+  SimOptions options;
+  options.track_memory = false;
+  Simulator simulator(options);
+
+  double best = -1.0;
+  std::vector<double> priorities(perm.size(), 0.0);
+  do {
+    // perm[i] is the i-th most urgent node.
+    for (size_t i = 0; i < perm.size(); ++i) {
+      priorities[static_cast<size_t>(perm[i])] = static_cast<double>(perm.size() - i);
+    }
+    const double makespan = simulator.run_with_priorities(graph, priorities).makespan_ms;
+    if (best < 0.0 || makespan < best) best = makespan;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace heterog::sim

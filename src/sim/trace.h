@@ -1,0 +1,36 @@
+// Execution-timeline export for simulated schedules.
+//
+// Two renderers over a (DistGraph, SimResult) pair:
+//   * chrome_trace_json — Chrome/Perfetto "trace event" JSON (open in
+//     chrome://tracing or ui.perfetto.dev); one row per resource (GPU, link,
+//     NIC, NCCL channel), one complete event per node.
+//   * ascii_timeline    — a quick terminal Gantt view, one row per GPU plus
+//     the NCCL channel, for examples and debugging.
+#pragma once
+
+#include <string>
+
+#include "compile/dist_graph.h"
+#include "sim/simulator.h"
+
+namespace heterog::sim {
+
+/// Chrome trace-event JSON for the simulated schedule. Durations are in
+/// microseconds as the trace format expects (1 ms of simulated time = 1000
+/// trace units).
+std::string chrome_trace_json(const compile::DistGraph& graph, const SimResult& result);
+
+/// Writes chrome_trace_json to a file; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const compile::DistGraph& graph,
+                        const SimResult& result);
+
+struct AsciiTimelineOptions {
+  int width = 100;            // columns for the time axis
+  bool include_links = false; // add rows for busy links / NICs
+};
+
+/// Terminal Gantt chart: '#' = compute, '=' = transfer, '*' = collective.
+std::string ascii_timeline(const compile::DistGraph& graph, const SimResult& result,
+                           AsciiTimelineOptions options = AsciiTimelineOptions());
+
+}  // namespace heterog::sim

@@ -1,0 +1,58 @@
+#include "strategy/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace heterog::strategy {
+
+std::string to_text(const StrategyMap& map, int device_count) {
+  std::ostringstream os;
+  os << "heterog-plan v1\n";
+  os << "devices " << device_count << "\n";
+  os << "groups " << map.group_actions.size() << "\n";
+  for (const Action& a : map.group_actions) os << a.index(device_count) << "\n";
+  return os.str();
+}
+
+std::optional<StrategyMap> from_text(const std::string& text, int device_count) {
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "heterog-plan" || version != "v1") {
+    return std::nullopt;
+  }
+  std::string key;
+  int devices = 0;
+  if (!(is >> key >> devices) || key != "devices" || devices != device_count) {
+    return std::nullopt;
+  }
+  size_t groups = 0;
+  if (!(is >> key >> groups) || key != "groups") return std::nullopt;
+
+  StrategyMap map;
+  map.group_actions.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    int index = -1;
+    if (!(is >> index) || index < 0 || index >= Action::action_count(device_count)) {
+      return std::nullopt;
+    }
+    map.group_actions.push_back(Action::from_index(index, device_count));
+  }
+  return map;
+}
+
+bool save_plan(const std::string& path, const StrategyMap& map, int device_count) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_text(map, device_count);
+  return static_cast<bool>(out);
+}
+
+std::optional<StrategyMap> load_plan(const std::string& path, int device_count) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str(), device_count);
+}
+
+}  // namespace heterog::strategy

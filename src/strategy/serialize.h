@@ -1,0 +1,30 @@
+// Plain-text (de)serialisation of strategy maps, used by the bench harness
+// to cache search results across binaries and by users to export plans.
+//
+// Format (line-oriented):
+//   heterog-plan v1
+//   devices <M>
+//   groups <N>
+//   <action index of group 0>
+//   ...
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "strategy/strategy.h"
+
+namespace heterog::strategy {
+
+std::string to_text(const StrategyMap& map, int device_count);
+
+/// Parses a plan; returns nullopt on malformed input or device-count
+/// mismatch.
+std::optional<StrategyMap> from_text(const std::string& text, int device_count);
+
+/// File helpers; save overwrites. load returns nullopt when the file is
+/// missing or invalid.
+bool save_plan(const std::string& path, const StrategyMap& map, int device_count);
+std::optional<StrategyMap> load_plan(const std::string& path, int device_count);
+
+}  // namespace heterog::strategy

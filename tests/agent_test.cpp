@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "agent/features.h"
+#include "agent/policy.h"
+#include "models/models.h"
+#include "test_util.h"
+
+namespace heterog::agent {
+namespace {
+
+class AgentTest : public ::testing::Test {
+ protected:
+  heterog::testing::TestRig rig_{cluster::make_paper_testbed_8gpu()};
+  graph::GraphDef graph_ = heterog::testing::make_toy_training_graph();
+};
+
+TEST_F(AgentTest, FeatureMatrixShapeAndRange) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  EXPECT_EQ(encoded.features.rows(), graph_.op_count());
+  EXPECT_EQ(encoded.features.cols(), feature_dim(8));
+  for (int r = 0; r < encoded.features.rows(); ++r) {
+    for (int c = 0; c < encoded.features.cols(); ++c) {
+      EXPECT_GE(encoded.features.at(r, c), -1.0 - 1e-9);
+      EXPECT_LE(encoded.features.at(r, c), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_F(AgentTest, EdgeListHasBothDirectionsAndSelfLoops) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  EXPECT_EQ(encoded.edge_src.size(),
+            static_cast<size_t>(graph_.edge_count()) * 2 +
+                static_cast<size_t>(graph_.op_count()));
+  int self_loops = 0;
+  for (size_t e = 0; e < encoded.edge_src.size(); ++e) {
+    if (encoded.edge_src[e] == encoded.edge_dst[e]) ++self_loops;
+  }
+  EXPECT_EQ(self_loops, graph_.op_count());
+}
+
+TEST_F(AgentTest, RoleOneHotColumnsAreExclusive) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  const int base = feature_dim(8) - 3;
+  for (int r = 0; r < encoded.features.rows(); ++r) {
+    const double total = encoded.features.at(r, base) + encoded.features.at(r, base + 1) +
+                         encoded.features.at(r, base + 2);
+    EXPECT_DOUBLE_EQ(total, 1.0);
+  }
+}
+
+TEST_F(AgentTest, PolicyForwardProducesGroupLogits) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  AgentConfig config;
+  config.max_groups = 16;
+  PolicyNetwork policy(8, config);
+  nn::Tape tape;
+  const auto out = policy.forward(tape, encoded);
+  EXPECT_EQ(out.logits.rows(), encoded.group_count());
+  EXPECT_EQ(out.logits.cols(), 12);  // M + 4
+}
+
+TEST_F(AgentTest, PolicyRejectsMismatchedClusterSize) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  AgentConfig config;
+  PolicyNetwork policy(12, config);  // built for 12 GPUs
+  nn::Tape tape;
+  EXPECT_THROW(policy.forward(tape, encoded), CheckError);
+}
+
+TEST_F(AgentTest, SamplingRespectsLogits) {
+  AgentConfig config;
+  PolicyNetwork policy(2, config);  // action space size 6
+  nn::Matrix logits(3, 6);
+  logits.at(0, 4) = 50.0;  // overwhelming mass on action 4 for group 0
+  logits.at(1, 0) = 50.0;
+  logits.at(2, 5) = 50.0;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto actions = policy.sample_actions(logits, rng, 1.0);
+    EXPECT_EQ(actions[0], 4);
+    EXPECT_EQ(actions[1], 0);
+    EXPECT_EQ(actions[2], 5);
+  }
+  const auto greedy = policy.greedy_actions(logits);
+  EXPECT_EQ(greedy, (std::vector<int>{4, 0, 5}));
+}
+
+TEST_F(AgentTest, SampledActionsAlwaysValid) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  AgentConfig config;
+  PolicyNetwork policy(8, config);
+  nn::Tape tape;
+  const auto out = policy.forward(tape, encoded);
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto actions = policy.sample_actions(out.logits.value(), rng, 1.5);
+    for (int a : actions) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, policy.action_count());
+    }
+  }
+}
+
+TEST_F(AgentTest, SnapshotRestoreRoundTrip) {
+  AgentConfig config;
+  PolicyNetwork policy(4, config);
+  const auto snapshot = policy.snapshot_params();
+  // Perturb every parameter, then restore.
+  for (const auto& p : policy.params().all()) {
+    nn::Var handle = p;
+    handle.mutable_value().scale_in_place(3.0);
+  }
+  policy.restore_params(snapshot);
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& p = policy.params().all()[i];
+    for (int64_t k = 0; k < p.value().size(); ++k) {
+      EXPECT_DOUBLE_EQ(p.value().data()[k], snapshot[i].data()[k]);
+    }
+  }
+}
+
+TEST_F(AgentTest, ForwardDeterministicGivenParams) {
+  const EncodedGraph encoded = encode_graph(graph_, *rig_.costs, 16);
+  AgentConfig config;
+  config.seed = 77;
+  PolicyNetwork p1(8, config);
+  PolicyNetwork p2(8, config);
+  nn::Tape t1, t2;
+  const auto o1 = p1.forward(t1, encoded);
+  const auto o2 = p2.forward(t2, encoded);
+  for (int64_t i = 0; i < o1.logits.value().size(); ++i) {
+    EXPECT_DOUBLE_EQ(o1.logits.value().data()[i], o2.logits.value().data()[i]);
+  }
+}
+
+TEST_F(AgentTest, RealModelEncodesWithinGroupLimit) {
+  const auto g = models::build_training(models::ModelKind::kResNet200, 0, 64);
+  const EncodedGraph encoded = encode_graph(g, *rig_.costs, 48);
+  EXPECT_LE(encoded.group_count(), 48);
+  EXPECT_EQ(encoded.features.rows(), g.op_count());
+}
+
+}  // namespace
+}  // namespace heterog::agent

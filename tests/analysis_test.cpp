@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "common/check.h"
+#include "test_util.h"
+
+namespace heterog::analysis {
+namespace {
+
+using strategy::Action;
+using strategy::CommMethod;
+using strategy::ReplicationMode;
+
+TEST(PlanDiffTest, IdenticalPlansShowNoChanges) {
+  const auto map = strategy::StrategyMap::uniform(
+      10, Action::dp(ReplicationMode::kEven, CommMethod::kPS));
+  const PlanDiff diff = diff_plans(map, map);
+  EXPECT_EQ(diff.groups_total, 10);
+  EXPECT_EQ(diff.groups_changed, 0);
+}
+
+TEST(PlanDiffTest, CategorisesEveryKindOfChange) {
+  strategy::StrategyMap before, after;
+  // 0: DP -> MP; 1: MP -> DP; 2: MP device move; 3: comm flip; 4: repl flip;
+  // 5: unchanged.
+  before.group_actions = {Action::dp(ReplicationMode::kEven, CommMethod::kPS),
+                          Action::mp(2),
+                          Action::mp(0),
+                          Action::dp(ReplicationMode::kEven, CommMethod::kPS),
+                          Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce),
+                          Action::mp(7)};
+  after.group_actions = {Action::mp(1),
+                         Action::dp(ReplicationMode::kProportional, CommMethod::kPS),
+                         Action::mp(5),
+                         Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce),
+                         Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce),
+                         Action::mp(7)};
+  const PlanDiff diff = diff_plans(before, after);
+  EXPECT_EQ(diff.groups_changed, 5);
+  EXPECT_EQ(diff.dp_to_mp, 1);
+  EXPECT_EQ(diff.mp_to_dp, 1);
+  EXPECT_EQ(diff.device_moves, 1);
+  EXPECT_EQ(diff.comm_flips, 1);
+  EXPECT_EQ(diff.replication_flips, 1);
+  EXPECT_NE(diff.summary().find("5/6 groups changed"), std::string::npos);
+}
+
+TEST(PlanDiffTest, RejectsMismatchedGroupCounts) {
+  strategy::StrategyMap a = strategy::StrategyMap::uniform(3, Action::mp(0));
+  strategy::StrategyMap b = strategy::StrategyMap::uniform(4, Action::mp(0));
+  EXPECT_THROW(diff_plans(a, b), CheckError);
+}
+
+class UtilizationTest : public ::testing::Test {
+ protected:
+  heterog::testing::TestRig rig_{cluster::make_paper_testbed_8gpu()};
+};
+
+TEST_F(UtilizationTest, ReportMatchesSimulatedBusyTimes) {
+  const auto train = heterog::testing::make_toy_training_graph(64.0);
+  const auto compiled = rig_.compile_uniform(
+      train, Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce), 16);
+  const auto result = sim::Simulator().run(compiled.graph);
+  const auto report = utilization(compiled.graph, result);
+
+  ASSERT_EQ(report.devices.size(), 8u);
+  EXPECT_DOUBLE_EQ(report.makespan_ms, result.makespan_ms);
+  double mean = 0.0;
+  for (const auto& u : report.devices) {
+    EXPECT_GE(u.busy_fraction, 0.0);
+    EXPECT_LE(u.busy_fraction, 1.0 + 1e-9);
+    mean += u.busy_fraction;
+  }
+  EXPECT_NEAR(report.mean_gpu_utilization, mean / 8.0, 1e-12);
+  EXPECT_GT(report.nccl_busy_ms, 0.0);  // EV-AR uses the channel
+
+  const std::string text = report.render();
+  EXPECT_NE(text.find("mean GPU utilization"), std::string::npos);
+  EXPECT_NE(text.find("G7"), std::string::npos);
+}
+
+TEST_F(UtilizationTest, MpPlanLeavesOtherDevicesIdle) {
+  const auto train = heterog::testing::make_toy_training_graph(64.0);
+  const auto compiled = rig_.compile_uniform(train, Action::mp(3), 16);
+  const auto result = sim::Simulator().run(compiled.graph);
+  const auto report = utilization(compiled.graph, result);
+  for (const auto& u : report.devices) {
+    if (u.device == 3) {
+      EXPECT_GT(u.busy_fraction, 0.9);
+    } else {
+      EXPECT_DOUBLE_EQ(u.busy_fraction, 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(report.nccl_busy_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace heterog::analysis

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "models/models.h"
+#include "test_util.h"
+
+namespace heterog::baselines {
+namespace {
+
+using strategy::Action;
+using strategy::CommMethod;
+using strategy::ReplicationMode;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  heterog::testing::TestRig rig_{cluster::make_paper_testbed_8gpu()};
+  graph::GraphDef graph_ = heterog::testing::make_toy_training_graph(64.0);
+  Evaluator evaluator_{*rig_.costs};
+  strategy::Grouping grouping_ = strategy::Grouping::build(graph_, *rig_.costs, 16);
+};
+
+TEST_F(BaselinesTest, UniformDpRunsAndReportsThroughput) {
+  const auto outcome = run_uniform_dp(evaluator_, graph_, grouping_,
+                                      ReplicationMode::kEven, CommMethod::kAllReduce);
+  EXPECT_FALSE(outcome.oom);
+  EXPECT_GT(outcome.time_ms, 0.0);
+  EXPECT_NEAR(outcome.samples_per_second, 64.0 / (outcome.time_ms / 1000.0), 1e-6);
+}
+
+TEST_F(BaselinesTest, HorovodIsEvArWithTensorFusion) {
+  // Horovod = EV-AR under FIFO with 64 MB tensor fusion. Fusion changes the
+  // collective schedule (fewer, larger AllReduces) so timings differ from
+  // the per-tensor EV-AR baseline; the strategy itself is pure EV-AR.
+  const auto horovod = run_horovod(evaluator_, graph_, grouping_);
+  const auto ev_ar = run_uniform_dp(evaluator_, graph_, grouping_, ReplicationMode::kEven,
+                                    CommMethod::kAllReduce, sched::OrderPolicy::kFifo);
+  EXPECT_GT(horovod.time_ms, 0.0);
+  EXPECT_FALSE(horovod.oom);
+  EXPECT_NE(horovod.time_ms, ev_ar.time_ms);  // fusion actually changed the graph
+  for (const auto& a : horovod.map.group_actions) {
+    EXPECT_FALSE(a.is_mp);
+    EXPECT_EQ(a.comm, CommMethod::kAllReduce);
+  }
+}
+
+TEST_F(BaselinesTest, FlexFlowNeverWorseThanItsStartingPoint) {
+  FlexFlowOptions options;
+  options.iterations = 60;
+  const auto flexflow = run_flexflow(evaluator_, graph_, grouping_, options);
+  const auto start = run_uniform_dp(evaluator_, graph_, grouping_, ReplicationMode::kEven,
+                                    CommMethod::kAllReduce, sched::OrderPolicy::kFifo);
+  EXPECT_FALSE(flexflow.oom);
+  EXPECT_LE(flexflow.time_ms, start.time_ms + 1e-9);
+  EXPECT_GT(flexflow.evaluations, 50);
+}
+
+TEST_F(BaselinesTest, FlexFlowOnlyUsesItsRestrictedActionSpace) {
+  FlexFlowOptions options;
+  options.iterations = 40;
+  const auto flexflow = run_flexflow(evaluator_, graph_, grouping_, options);
+  for (const auto& a : flexflow.map.group_actions) {
+    if (!a.is_mp) {
+      EXPECT_EQ(a.comm, CommMethod::kAllReduce);  // no PS in FlexFlow's space
+    }
+  }
+}
+
+TEST_F(BaselinesTest, PostProducesPlacementOnlyPlans) {
+  PostOptions options;
+  options.rounds = 4;
+  options.samples_per_round = 8;
+  const auto post = run_post(evaluator_, graph_, grouping_, options);
+  EXPECT_FALSE(post.oom);
+  for (const auto& a : post.map.group_actions) {
+    EXPECT_TRUE(a.is_mp);  // Post decides placement, never replication
+  }
+  EXPECT_EQ(post.evaluations, 32);
+}
+
+TEST_F(BaselinesTest, PostDeterministicForSeed) {
+  PostOptions options;
+  options.rounds = 3;
+  options.samples_per_round = 6;
+  const auto a = run_post(evaluator_, graph_, grouping_, options);
+  const auto b = run_post(evaluator_, graph_, grouping_, options);
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+}
+
+TEST_F(BaselinesTest, HetPipeRunsOnRealModel) {
+  const auto outcome = run_hetpipe(
+      *rig_.costs,
+      [](double batch) {
+        return models::build_training(models::ModelKind::kInceptionV3, 0, batch);
+      },
+      192.0, HetPipeOptions());
+  EXPECT_FALSE(outcome.oom);
+  EXPECT_GT(outcome.time_ms, 0.0);
+  EXPECT_GT(outcome.samples_per_second, 0.0);
+}
+
+TEST_F(BaselinesTest, HetPipeSyncOverlapReducesTime) {
+  auto builder = [](double batch) {
+    return models::build_training(models::ModelKind::kVgg19, 0, batch);
+  };
+  HetPipeOptions no_overlap;
+  no_overlap.sync_overlap = 0.0;
+  HetPipeOptions full_overlap;
+  full_overlap.sync_overlap = 1.0;
+  const auto slow = run_hetpipe(*rig_.costs, builder, 192.0, no_overlap);
+  const auto fast = run_hetpipe(*rig_.costs, builder, 192.0, full_overlap);
+  EXPECT_LT(fast.time_ms, slow.time_ms);
+}
+
+TEST_F(BaselinesTest, EvaluatorHonoursOrderPolicy) {
+  const auto map = strategy::StrategyMap::uniform(
+      grouping_.group_count(), Action::dp(ReplicationMode::kProportional, CommMethod::kPS));
+  const auto rank = evaluator_.evaluate(graph_, grouping_, map,
+                                        sched::OrderPolicy::kRankPriority);
+  const auto fifo = evaluator_.evaluate(graph_, grouping_, map, sched::OrderPolicy::kFifo);
+  EXPECT_GT(rank.time_ms, 0.0);
+  EXPECT_GT(fifo.time_ms, 0.0);
+  // Rank scheduling should not be slower than FIFO by more than noise.
+  EXPECT_LE(rank.time_ms, fifo.time_ms * 1.05);
+}
+
+}  // namespace
+}  // namespace heterog::baselines

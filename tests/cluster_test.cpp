@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "cluster/cluster.h"
+
+namespace heterog::cluster {
+namespace {
+
+TEST(Cluster, Paper8GpuLayoutMatchesTable2) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  ASSERT_EQ(c.device_count(), 8);
+  EXPECT_EQ(c.device(0).model, GpuModel::kV100);
+  EXPECT_EQ(c.device(1).model, GpuModel::kV100);
+  for (int i = 2; i <= 5; ++i) EXPECT_EQ(c.device(i).model, GpuModel::kGtx1080Ti);
+  EXPECT_EQ(c.device(6).model, GpuModel::kP100);
+  EXPECT_EQ(c.device(7).model, GpuModel::kP100);
+}
+
+TEST(Cluster, Paper12GpuHasFourOfEach) {
+  const ClusterSpec c = make_paper_testbed_12gpu();
+  ASSERT_EQ(c.device_count(), 12);
+  int v100 = 0, gtx = 0, p100 = 0;
+  for (const auto& d : c.devices()) {
+    if (d.model == GpuModel::kV100) ++v100;
+    if (d.model == GpuModel::kGtx1080Ti) ++gtx;
+    if (d.model == GpuModel::kP100) ++p100;
+  }
+  EXPECT_EQ(v100, 4);
+  EXPECT_EQ(gtx, 4);
+  EXPECT_EQ(p100, 4);
+}
+
+TEST(Cluster, IntraHostFasterThanInterHost) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  EXPECT_GT(c.link_bandwidth_bytes_per_ms(0, 1), c.link_bandwidth_bytes_per_ms(0, 2));
+  EXPECT_LT(c.link_latency_ms(0, 1), c.link_latency_ms(0, 2));
+}
+
+TEST(Cluster, InterHostBandwidthIsPathMin) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  // V100 host has a 100 GbE NIC, 1080Ti hosts 50 GbE: path min is 50 Gbps.
+  EXPECT_DOUBLE_EQ(c.link_bandwidth_bytes_per_ms(0, 2), gbps_to_bytes_per_ms(50.0));
+}
+
+TEST(Cluster, RelativePowerNormalisedToSlowest) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  EXPECT_DOUBLE_EQ(c.relative_power(2), 1.0);  // 1080Ti is slowest
+  EXPECT_NEAR(c.relative_power(0), 2.0, 0.01);  // V100 ~2x
+  EXPECT_GT(c.relative_power(6), 1.0);          // P100 slightly faster
+  EXPECT_LT(c.relative_power(6), 1.3);
+}
+
+TEST(Cluster, MemoryCapacitiesMatchTestbed) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  constexpr int64_t kGiB = 1024LL * 1024 * 1024;
+  EXPECT_EQ(c.device(0).memory_bytes, 16 * kGiB);
+  EXPECT_EQ(c.device(2).memory_bytes, 11 * kGiB);
+  EXPECT_EQ(c.device(6).memory_bytes, 12 * kGiB);
+}
+
+TEST(Cluster, GbpsConversion) {
+  // 100 Gbps = 12.5e6 bytes per ms.
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_ms(100.0), 1.25e7);
+}
+
+TEST(Cluster, HomogeneousBuilder) {
+  const ClusterSpec c = make_homogeneous(6, GpuModel::kV100, 2);
+  EXPECT_EQ(c.device_count(), 6);
+  EXPECT_EQ(c.host_count(), 3);
+  for (const auto& d : c.devices()) {
+    EXPECT_EQ(d.model, GpuModel::kV100);
+    EXPECT_DOUBLE_EQ(c.relative_power(d.id), 1.0);
+  }
+}
+
+TEST(Cluster, MotivationClusterRatio122) {
+  const ClusterSpec c = make_motivation_cluster();
+  ASSERT_EQ(c.device_count(), 3);
+  EXPECT_NEAR(c.relative_power(1) / c.relative_power(0), 2.0, 0.01);
+  EXPECT_NEAR(c.relative_power(2) / c.relative_power(0), 2.0, 0.01);
+}
+
+TEST(Cluster, DeviceIdsMustBeDense) {
+  std::vector<HostSpec> hosts = {{0, "h0", 50.0, 96.0}};
+  std::vector<DeviceSpec> devices(1);
+  devices[0].id = 5;  // not dense
+  devices[0].host = 0;
+  EXPECT_THROW(ClusterSpec(hosts, devices, 100.0), CheckError);
+}
+
+TEST(Cluster, MinLinkBandwidthIsInterHost) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  EXPECT_DOUBLE_EQ(c.min_link_bandwidth_bytes_per_ms(), gbps_to_bytes_per_ms(50.0));
+}
+
+}  // namespace
+}  // namespace heterog::cluster

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace heterog {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(check(true, "fine")); }
+
+TEST(Check, ThrowsOnFalseWithLocation) {
+  try {
+    check(false, "broken invariant");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, LazyMessageOnlyBuiltOnFailure) {
+  int calls = 0;
+  check_lazy(true, [&] {
+    ++calls;
+    return std::string("never");
+  });
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(check_lazy(false,
+                          [&] {
+                            ++calls;
+                            return std::string("msg");
+                          }),
+               CheckError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(5);
+  Rng child1 = a.fork(1);
+  Rng a2(5);
+  Rng child2 = a2.fork(1);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+}
+
+TEST(Rng, SampleWeightedRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.sample_weighted(w), 1);
+}
+
+TEST(Rng, SampleWeightedRejectsAllZero) {
+  Rng rng(11);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.sample_weighted(w), CheckError);
+}
+
+TEST(Rng, SampleWeightedRoughProportions) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.sample_weighted(w);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 * v + 1.0);
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.predict(10.0), 26.0, 1e-9);
+}
+
+TEST(Stats, LinearFitDegenerateX) {
+  std::vector<double> x = {2, 2, 2};
+  std::vector<double> y = {1, 2, 3};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+}
+
+TEST(Stats, MeanMedianStddevPercentile) {
+  std::vector<double> v = {1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(v), 22.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_GT(stddev(v), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 100.0);
+}
+
+TEST(Stats, MovingAverageConverges) {
+  MovingAverage avg(0.5);
+  avg.update(10.0);
+  EXPECT_DOUBLE_EQ(avg.value(), 10.0);
+  avg.update(0.0);
+  EXPECT_DOUBLE_EQ(avg.value(), 5.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"Model", "Time"});
+  t.add_row({"VGG-19", "0.462"});
+  t.add_row({"ResNet200-long-name", "1.431"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("VGG-19"), std::string::npos);
+  EXPECT_NE(out.find("ResNet200-long-name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(0.4615, 3), "0.462");
+  EXPECT_EQ(fmt_percent(0.963, 1), "96.3%");
+  EXPECT_EQ(fmt_bytes(1536), "1.50 KB");
+}
+
+}  // namespace
+}  // namespace heterog

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/heterog.h"
+#include "models/models.h"
+
+namespace heterog {
+namespace {
+
+HeteroGConfig fast_config() {
+  HeteroGConfig config;
+  config.train.episodes = 6;
+  config.train.samples_per_episode = 1;
+  config.train.patience = 0;
+  config.agent.max_groups = 16;
+  return config;
+}
+
+TEST(Core, GetRunnerDeploysFeasiblePlan) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+  EXPECT_TRUE(runner.feasible());
+  EXPECT_GT(runner.per_iteration_ms(), 0.0);
+  EXPECT_FALSE(runner.strategy().group_actions.empty());
+}
+
+TEST(Core, RunAccumulatesSteps) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+  const RunStats stats = runner.run(100);
+  EXPECT_EQ(stats.steps, 100);
+  EXPECT_NEAR(stats.total_ms, 100.0 * stats.per_iteration_ms, 1e-6);
+  EXPECT_GT(stats.computation_ms, 0.0);
+  EXPECT_FALSE(stats.oom);
+}
+
+TEST(Core, HeuristicOnlyModeIsFastAndFeasible) {
+  HeteroGConfig config = fast_config();
+  config.search_with_rl = false;
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kVgg19, 0, 192); },
+      cluster::make_paper_testbed_8gpu(), config);
+  EXPECT_TRUE(runner.feasible());
+}
+
+TEST(Core, BreakdownFractionsSumToOne) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+  const auto bd = runner.breakdown();
+  double total = bd.ev_ps + bd.ev_ar + bd.cp_ps + bd.cp_ar;
+  for (double f : bd.mp_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Core, OrderSchedulingKnobChangesPolicy) {
+  HeteroGConfig with = fast_config();
+  HeteroGConfig without = fast_config();
+  without.use_order_scheduling = false;
+  const auto runner_with = get_runner(
+      [] { return models::build_forward(models::ModelKind::kInceptionV3, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), with);
+  const auto runner_without = get_runner(
+      [] { return models::build_forward(models::ModelKind::kInceptionV3, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), without);
+  // HeteroG ordering must not be slower than FIFO.
+  EXPECT_LE(runner_with.per_iteration_ms(), runner_without.per_iteration_ms() * 1.05);
+}
+
+TEST(Core, EmptyModelFuncRejected) {
+  EXPECT_THROW(get_runner(std::function<graph::GraphDef()>(),
+                          cluster::make_paper_testbed_8gpu(), fast_config()),
+               CheckError);
+}
+
+TEST(Core, TwelveGpuClusterSupported) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 144); },
+      cluster::make_paper_testbed_12gpu(), fast_config());
+  EXPECT_TRUE(runner.feasible());
+  EXPECT_EQ(runner.breakdown().mp_fraction.size(), 12u);
+}
+
+}  // namespace
+}  // namespace heterog

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <set>
+
+#include "graph/graph.h"
+#include "graph/training.h"
+
+namespace heterog::graph {
+namespace {
+
+OpDef simple_op(const std::string& name, OpKind kind = OpKind::kConv2D,
+                double gflops = 1.0, int64_t out_bytes = 1000, int64_t params = 0) {
+  OpDef op;
+  op.name = name;
+  op.kind = kind;
+  op.flops_per_sample = gflops * 1e9;
+  op.out_bytes_per_sample = out_bytes;
+  op.param_bytes = params;
+  return op;
+}
+
+GraphDef chain3() {
+  GraphDef g("chain", 32.0);
+  const OpId a = g.add_op(simple_op("a"));
+  const OpId b = g.add_op(simple_op("b"));
+  const OpId c = g.add_op(simple_op("c"));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  return g;
+}
+
+TEST(GraphDef, AddOpAssignsDenseIds) {
+  GraphDef g("g", 1.0);
+  EXPECT_EQ(g.add_op(simple_op("a")), 0);
+  EXPECT_EQ(g.add_op(simple_op("b")), 1);
+  EXPECT_EQ(g.op_count(), 2);
+}
+
+TEST(GraphDef, DuplicateEdgesIgnored) {
+  GraphDef g = chain3();
+  const int edges = g.edge_count();
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), edges);
+}
+
+TEST(GraphDef, SelfLoopRejected) {
+  GraphDef g = chain3();
+  EXPECT_THROW(g.add_edge(1, 1), CheckError);
+}
+
+TEST(GraphDef, TopologicalOrderRespectsEdges) {
+  GraphDef g("diamond", 1.0);
+  const OpId a = g.add_op(simple_op("a"));
+  const OpId b = g.add_op(simple_op("b"));
+  const OpId c = g.add_op(simple_op("c"));
+  const OpId d = g.add_op(simple_op("d"));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  const auto order = g.topological_order();
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order.size(); ++i) pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(GraphDef, ValidateDetectsNegativeCosts) {
+  GraphDef g("bad", 1.0);
+  OpDef op = simple_op("x");
+  op.flops_per_sample = -1.0;
+  g.add_op(op);
+  std::string error;
+  EXPECT_FALSE(g.validate(&error));
+  EXPECT_NE(error.find("negative"), std::string::npos);
+}
+
+TEST(GraphDef, OpCostScalesWithBatch) {
+  const OpDef op = simple_op("x", OpKind::kConv2D, 2.0, 100);
+  EXPECT_DOUBLE_EQ(op.flops(10.0), 2e10);
+  EXPECT_EQ(op.out_bytes(10.0), 1000);
+}
+
+TEST(GraphDef, NearestSourcesMultiSourceBfs) {
+  // a - b - c - d - e, sources {a, e}.
+  GraphDef g("path", 1.0);
+  for (int i = 0; i < 5; ++i) g.add_op(simple_op("n" + std::to_string(i)));
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  const auto nearest = g.nearest_sources({0, 4});
+  EXPECT_EQ(nearest[0].source_index, 0);
+  EXPECT_EQ(nearest[1].source_index, 0);
+  EXPECT_EQ(nearest[1].hops, 1);
+  EXPECT_EQ(nearest[3].source_index, 1);
+  EXPECT_EQ(nearest[4].source_index, 1);
+  // Middle node ties; either source is acceptable but hops must be 2.
+  EXPECT_EQ(nearest[2].hops, 2);
+}
+
+TEST(TrainingGraph, BackwardMirrorsForward) {
+  GraphDef fwd("m", 16.0);
+  const OpId a = fwd.add_op(simple_op("conv", OpKind::kConv2D, 4.0, 5000, 2000));
+  const OpId b = fwd.add_op(simple_op("relu", OpKind::kRelu, 0.1, 5000));
+  fwd.add_edge(a, b);
+  const GraphDef train = build_training_graph(fwd);
+
+  const RoleCounts counts = count_roles(train);
+  EXPECT_EQ(counts.forward, 2);
+  // conv has params: input-grad + param-grad; relu: input-grad only.
+  EXPECT_EQ(counts.backward, 3);
+  EXPECT_EQ(counts.apply, 1);
+  EXPECT_TRUE(train.validate());
+}
+
+TEST(TrainingGraph, GradOfPointsAtParamOwner) {
+  GraphDef fwd("m", 16.0);
+  const OpId a = fwd.add_op(simple_op("conv", OpKind::kConv2D, 4.0, 5000, 2000));
+  (void)a;
+  const GraphDef train = build_training_graph(fwd);
+  int grad_ops = 0;
+  for (const auto& op : train.ops()) {
+    if (op.grad_of != kInvalidOp) {
+      ++grad_ops;
+      EXPECT_EQ(op.grad_of, a);
+      EXPECT_EQ(op.kind, OpKind::kConv2DBpFilter);
+      EXPECT_EQ(op.out_bytes_fixed, 2000);  // gradient is parameter-shaped
+      EXPECT_EQ(op.out_bytes_per_sample, 0);
+    }
+  }
+  EXPECT_EQ(grad_ops, 1);
+}
+
+TEST(TrainingGraph, BackwardDependsOnForwardActivationAndSuccessorGrad) {
+  GraphDef fwd("m", 8.0);
+  const OpId a = fwd.add_op(simple_op("a", OpKind::kMatMul, 1.0, 100));
+  const OpId b = fwd.add_op(simple_op("b", OpKind::kMatMul, 1.0, 100));
+  fwd.add_edge(a, b);
+  const GraphDef train = build_training_graph(fwd);
+
+  OpId bp_a = kInvalidOp, bp_b = kInvalidOp;
+  for (const auto& op : train.ops()) {
+    if (op.role == OpRole::kBackward && op.mirror_of == a) bp_a = op.id;
+    if (op.role == OpRole::kBackward && op.mirror_of == b) bp_b = op.id;
+  }
+  ASSERT_NE(bp_a, kInvalidOp);
+  ASSERT_NE(bp_b, kInvalidOp);
+  EXPECT_TRUE(train.has_edge(a, bp_a));   // activation
+  EXPECT_TRUE(train.has_edge(bp_b, bp_a));  // gradient flows backward
+}
+
+TEST(TrainingGraph, BackwardWorkIsTwiceForward) {
+  GraphDef fwd("m", 8.0);
+  fwd.add_op(simple_op("conv", OpKind::kConv2D, 3.0, 100, 500));
+  const GraphDef train = build_training_graph(fwd);
+  double fwd_flops = 0.0, bwd_flops = 0.0;
+  for (const auto& op : train.ops()) {
+    if (op.role == OpRole::kForward) fwd_flops += op.flops_per_sample;
+    if (op.role == OpRole::kBackward) bwd_flops += op.flops_per_sample;
+  }
+  EXPECT_NEAR(bwd_flops, 2.0 * fwd_flops, 1e-6);
+}
+
+TEST(TrainingGraph, RejectsNonForwardInput) {
+  GraphDef g("m", 8.0);
+  OpDef op = simple_op("x");
+  op.role = OpRole::kBackward;
+  g.add_op(op);
+  EXPECT_THROW(build_training_graph(g), CheckError);
+}
+
+TEST(TrainingGraph, ConvBackwardUsesConvBpKinds) {
+  GraphDef fwd("m", 8.0);
+  fwd.add_op(simple_op("conv", OpKind::kConv2D, 3.0, 100, 500));
+  const GraphDef train = build_training_graph(fwd);
+  std::set<OpKind> bw_kinds;
+  for (const auto& op : train.ops()) {
+    if (op.role == OpRole::kBackward) bw_kinds.insert(op.kind);
+  }
+  EXPECT_TRUE(bw_kinds.count(OpKind::kConv2DBpInput));
+  EXPECT_TRUE(bw_kinds.count(OpKind::kConv2DBpFilter));
+}
+
+}  // namespace
+}  // namespace heterog::graph

@@ -1,0 +1,126 @@
+// End-to-end tests through models -> grouping -> compile -> schedule -> sim,
+// checking the paper's qualitative claims hold in our reproduction.
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+#include "test_util.h"
+
+namespace heterog {
+namespace {
+
+using compile::CompileResult;
+using strategy::Action;
+using strategy::CommMethod;
+using strategy::ReplicationMode;
+using testing::TestRig;
+
+sim::SimResult run_dp(const TestRig& rig, const graph::GraphDef& g, Action action) {
+  const CompileResult compiled = rig.compile_uniform(g, action, 64);
+  return sim::evaluate(compiled.graph, rig.cluster);
+}
+
+TEST(Integration, EvArBeatsEvPsOnHomogeneousCluster) {
+  // Paper Sec. 1: "In homogeneous environments, AllReduce usually performs
+  // better than PS."
+  TestRig rig(cluster::make_homogeneous(8, cluster::GpuModel::kGtx1080Ti, 2));
+  const auto g = models::build_training(models::ModelKind::kVgg19, 0, 192);
+  const auto ar = run_dp(rig, g, Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+  const auto ps = run_dp(rig, g, Action::dp(ReplicationMode::kEven, CommMethod::kPS));
+  EXPECT_LT(ar.makespan_ms, ps.makespan_ms);
+}
+
+TEST(Integration, ProportionalBeatsEvenOnHeterogeneousCluster) {
+  // Fig. 3(a): proportional replica allocation speeds up DP on the mixed
+  // V100 / 1080Ti cluster (by a modest margin).
+  TestRig rig(cluster::make_fig3_testbed());
+  const auto g = models::build_training(models::ModelKind::kResNet200, 0, 128);
+  const auto even =
+      run_dp(rig, g, Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+  const auto prop =
+      run_dp(rig, g, Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce));
+  EXPECT_LT(prop.makespan_ms, even.makespan_ms);
+}
+
+TEST(Integration, StandardBatchDpFitsInMemory) {
+  TestRig rig(cluster::make_paper_testbed_8gpu());
+  for (const auto& bench : models::standard_benchmarks()) {
+    const auto g = models::build_training(bench.kind, bench.layers, bench.batch_8gpu);
+    for (const Action action :
+         {Action::dp(ReplicationMode::kEven, CommMethod::kPS),
+          Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce),
+          Action::dp(ReplicationMode::kProportional, CommMethod::kPS),
+          Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce)}) {
+      const auto result = run_dp(rig, g, action);
+      EXPECT_FALSE(result.oom) << bench.label << " " << action.to_string();
+    }
+  }
+}
+
+TEST(Integration, LargeBatchDpOomsOnEveryDpVariant) {
+  // Table 1 bottom: the six large configurations OOM under every pure-DP
+  // strategy.
+  TestRig rig(cluster::make_paper_testbed_8gpu());
+  for (const auto& bench : models::large_benchmarks()) {
+    const auto g = models::build_training(bench.kind, bench.layers, bench.batch_8gpu);
+    for (const Action action :
+         {Action::dp(ReplicationMode::kEven, CommMethod::kPS),
+          Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce),
+          Action::dp(ReplicationMode::kProportional, CommMethod::kPS),
+          Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce)}) {
+      const auto result = run_dp(rig, g, action);
+      EXPECT_TRUE(result.oom) << bench.label << " " << action.to_string();
+    }
+  }
+}
+
+TEST(Integration, RankScheduleNeverWorseThanFifoOnDpPlans) {
+  TestRig rig(cluster::make_paper_testbed_8gpu());
+  const auto g = models::build_training(models::ModelKind::kInceptionV3, 0, 192);
+  const auto compiled = rig.compile_uniform(
+      g, Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce), 64);
+
+  sim::SimOptions rank_opts;
+  rank_opts.policy = sched::OrderPolicy::kRankPriority;
+  sim::SimOptions fifo_opts;
+  fifo_opts.policy = sched::OrderPolicy::kFifo;
+  const double rank_ms = sim::Simulator(rank_opts).run(compiled.graph).makespan_ms;
+  const double fifo_ms = sim::Simulator(fifo_opts).run(compiled.graph).makespan_ms;
+  EXPECT_LE(rank_ms, fifo_ms * 1.02);
+}
+
+TEST(Integration, HybridMpEliminatesGradientSyncForParamHeavyOps) {
+  // Pinning VGG's FC-heavy groups to one device removes their gradient
+  // aggregation traffic (paper Sec. 6.2 "Eliminating large gradient
+  // aggregation").
+  TestRig rig(cluster::make_paper_testbed_8gpu());
+  const auto g = models::build_training(models::ModelKind::kVgg19, 0, 192);
+  const auto grouping = strategy::Grouping::build(g, *rig.costs, 64);
+
+  auto pure = strategy::StrategyMap::uniform(
+      grouping.group_count(), Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce));
+  const auto pure_compiled = rig.compiler->compile(g, grouping, pure);
+
+  // Find the group holding the largest-parameter op and pin it to G0.
+  graph::OpId biggest = 0;
+  for (graph::OpId id = 0; id < g.op_count(); ++id) {
+    if (g.op(id).param_bytes > g.op(biggest).param_bytes) biggest = id;
+  }
+  auto hybrid = pure;
+  hybrid.group_actions[static_cast<size_t>(grouping.group_of(biggest))] = Action::mp(0);
+  const auto hybrid_compiled = rig.compiler->compile(g, grouping, hybrid);
+
+  EXPECT_LT(hybrid_compiled.graph.total_communication_ms(),
+            pure_compiled.graph.total_communication_ms());
+}
+
+TEST(Integration, TwelveGpuClusterAlsoWorks) {
+  TestRig rig(cluster::make_paper_testbed_12gpu());
+  const auto g = models::build_training(models::ModelKind::kMobileNetV2, 0, 288);
+  const auto result =
+      run_dp(rig, g, Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce));
+  EXPECT_FALSE(result.oom);
+  EXPECT_GT(result.makespan_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace heterog

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "graph/training.h"
+#include "models/models.h"
+
+namespace heterog::models {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+constexpr double kGB = 1024.0 * kMB;
+
+struct Calibration {
+  ModelKind kind;
+  int layers;
+  double fwd_gflops;   // per sample
+  double act_mb;       // per sample
+  double param_mb;
+};
+
+double forward_act_mb_per_sample(const graph::GraphDef& g) {
+  double total = 0.0;
+  for (const auto& op : g.ops()) {
+    total += static_cast<double>(op.out_bytes_per_sample) / kMB;
+  }
+  return total;
+}
+
+double forward_gflops_per_sample(const graph::GraphDef& g) {
+  double total = 0.0;
+  for (const auto& op : g.ops()) total += op.flops_per_sample / 1e9;
+  return total;
+}
+
+class ModelCalibrationTest : public ::testing::TestWithParam<Calibration> {};
+
+TEST_P(ModelCalibrationTest, TotalsHitTargets) {
+  const auto& c = GetParam();
+  const auto g = build_forward(c.kind, c.layers, 32.0);
+  EXPECT_NEAR(forward_gflops_per_sample(g), c.fwd_gflops, 0.02 * c.fwd_gflops);
+  EXPECT_NEAR(forward_act_mb_per_sample(g), c.act_mb, 0.02 * c.act_mb);
+  EXPECT_NEAR(static_cast<double>(g.total_param_bytes()) / kMB, c.param_mb,
+              0.02 * c.param_mb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelCalibrationTest,
+    ::testing::Values(
+        Calibration{ModelKind::kVgg19, 0, 19.6, 100.0, 548.0},
+        Calibration{ModelKind::kResNet200, 0, 16.0, 210.0, 260.0},
+        Calibration{ModelKind::kInceptionV3, 0, 5.7, 120.0, 95.0},
+        Calibration{ModelKind::kMobileNetV2, 0, 0.6, 80.0, 14.0},
+        Calibration{ModelKind::kNasNet, 0, 12.0, 85.0, 340.0},
+        Calibration{ModelKind::kTransformer, 6, 2.3 * 6 + 1, 13.0 * 6 + 4,
+                    12.6 * 6 + 130},
+        Calibration{ModelKind::kBertLarge, 24, 6.5 * 24 + 1, 33.3 * 24 + 4,
+                    50.0 * 24 + 125},
+        Calibration{ModelKind::kXlnetLarge, 24, 7.0 * 24 + 1, 33.0 * 24 + 4,
+                    63.5 * 24 + 125}));
+
+class ModelStructureTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelStructureTest, ForwardGraphValidAndConnected) {
+  const auto g = build_forward(GetParam(), 0, 16.0);
+  std::string error;
+  EXPECT_TRUE(g.validate(&error)) << error;
+  EXPECT_GT(g.op_count(), 20);
+  // Exactly one sink (the loss).
+  int sinks = 0;
+  for (graph::OpId id = 0; id < g.op_count(); ++id) {
+    if (g.successors(id).empty()) ++sinks;
+  }
+  EXPECT_EQ(sinks, 1);
+  // Connected: every op reachable from some source.
+  const auto nearest = g.nearest_sources({0});
+  for (const auto& n : nearest) EXPECT_GE(n.source_index, 0);
+}
+
+TEST_P(ModelStructureTest, TrainingGraphHasBackwardAndApply) {
+  const auto g = build_training(GetParam(), 0, 16.0);
+  const auto counts = graph::count_roles(g);
+  EXPECT_GT(counts.backward, 0);
+  EXPECT_GT(counts.apply, 0);
+  EXPECT_GE(counts.backward, counts.forward);  // >= one bp per fw op
+  std::string error;
+  EXPECT_TRUE(g.validate(&error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelStructureTest,
+                         ::testing::Values(ModelKind::kVgg19, ModelKind::kResNet200,
+                                           ModelKind::kInceptionV3,
+                                           ModelKind::kMobileNetV2, ModelKind::kNasNet,
+                                           ModelKind::kTransformer, ModelKind::kBertLarge,
+                                           ModelKind::kXlnetLarge));
+
+TEST(Models, NlpDepthScalesLinearly) {
+  const auto g6 = build_forward(ModelKind::kTransformer, 6, 16.0);
+  const auto g48 = build_forward(ModelKind::kTransformer, 48, 16.0);
+  const double act6 = forward_act_mb_per_sample(g6);
+  const double act48 = forward_act_mb_per_sample(g48);
+  EXPECT_NEAR(act48 / act6, (13.0 * 48 + 4) / (13.0 * 6 + 4), 0.05);
+  EXPECT_GT(g48.op_count(), 6 * g6.op_count() / 2);
+}
+
+TEST(Models, VggParamsDominatedByFullyConnected) {
+  const auto g = build_forward(ModelKind::kVgg19, 0, 16.0);
+  int64_t fc_params = 0;
+  for (const auto& op : g.ops()) {
+    if (op.kind == graph::OpKind::kMatMul) fc_params += op.param_bytes;
+  }
+  EXPECT_GT(static_cast<double>(fc_params) / static_cast<double>(g.total_param_bytes()),
+            0.8);
+}
+
+TEST(Models, BertEmbeddingIsLargestParamOp) {
+  const auto g = build_forward(ModelKind::kBertLarge, 24, 16.0);
+  int64_t embed = 0, max_other = 0;
+  for (const auto& op : g.ops()) {
+    if (op.kind == graph::OpKind::kEmbeddingLookup) {
+      embed = std::max(embed, op.param_bytes);
+    } else {
+      max_other = std::max(max_other, op.param_bytes);
+    }
+  }
+  EXPECT_GT(embed, max_other);
+}
+
+TEST(Models, InceptionHasBranchingConcats) {
+  const auto g = build_forward(ModelKind::kInceptionV3, 0, 16.0);
+  int concats = 0;
+  for (const auto& op : g.ops()) {
+    if (op.kind == graph::OpKind::kConcat) ++concats;
+  }
+  EXPECT_EQ(concats, 11);  // one per inception module
+}
+
+TEST(Models, BenchmarkSetsMatchPaperTables) {
+  const auto standard = standard_benchmarks();
+  EXPECT_EQ(standard.size(), 8u);
+  EXPECT_EQ(standard[0].label, "VGG-19");
+  EXPECT_DOUBLE_EQ(standard[0].batch_8gpu, 192);
+  EXPECT_DOUBLE_EQ(standard[5].batch_8gpu, 720);  // Transformer
+  const auto large = large_benchmarks();
+  EXPECT_EQ(large.size(), 6u);
+  EXPECT_DOUBLE_EQ(large[0].batch_8gpu, 384);  // ResNet200
+  EXPECT_EQ(cnn_benchmarks().size(), 5u);
+}
+
+TEST(Models, MemoryArithmeticForOomBoundary) {
+  // The calibration that drives the paper's OOM rows (DESIGN.md §2):
+  // ResNet200 per-device activations at batch 384 / 8 devices must exceed
+  // the 1080Ti's usable memory, while batch 192 fits.
+  const auto g = build_forward(ModelKind::kResNet200, 0, 384.0);
+  const double act_per_sample_gb = forward_act_mb_per_sample(g) / 1024.0;
+  const double usable_1080ti_gb = 11.0 * 0.92;
+  EXPECT_GT(48.0 * act_per_sample_gb, usable_1080ti_gb * 0.95);  // 384/8 samples
+  EXPECT_LT(24.0 * act_per_sample_gb + 3.0 * 260.0 / 1024.0,
+            usable_1080ti_gb);  // 192/8 samples + params headroom
+  (void)kGB;
+}
+
+}  // namespace
+}  // namespace heterog::models

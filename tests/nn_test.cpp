@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "nn/autograd.h"
+#include "nn/layers.h"
+
+namespace heterog::nn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Numerical gradient checking: every autograd op is verified against central
+// finite differences.
+// ---------------------------------------------------------------------------
+
+/// Builds loss = f(tape, x) twice per perturbed entry and compares d(loss)/dx
+/// against the analytic gradient.
+void check_gradient(const Matrix& x0,
+                    const std::function<Var(Tape&, const Var&)>& f,
+                    double tolerance = 1e-5) {
+  Tape tape;
+  Var x = tape.leaf(x0, /*requires_grad=*/true);
+  Var loss = f(tape, x);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  tape.backward(loss);
+  const Matrix analytic = x.grad();
+
+  const double h = 1e-6;
+  for (int r = 0; r < x0.rows(); ++r) {
+    for (int c = 0; c < x0.cols(); ++c) {
+      Matrix plus = x0, minus = x0;
+      plus.at(r, c) += h;
+      minus.at(r, c) -= h;
+      Tape tp, tm;
+      const double fp = f(tp, tp.leaf(plus, true)).scalar();
+      const double fm = f(tm, tm.leaf(minus, true)).scalar();
+      const double numeric = (fp - fm) / (2.0 * h);
+      EXPECT_NEAR(analytic.at(r, c), numeric,
+                  tolerance * std::max(1.0, std::abs(numeric)))
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+Matrix test_matrix(int rows, int cols, uint64_t seed = 3) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal(0.0, 1.0);
+  return m;
+}
+
+TEST(Matrix, MatmulMatchesManual) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  Matrix b(3, 2);
+  b.at(0, 0) = 7;
+  b.at(1, 0) = 8;
+  b.at(2, 0) = 9;
+  b.at(0, 1) = 1;
+  b.at(1, 1) = 2;
+  b.at(2, 1) = 3;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 50);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 14);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 122);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 32);
+}
+
+TEST(Matrix, TransposeVariantsAgree) {
+  const Matrix a = test_matrix(4, 3);
+  const Matrix b = test_matrix(4, 5, 4);
+  const Matrix expected = matmul(a.transpose(), b);
+  const Matrix fast = matmul_tn(a, b);
+  ASSERT_TRUE(expected.same_shape(fast));
+  for (int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected.data()[i], fast.data()[i], 1e-12);
+  }
+  const Matrix c = test_matrix(5, 3, 5);
+  const Matrix expected2 = matmul(a, c.transpose());
+  const Matrix fast2 = matmul_nt(a, c);
+  for (int64_t i = 0; i < expected2.size(); ++i) {
+    EXPECT_NEAR(expected2.data()[i], fast2.data()[i], 1e-12);
+  }
+}
+
+TEST(Autograd, MatmulGradient) {
+  const Matrix w0 = test_matrix(3, 2, 7);
+  check_gradient(test_matrix(4, 3), [&](Tape& t, const Var& x) {
+    Var w = t.leaf(w0, false);
+    return t.sum_all(t.matmul(x, w));
+  });
+}
+
+TEST(Autograd, MatmulGradientWrtSecondArg) {
+  const Matrix a0 = test_matrix(4, 3, 9);
+  check_gradient(test_matrix(3, 2), [&](Tape& t, const Var& x) {
+    Var a = t.leaf(a0, false);
+    return t.sum_all(t.matmul(a, x));
+  });
+}
+
+TEST(Autograd, AddSubtractScaleGradients) {
+  const Matrix b0 = test_matrix(3, 3, 11);
+  check_gradient(test_matrix(3, 3), [&](Tape& t, const Var& x) {
+    Var b = t.leaf(b0, false);
+    return t.sum_all(t.scale(t.subtract(t.add(x, b), t.scale(x, 0.5)), 2.0));
+  });
+}
+
+TEST(Autograd, HadamardGradient) {
+  const Matrix b0 = test_matrix(3, 4, 13);
+  check_gradient(test_matrix(3, 4), [&](Tape& t, const Var& x) {
+    Var b = t.leaf(b0, false);
+    // x used twice exercises accumulation.
+    return t.sum_all(t.hadamard(t.hadamard(x, b), x));
+  });
+}
+
+TEST(Autograd, RowBroadcastGradient) {
+  check_gradient(test_matrix(1, 4), [&](Tape& t, const Var& row) {
+    Var a = t.leaf(test_matrix(5, 4, 15), false);
+    return t.sum_all(t.hadamard(t.add_row_broadcast(a, row),
+                                t.add_row_broadcast(a, row)));
+  });
+}
+
+TEST(Autograd, ColBroadcastGradient) {
+  check_gradient(test_matrix(5, 1), [&](Tape& t, const Var& col) {
+    Var a = t.leaf(test_matrix(5, 3, 17), false);
+    return t.sum_all(t.hadamard(t.mul_col_broadcast(a, col), a));
+  });
+}
+
+TEST(Autograd, ActivationGradients) {
+  for (int variant = 0; variant < 4; ++variant) {
+    check_gradient(test_matrix(3, 3, 19 + static_cast<uint64_t>(variant)),
+                   [variant](Tape& t, const Var& x) {
+                     Var y;
+                     switch (variant) {
+                       case 0:
+                         y = t.relu(x);
+                         break;
+                       case 1:
+                         y = t.leaky_relu(x);
+                         break;
+                       case 2:
+                         y = t.elu(x);
+                         break;
+                       default:
+                         y = t.tanh_act(x);
+                     }
+                     return t.sum_all(t.hadamard(y, y));
+                   });
+  }
+}
+
+TEST(Autograd, SoftmaxRowsGradient) {
+  const Matrix w0 = test_matrix(4, 1, 23);
+  check_gradient(test_matrix(3, 4), [&](Tape& t, const Var& x) {
+    Var w = t.leaf(w0, false);
+    return t.sum_all(t.matmul(t.softmax_rows(x), w));
+  });
+}
+
+TEST(Autograd, LogSoftmaxGradient) {
+  const Matrix w0 = test_matrix(4, 1, 29);
+  check_gradient(test_matrix(2, 4), [&](Tape& t, const Var& x) {
+    Var w = t.leaf(w0, false);
+    return t.sum_all(t.matmul(t.log_softmax_rows(x), w));
+  });
+}
+
+TEST(Autograd, LayerNormGradient) {
+  const Matrix g0 = test_matrix(1, 4, 31);
+  const Matrix b0 = test_matrix(1, 4, 37);
+  check_gradient(
+      test_matrix(3, 4),
+      [&](Tape& t, const Var& x) {
+        Var g = t.leaf(g0, false);
+        Var b = t.leaf(b0, false);
+        Var y = t.layer_norm_rows(x, g, b);
+        return t.sum_all(t.hadamard(y, y));
+      },
+      1e-4);
+}
+
+TEST(Autograd, LayerNormParamGradients) {
+  const Matrix x0 = test_matrix(3, 4, 41);
+  check_gradient(test_matrix(1, 4, 43), [&](Tape& t, const Var& gain) {
+    Var x = t.leaf(x0, false);
+    Var b = t.leaf(Matrix::zeros(1, 4), false);
+    return t.sum_all(t.layer_norm_rows(x, gain, b));
+  });
+}
+
+TEST(Autograd, TransposeConcatSliceGradients) {
+  check_gradient(test_matrix(3, 4), [&](Tape& t, const Var& x) {
+    Var xt = t.transpose(x);                       // 4x3
+    Var left = t.slice_cols(xt, 0, 2);             // 4x2
+    Var right = t.slice_cols(xt, 1, 2);            // 4x2
+    Var cat = t.concat_cols({left, right});        // 4x4
+    return t.sum_all(t.hadamard(cat, cat));
+  });
+}
+
+TEST(Autograd, GatherRowsGradient) {
+  const std::vector<int> idx = {2, 0, 2, 1};
+  check_gradient(test_matrix(3, 3), [&](Tape& t, const Var& x) {
+    Var g = t.gather_rows(x, idx);
+    return t.sum_all(t.hadamard(g, g));
+  });
+}
+
+TEST(Autograd, SegmentSumMeanGradients) {
+  const std::vector<int> seg = {0, 1, 0, 1, 1};
+  check_gradient(test_matrix(5, 2), [&](Tape& t, const Var& x) {
+    Var s = t.segment_sum_rows(x, seg, 2);
+    Var m = t.segment_mean_rows(x, seg, 2);
+    return t.sum_all(t.hadamard(s, m));
+  });
+}
+
+TEST(Autograd, SegmentSoftmaxGradient) {
+  const std::vector<int> seg = {0, 0, 1, 1, 1};
+  const Matrix w0 = test_matrix(5, 2, 47);
+  check_gradient(test_matrix(5, 2), [&](Tape& t, const Var& x) {
+    Var w = t.leaf(w0, false);
+    return t.sum_all(t.hadamard(t.segment_softmax(x, seg, 2), w));
+  });
+}
+
+TEST(Autograd, SegmentSoftmaxNormalisesWithinSegments) {
+  Tape t;
+  Var x = t.leaf(test_matrix(6, 3, 53), false);
+  const std::vector<int> seg = {0, 1, 1, 2, 2, 2};
+  Var p = t.segment_softmax(x, seg, 3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(p.value().at(0, c), 1.0, 1e-12);  // singleton segment
+    EXPECT_NEAR(p.value().at(1, c) + p.value().at(2, c), 1.0, 1e-12);
+    EXPECT_NEAR(p.value().at(3, c) + p.value().at(4, c) + p.value().at(5, c), 1.0,
+                1e-12);
+  }
+}
+
+TEST(Autograd, PickPerRowGradient) {
+  const std::vector<int> cols = {1, 0, 2};
+  check_gradient(test_matrix(3, 3), [&](Tape& t, const Var& x) {
+    Var p = t.pick_per_row(x, cols);
+    return t.sum_all(t.hadamard(p, p));
+  });
+}
+
+TEST(Autograd, MeanAllGradient) {
+  check_gradient(test_matrix(4, 2), [&](Tape& t, const Var& x) {
+    return t.mean_all(t.hadamard(x, x));
+  });
+}
+
+TEST(Autograd, DiamondReuseAccumulates) {
+  // loss = sum(x*x) computed via two separate paths sharing x.
+  check_gradient(test_matrix(2, 2), [&](Tape& t, const Var& x) {
+    Var a = t.scale(x, 2.0);
+    Var b = t.scale(x, 3.0);
+    return t.sum_all(t.hadamard(a, b));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Layers
+// ---------------------------------------------------------------------------
+
+TEST(Layers, LinearShapesAndBias) {
+  ParameterSet params;
+  Rng rng(1);
+  Linear lin(params, 4, 3, rng);
+  Tape tape;
+  Var x = tape.leaf(test_matrix(5, 4), false);
+  Var y = lin.forward(tape, x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_EQ(params.all().size(), 2u);  // weight + bias
+}
+
+TEST(Layers, TransformerBlockPreservesShape) {
+  ParameterSet params;
+  Rng rng(2);
+  TransformerBlock block(params, 16, 4, 32, rng);
+  Tape tape;
+  Var x = tape.leaf(test_matrix(6, 16), false);
+  Var y = block.forward(tape, x);
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 16);
+}
+
+TEST(Layers, GatLayerOutputShape) {
+  ParameterSet params;
+  Rng rng(3);
+  GatLayer gat(params, 5, 4, 2, rng);  // 2 heads, concat -> 8 cols
+  Tape tape;
+  Var x = tape.leaf(test_matrix(4, 5), false);
+  // path graph 0-1-2-3 with self loops.
+  std::vector<int> src = {0, 1, 1, 2, 2, 3, 0, 1, 2, 3};
+  std::vector<int> dst = {1, 0, 2, 1, 3, 2, 0, 1, 2, 3};
+  Var y = gat.forward(tape, x, src, dst, 4);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+TEST(Layers, GatAverageHeadsShape) {
+  ParameterSet params;
+  Rng rng(4);
+  GatLayer gat(params, 5, 6, 3, rng, /*average_heads=*/true);
+  Tape tape;
+  Var x = tape.leaf(test_matrix(3, 5), false);
+  std::vector<int> src = {0, 1, 2};
+  std::vector<int> dst = {0, 1, 2};
+  Var y = gat.forward(tape, x, src, dst, 3);
+  EXPECT_EQ(y.cols(), 6);
+}
+
+TEST(Layers, GradientsFlowThroughWholeStack) {
+  ParameterSet params;
+  Rng rng(5);
+  GatLayer gat(params, 5, 4, 2, rng);
+  TransformerBlock block(params, 8, 2, 16, rng);
+  Linear head(params, 8, 3, rng);
+
+  Tape tape;
+  Var x = tape.leaf(test_matrix(4, 5), false);
+  std::vector<int> src = {0, 1, 2, 3, 0, 1, 2, 3};
+  std::vector<int> dst = {1, 2, 3, 0, 0, 1, 2, 3};
+  Var h = gat.forward(tape, x, src, dst, 4);
+  Var z = block.forward(tape, h);
+  Var logits = head.forward(tape, z);
+  Var loss = tape.sum_all(tape.hadamard(logits, logits));
+  tape.backward(loss);
+
+  int nonzero_params = 0;
+  for (const Var& p : params.all()) {
+    if (p.grad().rows() > 0 && p.grad().max_abs() > 0.0) ++nonzero_params;
+  }
+  EXPECT_GT(nonzero_params, static_cast<int>(params.all().size()) * 3 / 4);
+}
+
+TEST(Optimizer, AdamReducesQuadraticLoss) {
+  // Minimise ||x - target||^2 over a parameter matrix.
+  ParameterSet params;
+  Var x = params.add(Matrix::zeros(2, 2));
+  const Matrix target = test_matrix(2, 2, 59);
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 0.05;
+  AdamOptimizer adam(params, opts);
+
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    Tape tape;
+    Var t = tape.leaf(target, false);
+    Var diff = tape.subtract(x, t);
+    Var loss = tape.sum_all(tape.hadamard(diff, diff));
+    if (step == 0) first_loss = loss.scalar();
+    last_loss = loss.scalar();
+    tape.backward(loss);
+    adam.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 1e-3);
+}
+
+TEST(Optimizer, GlobalNormClipping) {
+  ParameterSet params;
+  Var x = params.add(Matrix::zeros(1, 1));
+  AdamOptimizer::Options opts;
+  opts.learning_rate = 1.0;
+  opts.clip_global_norm = 0.001;  // aggressive clip: step magnitude bounded
+  AdamOptimizer adam(params, opts);
+  Tape tape;
+  Var loss = tape.scale(x, 1e9);
+  tape.backward(loss);
+  adam.step();
+  // Even with a huge gradient the Adam step is finite and small-ish.
+  EXPECT_LT(std::abs(x.value().at(0, 0)), 2.0);
+}
+
+TEST(Optimizer, StepZeroesGradients) {
+  ParameterSet params;
+  Var x = params.add(Matrix::zeros(2, 2));
+  AdamOptimizer adam(params);
+  Tape tape;
+  tape.backward(tape.sum_all(x));
+  EXPECT_GT(x.grad().max_abs(), 0.0);
+  adam.step();
+  EXPECT_DOUBLE_EQ(x.grad().max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace heterog::nn

@@ -1,0 +1,160 @@
+// Cross-cutting invariants swept over (model x strategy) combinations with
+// parameterized gtest: whatever the plan, compilation must produce a valid
+// DAG and the simulation must respect fundamental scheduling bounds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/check.h"
+#include "models/models.h"
+#include "sched/scheduler.h"
+#include "sim/plan_eval.h"
+#include "test_util.h"
+
+namespace heterog {
+namespace {
+
+using strategy::Action;
+
+struct SweepCase {
+  models::ModelKind kind;
+  int layers;
+  int action_index;  // in the 8-GPU action space
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = std::string(models::model_kind_name(info.param.kind)) + "_a" +
+                     std::to_string(info.param.action_index);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class StrategySweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static heterog::testing::TestRig& rig() {
+    static heterog::testing::TestRig instance{cluster::make_paper_testbed_8gpu()};
+    return instance;
+  }
+};
+
+TEST_P(StrategySweep, CompileAndSimulateInvariants) {
+  const auto& param = GetParam();
+  const auto graph = models::build_training(param.kind, param.layers, 32.0);
+  const auto grouping = strategy::Grouping::build(graph, *rig().costs, 24);
+  const auto map = strategy::StrategyMap::uniform(grouping.group_count(),
+                                                  Action::from_index(param.action_index, 8));
+  const auto compiled = rig().compiler->compile(graph, grouping, map);
+
+  // 1. Structural validity.
+  std::string error;
+  ASSERT_TRUE(compiled.graph.validate(&error)) << error;
+  ASSERT_GT(compiled.graph.node_count(), graph.op_count() / 2);
+
+  // 2. Simulation bounds.
+  const auto result = sim::Simulator().run(compiled.graph);
+  EXPECT_GT(result.makespan_ms, 0.0);
+
+  //    (a) makespan >= busiest resource (no resource can be overcommitted).
+  for (double busy : result.resource_busy_ms) {
+    EXPECT_GE(result.makespan_ms + 1e-9, busy);
+  }
+  //    (b) makespan >= critical path (max upward rank).
+  const auto ranks = sched::compute_ranks(compiled.graph);
+  double critical_path = 0.0;
+  for (double r : ranks) critical_path = std::max(critical_path, r);
+  EXPECT_GE(result.makespan_ms + 1e-6, critical_path);
+
+  //    (c) every node runs within [0, makespan] for exactly its duration.
+  for (compile::DistNodeId id = 0; id < compiled.graph.node_count(); ++id) {
+    EXPECT_GE(result.start_ms[static_cast<size_t>(id)], -1e-9);
+    EXPECT_LE(result.finish_ms[static_cast<size_t>(id)], result.makespan_ms + 1e-9);
+    EXPECT_NEAR(result.finish_ms[static_cast<size_t>(id)] -
+                    result.start_ms[static_cast<size_t>(id)],
+                compiled.graph.node(id).duration_ms, 1e-9);
+    // Dependencies respected.
+    for (compile::DistNodeId s : compiled.graph.successors(id)) {
+      EXPECT_GE(result.start_ms[static_cast<size_t>(s)] + 1e-9,
+                result.finish_ms[static_cast<size_t>(id)]);
+    }
+  }
+
+  // 3. Memory: peak includes the static parameters.
+  const auto& params = compiled.graph.static_param_bytes();
+  for (size_t d = 0; d < params.size(); ++d) {
+    EXPECT_GE(result.peak_memory_bytes[d], params[d]);
+  }
+
+  // 4. The Table 2 breakdown is a distribution.
+  const auto bd = strategy::summarize_strategy(graph, grouping, map, 8);
+  double total = bd.ev_ps + bd.ev_ar + bd.cp_ps + bd.cp_ar;
+  for (double f : bd.mp_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const std::pair<models::ModelKind, int> model_set[] = {
+      {models::ModelKind::kVgg19, 0},
+      {models::ModelKind::kInceptionV3, 0},
+      {models::ModelKind::kMobileNetV2, 0},
+      {models::ModelKind::kTransformer, 4},
+  };
+  for (const auto& [kind, layers] : model_set) {
+    for (int action : {0, 3, 7, 8, 9, 10, 11}) {  // MP samples + all DP schemes
+      cases.push_back({kind, layers, action});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelsByActions, StrategySweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+// Determinism sweep: two independent end-to-end evaluations of the same
+// (model, strategy) must agree bit-for-bit.
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, EvaluationIsPure) {
+  heterog::testing::TestRig rig1{cluster::make_paper_testbed_8gpu()};
+  heterog::testing::TestRig rig2{cluster::make_paper_testbed_8gpu()};
+  const auto g1 = models::build_training(models::ModelKind::kInceptionV3, 0, 48);
+  const auto g2 = models::build_training(models::ModelKind::kInceptionV3, 0, 48);
+  const auto grouping1 = strategy::Grouping::build(g1, *rig1.costs, 16);
+  const auto grouping2 = strategy::Grouping::build(g2, *rig2.costs, 16);
+  const auto map1 = strategy::StrategyMap::uniform(grouping1.group_count(),
+                                                   Action::from_index(GetParam(), 8));
+  const auto map2 = strategy::StrategyMap::uniform(grouping2.group_count(),
+                                                   Action::from_index(GetParam(), 8));
+  const auto e1 = sim::evaluate_plan(*rig1.costs, g1, grouping1, map1);
+  const auto e2 = sim::evaluate_plan(*rig2.costs, g2, grouping2, map2);
+  EXPECT_DOUBLE_EQ(e1.per_iteration_ms, e2.per_iteration_ms);
+  EXPECT_EQ(e1.peak_memory_bytes, e2.peak_memory_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Actions, DeterminismSweep, ::testing::Values(0, 8, 9, 10, 11));
+
+// Scaling property: doubling the batch never makes an iteration faster.
+class BatchMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchMonotonicity, LargerBatchIsNeverMeaningfullyFaster) {
+  heterog::testing::TestRig rig{cluster::make_paper_testbed_8gpu()};
+  double previous = 0.0;
+  for (double batch : {16.0, 32.0, 64.0, 128.0}) {
+    const auto g = models::build_training(models::ModelKind::kMobileNetV2, 0, batch);
+    const auto grouping = strategy::Grouping::build(g, *rig.costs, 16);
+    const auto map = strategy::StrategyMap::uniform(grouping.group_count(),
+                                                    Action::from_index(GetParam(), 8));
+    const auto eval = sim::evaluate_plan(*rig.costs, g, grouping, map);
+    // In communication-bound regimes the makespan can be nearly flat in the
+    // batch; it must never *drop* by more than scheduling noise.
+    EXPECT_GT(eval.per_iteration_ms, previous * 0.98);
+    previous = eval.per_iteration_ms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Actions, BatchMonotonicity, ::testing::Values(8, 9, 10, 11));
+
+}  // namespace
+}  // namespace heterog

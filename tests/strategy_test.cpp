@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "cluster/cluster.h"
+#include "graph/training.h"
+#include "models/models.h"
+#include "profiler/hardware_model.h"
+#include "strategy/strategy.h"
+
+namespace heterog::strategy {
+namespace {
+
+// Action index round-trip over the full M+4 space, for several cluster sizes.
+class ActionIndexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActionIndexTest, RoundTrip) {
+  const int m = GetParam();
+  for (int i = 0; i < Action::action_count(m); ++i) {
+    const Action a = Action::from_index(i, m);
+    EXPECT_EQ(a.index(m), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, ActionIndexTest, ::testing::Values(1, 2, 3, 8, 12));
+
+TEST(Action, DpIndicesFollowPaperOrdering) {
+  const int m = 8;
+  EXPECT_EQ(Action::dp(ReplicationMode::kEven, CommMethod::kPS).index(m), m);
+  EXPECT_EQ(Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce).index(m), m + 1);
+  EXPECT_EQ(Action::dp(ReplicationMode::kProportional, CommMethod::kPS).index(m), m + 2);
+  EXPECT_EQ(Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce).index(m),
+            m + 3);
+}
+
+TEST(Action, ToStringLabels) {
+  EXPECT_EQ(Action::mp(3).to_string(), "MP(G3)");
+  EXPECT_EQ(Action::dp(ReplicationMode::kEven, CommMethod::kPS).to_string(), "EV-PS");
+  EXPECT_EQ(Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce).to_string(),
+            "CP-AR");
+}
+
+TEST(Action, OutOfRangeIndexThrows) {
+  EXPECT_THROW(Action::from_index(12, 8), CheckError);
+  EXPECT_THROW(Action::from_index(-1, 8), CheckError);
+}
+
+class GroupingTest : public ::testing::Test {
+ protected:
+  cluster::ClusterSpec cluster_ = cluster::make_paper_testbed_8gpu();
+  profiler::HardwareModel hw_{cluster_};
+  profiler::GroundTruthCosts costs_{hw_};
+};
+
+TEST_F(GroupingTest, EveryOpAssignedExactlyOneGroup) {
+  const auto g = models::build_training(models::ModelKind::kVgg19, 0, 32);
+  const Grouping grouping = Grouping::build(g, costs_, 16);
+  EXPECT_LE(grouping.group_count(), 16);
+  std::vector<int> seen(static_cast<size_t>(g.op_count()), 0);
+  for (GroupId gid = 0; gid < grouping.group_count(); ++gid) {
+    for (auto op : grouping.members(gid)) {
+      EXPECT_EQ(grouping.group_of(op), gid);
+      ++seen[static_cast<size_t>(op)];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_F(GroupingTest, MirrorOpsShareGroupWithForward) {
+  const auto g = models::build_training(models::ModelKind::kVgg19, 0, 32);
+  const Grouping grouping = Grouping::build(g, costs_, 8);
+  for (const auto& op : g.ops()) {
+    if (op.role != graph::OpRole::kForward) {
+      EXPECT_EQ(grouping.group_of(op.id), grouping.group_of(op.mirror_of));
+    }
+  }
+}
+
+TEST_F(GroupingTest, SmallGraphGetsOneGroupPerForwardOp) {
+  graph::GraphDef fwd("tiny", 8.0);
+  graph::OpDef op;
+  op.name = "a";
+  op.kind = graph::OpKind::kMatMul;
+  op.flops_per_sample = 1e9;
+  op.out_bytes_per_sample = 100;
+  op.param_bytes = 50;
+  const auto a = fwd.add_op(op);
+  op.name = "b";
+  op.param_bytes = 0;
+  const auto b = fwd.add_op(op);
+  fwd.add_edge(a, b);
+  const auto train = graph::build_training_graph(fwd);
+  const Grouping grouping = Grouping::build(train, costs_, 100);
+  EXPECT_EQ(grouping.group_count(), 2);  // one per forward op
+}
+
+TEST_F(GroupingTest, GroupCountRespectsLimit) {
+  const auto g = models::build_training(models::ModelKind::kResNet200, 0, 32);
+  for (int limit : {4, 16, 48}) {
+    const Grouping grouping = Grouping::build(g, costs_, limit);
+    EXPECT_LE(grouping.group_count(), limit);
+    EXPECT_GE(grouping.group_count(), 1);
+  }
+}
+
+TEST_F(GroupingTest, UniformStrategyCoversAllGroups) {
+  const auto g = models::build_training(models::ModelKind::kMobileNetV2, 0, 32);
+  const Grouping grouping = Grouping::build(g, costs_, 12);
+  const StrategyMap map = StrategyMap::uniform(
+      grouping.group_count(), Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+  for (graph::OpId id = 0; id < g.op_count(); ++id) {
+    EXPECT_EQ(map.action_for(grouping, id).to_string(), "EV-AR");
+  }
+}
+
+TEST_F(GroupingTest, BreakdownSumsToOne) {
+  const auto g = models::build_training(models::ModelKind::kMobileNetV2, 0, 32);
+  const Grouping grouping = Grouping::build(g, costs_, 12);
+  StrategyMap map = StrategyMap::uniform(grouping.group_count(),
+                                         Action::dp(ReplicationMode::kEven, CommMethod::kPS));
+  map.group_actions[0] = Action::mp(0);  // one MP group
+  const StrategyBreakdown bd = summarize_strategy(g, grouping, map, cluster_.device_count());
+  double total = bd.ev_ps + bd.ev_ar + bd.cp_ps + bd.cp_ar;
+  for (double f : bd.mp_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(bd.mp_fraction[0], 0.0);
+  EXPECT_GT(bd.ev_ps, 0.5);
+}
+
+}  // namespace
+}  // namespace heterog::strategy

@@ -1,0 +1,49 @@
+// Diagnostic tool: per-benchmark steady-state per-iteration time and peak
+// memory for the uniform DP strategies; used to calibrate the model
+// workloads against the paper's Table 1 shape (not part of the test suite).
+#include <cstdio>
+
+#include "models/models.h"
+#include "sim/plan_eval.h"
+#include "tests/test_util.h"
+
+using namespace heterog;
+
+int main() {
+  testing::TestRig rig(cluster::make_paper_testbed_8gpu());
+  auto benches = models::standard_benchmarks();
+  for (const auto& b : models::large_benchmarks()) benches.push_back(b);
+
+  for (const auto& bench : benches) {
+    const auto g = models::build_training(bench.kind, bench.layers, bench.batch_8gpu);
+    const auto grouping = strategy::Grouping::build(g, *rig.costs, 64);
+    std::printf("%-28s batch=%-5g ops=%d\n", bench.label.c_str(), bench.batch_8gpu,
+                g.op_count());
+    for (int idx = 8; idx < 12; ++idx) {
+      const auto action = strategy::Action::from_index(idx, 8);
+      const auto map = strategy::StrategyMap::uniform(grouping.group_count(), action);
+
+      sim::PlanEvalOptions rank_opts;
+      const auto res = sim::evaluate_plan(*rig.costs, g, grouping, map, rank_opts);
+      sim::PlanEvalOptions fifo_opts;
+      fifo_opts.policy = sched::OrderPolicy::kFifo;
+      const auto fifo = sim::evaluate_plan(*rig.costs, g, grouping, map, fifo_opts);
+
+      double peak_v100 = 0, peak_gtx = 0, peak_p100 = 0;
+      for (const auto& d : rig.cluster.devices()) {
+        const double gb = static_cast<double>(res.peak_memory_bytes[d.id]) / (1 << 30);
+        if (d.model == cluster::GpuModel::kV100) peak_v100 = std::max(peak_v100, gb);
+        if (d.model == cluster::GpuModel::kGtx1080Ti) peak_gtx = std::max(peak_gtx, gb);
+        if (d.model == cluster::GpuModel::kP100) peak_p100 = std::max(peak_p100, gb);
+      }
+      std::printf(
+          "  %-6s iter=%8.1fms (cold %8.1f) fifo=%8.1fms (%+5.1f%%) peak V100=%5.2f "
+          "GTX=%5.2f P100=%5.2f %s\n",
+          action.to_string().c_str(), res.per_iteration_ms, res.cold_iteration_ms,
+          fifo.per_iteration_ms,
+          100.0 * (fifo.per_iteration_ms - res.per_iteration_ms) / res.per_iteration_ms,
+          peak_v100, peak_gtx, peak_p100, res.oom ? "OOM" : "");
+    }
+  }
+  return 0;
+}

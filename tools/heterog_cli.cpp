@@ -1,0 +1,295 @@
+// heterog_cli — command-line front end for the HeteroG library.
+//
+//   heterog_cli models
+//   heterog_cli clusters
+//   heterog_cli plan     --model vgg19 --batch 192 [--cluster 8gpu]
+//                        [--episodes 150] [--groups 48] [--out plan.txt]
+//   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
+//                        (--plan plan.txt | --strategy ev-ar|ev-ps|cp-ar|cp-ps)
+//                        [--order rank|fifo] [--microbatches m]
+//                        [--trace out.json] [--timeline]
+//   heterog_cli baselines --model vgg19 --batch 192 [--cluster 8gpu]
+//
+// Exit codes: 0 success, 1 bad usage, 2 runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/heterog.h"
+#include "graph/pipeline.h"
+#include "models/models.h"
+#include "sim/trace.h"
+#include "strategy/serialize.h"
+
+namespace {
+
+using namespace heterog;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = flags.find(key);
+    return it != flags.end() ? it->second : fallback;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = flags.find(key);
+    return it != flags.end() ? std::atoi(it->second.c_str()) : fallback;
+  }
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) return std::nullopt;
+    flag = flag.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.flags[flag] = argv[++i];
+    } else {
+      args.flags[flag] = "1";
+    }
+  }
+  return args;
+}
+
+struct ModelEntry {
+  const char* name;
+  models::ModelKind kind;
+  int default_layers;
+  const char* note;
+};
+constexpr ModelEntry kModels[] = {
+    {"vgg19", models::ModelKind::kVgg19, 0, "16 conv + 3 FC, parameter-heavy FCs"},
+    {"resnet200", models::ModelKind::kResNet200, 0, "bottleneck stages [3,24,36,3]"},
+    {"inception_v3", models::ModelKind::kInceptionV3, 0, "11 branched modules"},
+    {"mobilenet_v2", models::ModelKind::kMobileNetV2, 0, "17 inverted residuals"},
+    {"nasnet", models::ModelKind::kNasNet, 0, "18 heavily-branched cells"},
+    {"transformer", models::ModelKind::kTransformer, 6, "--layers selects depth"},
+    {"bert", models::ModelKind::kBertLarge, 24, "--layers selects depth"},
+    {"xlnet", models::ModelKind::kXlnetLarge, 24, "--layers selects depth"},
+};
+
+std::optional<ModelEntry> find_model(const std::string& name) {
+  for (const auto& m : kModels) {
+    if (name == m.name) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<cluster::ClusterSpec> find_cluster(const std::string& name) {
+  if (name == "8gpu") return cluster::make_paper_testbed_8gpu();
+  if (name == "12gpu") return cluster::make_paper_testbed_12gpu();
+  if (name == "fig3") return cluster::make_fig3_testbed();
+  if (name == "homog8") return cluster::make_homogeneous(8, cluster::GpuModel::kGtx1080Ti, 2);
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: heterog_cli <models|clusters|plan|evaluate|baselines> [flags]\n"
+               "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
+               "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
+               "  evaluate  --model NAME --batch B (--plan FILE | --strategy ev-ar|...)\n"
+               "            [--order rank|fifo] [--microbatches M] [--trace FILE]\n"
+               "            [--timeline]\n"
+               "  baselines --model NAME --batch B [--cluster ...]\n");
+  return 1;
+}
+
+void print_breakdown(const strategy::StrategyBreakdown& bd) {
+  double mp = 0.0;
+  for (double f : bd.mp_fraction) mp += f;
+  std::printf("  MP %.1f%% | EV-PS %.1f%% | EV-AR %.1f%% | CP-PS %.1f%% | CP-AR %.1f%%\n",
+              mp * 100, bd.ev_ps * 100, bd.ev_ar * 100, bd.cp_ps * 100, bd.cp_ar * 100);
+  for (size_t d = 0; d < bd.mp_fraction.size(); ++d) {
+    if (bd.mp_fraction[d] > 0.0) {
+      std::printf("    G%zu: %.1f%%\n", d, bd.mp_fraction[d] * 100);
+    }
+  }
+}
+
+int cmd_models() {
+  std::printf("%-14s %-8s %s\n", "name", "layers", "notes");
+  for (const auto& m : kModels) {
+    std::printf("%-14s %-8d %s\n", m.name, m.default_layers, m.note);
+  }
+  return 0;
+}
+
+int cmd_clusters() {
+  for (const char* name : {"8gpu", "12gpu", "fig3", "homog8"}) {
+    const auto c = find_cluster(name);
+    std::printf("%-8s %s\n", name, c->summary().c_str());
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto model = find_model(args.get("model"));
+  const double batch = std::atof(args.get("batch", "0").c_str());
+  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  if (!model || batch <= 0.0 || !cluster_spec) return usage();
+
+  const int layers = args.get_int("layers", model->default_layers);
+  HeteroGConfig config;
+  config.train.episodes = args.get_int("episodes", 150);
+  config.agent.max_groups = args.get_int("groups", 48);
+
+  const auto runner = get_runner(
+      [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
+      config);
+  std::printf("model=%s layers=%d batch=%g cluster=%s\n", model->name, layers, batch,
+              args.get("cluster", "8gpu").c_str());
+  std::printf("plan: %.1f ms / iteration, feasible=%s\n", runner.per_iteration_ms(),
+              runner.feasible() ? "yes" : "no");
+  print_breakdown(runner.breakdown());
+
+  if (args.has("out")) {
+    if (!strategy::save_plan(args.get("out"), runner.strategy(),
+                             cluster_spec->device_count())) {
+      std::fprintf(stderr, "error: cannot write %s\n", args.get("out").c_str());
+      return 2;
+    }
+    std::printf("plan saved to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+std::optional<strategy::Action> parse_uniform_strategy(const std::string& name) {
+  using strategy::Action;
+  using strategy::CommMethod;
+  using strategy::ReplicationMode;
+  if (name == "ev-ps") return Action::dp(ReplicationMode::kEven, CommMethod::kPS);
+  if (name == "ev-ar") return Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce);
+  if (name == "cp-ps") return Action::dp(ReplicationMode::kProportional, CommMethod::kPS);
+  if (name == "cp-ar") {
+    return Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce);
+  }
+  return std::nullopt;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto model = find_model(args.get("model"));
+  const double batch = std::atof(args.get("batch", "0").c_str());
+  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  if (!model || batch <= 0.0 || !cluster_spec) return usage();
+  const int layers = args.get_int("layers", model->default_layers);
+  const int micro_batches = args.get_int("microbatches", 1);
+
+  profiler::HardwareModel hardware(*cluster_spec);
+  profiler::GroundTruthCosts costs(hardware);
+
+  auto train = models::build_training(model->kind, layers, batch);
+  auto base_grouping =
+      strategy::Grouping::build(train, costs, args.get_int("groups", 48));
+
+  strategy::StrategyMap map;
+  if (args.has("plan")) {
+    const auto loaded = strategy::load_plan(args.get("plan"), cluster_spec->device_count());
+    if (!loaded || static_cast<int>(loaded->group_actions.size()) !=
+                       base_grouping.group_count()) {
+      std::fprintf(stderr, "error: plan %s missing or incompatible\n",
+                   args.get("plan").c_str());
+      return 2;
+    }
+    map = *loaded;
+  } else {
+    const auto action = parse_uniform_strategy(args.get("strategy", "ev-ar"));
+    if (!action) return usage();
+    map = strategy::StrategyMap::uniform(base_grouping.group_count(), *action);
+  }
+
+  graph::GraphDef* eval_graph = &train;
+  strategy::Grouping grouping = base_grouping;
+  graph::PipelineResult piped;
+  if (micro_batches > 1) {
+    piped = graph::pipeline_microbatches(train, micro_batches);
+    grouping = strategy::Grouping::from_origin(base_grouping, piped.origin);
+    eval_graph = &piped.graph;
+  }
+
+  sim::PlanEvalOptions options;
+  if (args.get("order", "rank") == "fifo") options.policy = sched::OrderPolicy::kFifo;
+  const auto eval = sim::evaluate_plan(costs, *eval_graph, grouping, map, options);
+
+  std::printf("per-iteration: %.2f ms (cold %.2f ms)  oom=%s\n", eval.per_iteration_ms,
+              eval.cold_iteration_ms, eval.oom ? "yes" : "no");
+  std::printf("computation %.2f ms | communication %.2f ms\n", eval.computation_ms,
+              eval.communication_ms);
+  for (const auto& d : cluster_spec->devices()) {
+    std::printf("  G%d peak memory %.2f / %.1f GB\n", d.id,
+                static_cast<double>(eval.peak_memory_bytes[static_cast<size_t>(d.id)]) /
+                    (1 << 30),
+                static_cast<double>(d.memory_bytes) / (1 << 30));
+  }
+
+  if (args.has("trace") || args.has("timeline")) {
+    const compile::GraphCompiler compiler(costs);
+    const auto compiled = compiler.compile(*eval_graph, grouping, map);
+    sim::SimOptions sim_options;
+    sim_options.policy = options.policy;
+    const auto result = sim::Simulator(sim_options).run(compiled.graph);
+    if (args.has("trace")) {
+      if (!sim::write_chrome_trace(args.get("trace"), compiled.graph, result)) {
+        std::fprintf(stderr, "error: cannot write %s\n", args.get("trace").c_str());
+        return 2;
+      }
+      std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                  args.get("trace").c_str());
+    }
+    if (args.has("timeline")) {
+      std::printf("%s", sim::ascii_timeline(compiled.graph, result).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_baselines(const Args& args) {
+  const auto model = find_model(args.get("model"));
+  const double batch = std::atof(args.get("batch", "0").c_str());
+  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  if (!model || batch <= 0.0 || !cluster_spec) return usage();
+  const int layers = args.get_int("layers", model->default_layers);
+
+  profiler::HardwareModel hardware(*cluster_spec);
+  profiler::GroundTruthCosts costs(hardware);
+  baselines::Evaluator evaluator(costs);
+  const auto train = models::build_training(model->kind, layers, batch);
+  const auto grouping = strategy::Grouping::build(train, costs, args.get_int("groups", 48));
+
+  for (const char* name : {"ev-ps", "ev-ar", "cp-ps", "cp-ar"}) {
+    const auto action = parse_uniform_strategy(name);
+    const auto outcome = evaluator.evaluate(
+        train, grouping,
+        strategy::StrategyMap::uniform(grouping.group_count(), *action),
+        sched::OrderPolicy::kFifo);
+    std::printf("%-6s %8.2f ms %s\n", name, outcome.time_ms,
+                outcome.oom ? "(OOM)" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "models") return cmd_models();
+    if (args->command == "clusters") return cmd_clusters();
+    if (args->command == "plan") return cmd_plan(*args);
+    if (args->command == "evaluate") return cmd_evaluate(*args);
+    if (args->command == "baselines") return cmd_baselines(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
