@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_bound.dir/bench_appendix_bound.cpp.o"
+  "CMakeFiles/bench_appendix_bound.dir/bench_appendix_bound.cpp.o.d"
+  "bench_appendix_bound"
+  "bench_appendix_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

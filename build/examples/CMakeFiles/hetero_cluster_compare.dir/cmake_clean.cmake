@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_cluster_compare.dir/hetero_cluster_compare.cpp.o"
+  "CMakeFiles/hetero_cluster_compare.dir/hetero_cluster_compare.cpp.o.d"
+  "hetero_cluster_compare"
+  "hetero_cluster_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_cluster_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_model.dir/large_model.cpp.o"
+  "CMakeFiles/large_model.dir/large_model.cpp.o.d"
+  "large_model"
+  "large_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_training.dir/pipeline_training.cpp.o"
+  "CMakeFiles/pipeline_training.dir/pipeline_training.cpp.o.d"
+  "pipeline_training"
+  "pipeline_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

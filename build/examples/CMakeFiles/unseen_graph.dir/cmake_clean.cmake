@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_graph.dir/unseen_graph.cpp.o"
+  "CMakeFiles/unseen_graph.dir/unseen_graph.cpp.o.d"
+  "unseen_graph"
+  "unseen_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unseen_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("models")
+subdirs("cluster")
+subdirs("profiler")
+subdirs("strategy")
+subdirs("compile")
+subdirs("sched")
+subdirs("sim")
+subdirs("nn")
+subdirs("agent")
+subdirs("rl")
+subdirs("baselines")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_agent.dir/features.cpp.o"
+  "CMakeFiles/hg_agent.dir/features.cpp.o.d"
+  "CMakeFiles/hg_agent.dir/policy.cpp.o"
+  "CMakeFiles/hg_agent.dir/policy.cpp.o.d"
+  "libhg_agent.a"
+  "libhg_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

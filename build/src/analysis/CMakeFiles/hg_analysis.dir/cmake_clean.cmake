@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/hg_analysis.dir/analysis.cpp.o.d"
+  "libhg_analysis.a"
+  "libhg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

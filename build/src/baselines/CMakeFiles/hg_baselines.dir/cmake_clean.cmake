@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/hg_baselines.dir/baselines.cpp.o.d"
+  "libhg_baselines.a"
+  "libhg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

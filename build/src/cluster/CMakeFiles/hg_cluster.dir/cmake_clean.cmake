@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hg_cluster.dir/cluster.cpp.o.d"
+  "libhg_cluster.a"
+  "libhg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

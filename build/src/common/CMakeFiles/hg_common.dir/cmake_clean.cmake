@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_common.dir/check.cpp.o"
+  "CMakeFiles/hg_common.dir/check.cpp.o.d"
+  "CMakeFiles/hg_common.dir/log.cpp.o"
+  "CMakeFiles/hg_common.dir/log.cpp.o.d"
+  "CMakeFiles/hg_common.dir/rng.cpp.o"
+  "CMakeFiles/hg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hg_common.dir/stats.cpp.o"
+  "CMakeFiles/hg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hg_common.dir/table.cpp.o"
+  "CMakeFiles/hg_common.dir/table.cpp.o.d"
+  "libhg_common.a"
+  "libhg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compile/collective.cpp" "src/compile/CMakeFiles/hg_compile.dir/collective.cpp.o" "gcc" "src/compile/CMakeFiles/hg_compile.dir/collective.cpp.o.d"
+  "/root/repo/src/compile/compiler.cpp" "src/compile/CMakeFiles/hg_compile.dir/compiler.cpp.o" "gcc" "src/compile/CMakeFiles/hg_compile.dir/compiler.cpp.o.d"
+  "/root/repo/src/compile/dist_graph.cpp" "src/compile/CMakeFiles/hg_compile.dir/dist_graph.cpp.o" "gcc" "src/compile/CMakeFiles/hg_compile.dir/dist_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hg_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/hg_strategy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_compile.dir/collective.cpp.o"
+  "CMakeFiles/hg_compile.dir/collective.cpp.o.d"
+  "CMakeFiles/hg_compile.dir/compiler.cpp.o"
+  "CMakeFiles/hg_compile.dir/compiler.cpp.o.d"
+  "CMakeFiles/hg_compile.dir/dist_graph.cpp.o"
+  "CMakeFiles/hg_compile.dir/dist_graph.cpp.o.d"
+  "libhg_compile.a"
+  "libhg_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/heterog.cpp" "src/core/CMakeFiles/hg_core.dir/heterog.cpp.o" "gcc" "src/core/CMakeFiles/hg_core.dir/heterog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hg_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/hg_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/hg_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/hg_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/hg_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hg_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

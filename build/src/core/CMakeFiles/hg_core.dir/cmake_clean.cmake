@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_core.dir/heterog.cpp.o"
+  "CMakeFiles/hg_core.dir/heterog.cpp.o.d"
+  "libhg_core.a"
+  "libhg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhg_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/hg_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/op.cpp" "src/graph/CMakeFiles/hg_graph.dir/op.cpp.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/op.cpp.o.d"
+  "/root/repo/src/graph/pipeline.cpp" "src/graph/CMakeFiles/hg_graph.dir/pipeline.cpp.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/pipeline.cpp.o.d"
+  "/root/repo/src/graph/training.cpp" "src/graph/CMakeFiles/hg_graph.dir/training.cpp.o" "gcc" "src/graph/CMakeFiles/hg_graph.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_graph.dir/graph.cpp.o"
+  "CMakeFiles/hg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hg_graph.dir/op.cpp.o"
+  "CMakeFiles/hg_graph.dir/op.cpp.o.d"
+  "CMakeFiles/hg_graph.dir/pipeline.cpp.o"
+  "CMakeFiles/hg_graph.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hg_graph.dir/training.cpp.o"
+  "CMakeFiles/hg_graph.dir/training.cpp.o.d"
+  "libhg_graph.a"
+  "libhg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

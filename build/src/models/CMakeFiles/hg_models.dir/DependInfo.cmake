@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/builder.cpp" "src/models/CMakeFiles/hg_models.dir/builder.cpp.o" "gcc" "src/models/CMakeFiles/hg_models.dir/builder.cpp.o.d"
+  "/root/repo/src/models/models.cpp" "src/models/CMakeFiles/hg_models.dir/models.cpp.o" "gcc" "src/models/CMakeFiles/hg_models.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

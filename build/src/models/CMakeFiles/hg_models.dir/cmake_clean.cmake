@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_models.dir/builder.cpp.o"
+  "CMakeFiles/hg_models.dir/builder.cpp.o.d"
+  "CMakeFiles/hg_models.dir/models.cpp.o"
+  "CMakeFiles/hg_models.dir/models.cpp.o.d"
+  "libhg_models.a"
+  "libhg_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

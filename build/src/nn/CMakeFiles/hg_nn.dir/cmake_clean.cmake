@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_nn.dir/autograd.cpp.o"
+  "CMakeFiles/hg_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/hg_nn.dir/layers.cpp.o"
+  "CMakeFiles/hg_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/hg_nn.dir/matrix.cpp.o"
+  "CMakeFiles/hg_nn.dir/matrix.cpp.o.d"
+  "libhg_nn.a"
+  "libhg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

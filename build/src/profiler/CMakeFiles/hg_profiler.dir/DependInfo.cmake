@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/cost_provider.cpp" "src/profiler/CMakeFiles/hg_profiler.dir/cost_provider.cpp.o" "gcc" "src/profiler/CMakeFiles/hg_profiler.dir/cost_provider.cpp.o.d"
+  "/root/repo/src/profiler/hardware_model.cpp" "src/profiler/CMakeFiles/hg_profiler.dir/hardware_model.cpp.o" "gcc" "src/profiler/CMakeFiles/hg_profiler.dir/hardware_model.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/profiler/CMakeFiles/hg_profiler.dir/profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/hg_profiler.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hg_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

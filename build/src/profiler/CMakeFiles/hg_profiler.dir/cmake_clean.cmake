@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_profiler.dir/cost_provider.cpp.o"
+  "CMakeFiles/hg_profiler.dir/cost_provider.cpp.o.d"
+  "CMakeFiles/hg_profiler.dir/hardware_model.cpp.o"
+  "CMakeFiles/hg_profiler.dir/hardware_model.cpp.o.d"
+  "CMakeFiles/hg_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/hg_profiler.dir/profiler.cpp.o.d"
+  "libhg_profiler.a"
+  "libhg_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_rl.dir/trainer.cpp.o"
+  "CMakeFiles/hg_rl.dir/trainer.cpp.o.d"
+  "libhg_rl.a"
+  "libhg_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/hg_sched.dir/scheduler.cpp.o.d"
+  "libhg_sched.a"
+  "libhg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_sim.dir/plan_eval.cpp.o"
+  "CMakeFiles/hg_sim.dir/plan_eval.cpp.o.d"
+  "CMakeFiles/hg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hg_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hg_sim.dir/trace.cpp.o"
+  "CMakeFiles/hg_sim.dir/trace.cpp.o.d"
+  "libhg_sim.a"
+  "libhg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_strategy.dir/serialize.cpp.o"
+  "CMakeFiles/hg_strategy.dir/serialize.cpp.o.d"
+  "CMakeFiles/hg_strategy.dir/strategy.cpp.o"
+  "CMakeFiles/hg_strategy.dir/strategy.cpp.o.d"
+  "libhg_strategy.a"
+  "libhg_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

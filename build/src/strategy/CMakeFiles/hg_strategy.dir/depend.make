@@ -1,0 +1,2 @@
+# Empty dependencies file for hg_strategy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agent_test.cpp" "tests/CMakeFiles/hg_tests.dir/agent_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/agent_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/hg_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/hg_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/hg_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/hg_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/compile_test.cpp" "tests/CMakeFiles/hg_tests.dir/compile_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/compile_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/hg_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/gat_gradient_test.cpp" "tests/CMakeFiles/hg_tests.dir/gat_gradient_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/gat_gradient_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/hg_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/hg_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/hg_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/nic_contention_test.cpp" "tests/CMakeFiles/hg_tests.dir/nic_contention_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/nic_contention_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/hg_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/hg_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/plan_eval_test.cpp" "tests/CMakeFiles/hg_tests.dir/plan_eval_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/plan_eval_test.cpp.o.d"
+  "/root/repo/tests/profiler_test.cpp" "tests/CMakeFiles/hg_tests.dir/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/profiler_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/hg_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rl_test.cpp" "tests/CMakeFiles/hg_tests.dir/rl_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/rl_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/hg_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/strategy_test.cpp" "tests/CMakeFiles/hg_tests.dir/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/strategy_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/hg_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/hg_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hg_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/hg_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/hg_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/hg_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/hg_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/hg_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hg_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

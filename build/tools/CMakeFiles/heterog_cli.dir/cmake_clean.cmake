@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterog_cli.dir/heterog_cli.cpp.o"
+  "CMakeFiles/heterog_cli.dir/heterog_cli.cpp.o.d"
+  "heterog_cli"
+  "heterog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_diag.dir/diag.cpp.o"
+  "CMakeFiles/hg_diag.dir/diag.cpp.o.d"
+  "hg_diag"
+  "hg_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
