@@ -55,27 +55,60 @@ double gbps_to_bytes_per_ms(double gbps) {
 ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
                          double switch_gbps)
     : hosts_(std::move(hosts)), devices_(std::move(devices)), switch_gbps_(switch_gbps) {
-  check(!devices_.empty(), "ClusterSpec: no devices");
-  check(!hosts_.empty(), "ClusterSpec: no hosts");
+  if (devices_.empty()) throw ClusterSpecError("ClusterSpec: no devices");
+  if (hosts_.empty()) throw ClusterSpecError("ClusterSpec: no hosts");
+  if (switch_gbps_ <= 0.0) {
+    throw ClusterSpecError("ClusterSpec: switch bandwidth must be positive, got " +
+                           std::to_string(switch_gbps_));
+  }
   for (size_t i = 0; i < hosts_.size(); ++i) {
-    check(hosts_[i].id == static_cast<int>(i), "ClusterSpec: host ids must be dense");
+    const auto& h = hosts_[i];
+    if (h.id != static_cast<int>(i)) {
+      throw ClusterSpecError("ClusterSpec: host ids must be dense (host " +
+                             std::to_string(i) + " has id " + std::to_string(h.id) + ")");
+    }
+    if (h.nic_gbps <= 0.0 || h.intra_gbps <= 0.0) {
+      throw ClusterSpecError("ClusterSpec: host " + std::to_string(h.id) +
+                             " has non-positive NIC/fabric bandwidth");
+    }
   }
   for (size_t i = 0; i < devices_.size(); ++i) {
     auto& d = devices_[i];
-    check(d.id == static_cast<DeviceId>(i), "ClusterSpec: device ids must be dense");
-    check(d.host >= 0 && d.host < host_count(), "ClusterSpec: bad host index");
-    if (d.gflops_per_ms <= 0.0) d.gflops_per_ms = base_gflops_per_ms(d.model);
-    if (d.memory_bytes <= 0) d.memory_bytes = memory_capacity_bytes(d.model);
+    if (d.id != static_cast<DeviceId>(i)) {
+      throw ClusterSpecError("ClusterSpec: device ids must be dense (device " +
+                             std::to_string(i) + " has id " + std::to_string(d.id) + ")");
+    }
+    if (d.host < 0 || d.host >= host_count()) {
+      throw ClusterSpecError("ClusterSpec: device G" + std::to_string(d.id) +
+                             " references dangling host id " + std::to_string(d.host));
+    }
+    // Zero means "unset — fill from the model table"; negative is malformed.
+    if (d.gflops_per_ms < 0.0) {
+      throw ClusterSpecError("ClusterSpec: device G" + std::to_string(d.id) +
+                             " has negative compute power");
+    }
+    if (d.memory_bytes < 0) {
+      throw ClusterSpecError("ClusterSpec: device G" + std::to_string(d.id) +
+                             " has negative memory capacity");
+    }
+    if (d.gflops_per_ms == 0.0) d.gflops_per_ms = base_gflops_per_ms(d.model);
+    if (d.memory_bytes == 0) d.memory_bytes = memory_capacity_bytes(d.model);
   }
 }
 
 const DeviceSpec& ClusterSpec::device(DeviceId id) const {
-  check(id >= 0 && id < device_count(), "device: bad id");
+  if (id < 0 || id >= device_count()) {
+    throw ClusterSpecError("ClusterSpec: device id " + std::to_string(id) +
+                           " out of range [0, " + std::to_string(device_count()) + ")");
+  }
   return devices_[static_cast<size_t>(id)];
 }
 
 const HostSpec& ClusterSpec::host(int id) const {
-  check(id >= 0 && id < host_count(), "host: bad id");
+  if (id < 0 || id >= host_count()) {
+    throw ClusterSpecError("ClusterSpec: host id " + std::to_string(id) +
+                           " out of range [0, " + std::to_string(host_count()) + ")");
+  }
   return hosts_[static_cast<size_t>(id)];
 }
 
@@ -93,14 +126,17 @@ std::vector<DeviceId> ClusterSpec::devices_on_host(int host_id) const {
 
 double ClusterSpec::link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const {
   check(a != b, "link_bandwidth: same device");
-  const DeviceSpec& da = device(a);
+  const DeviceSpec& da = device(a);  // throws ClusterSpecError on bad ids
   const DeviceSpec& db = device(b);
+  double scale = 1.0;
+  const auto it = link_scale_.find(std::minmax(da.host, db.host));
+  if (it != link_scale_.end()) scale = it->second;
   if (da.host == db.host) {
-    return gbps_to_bytes_per_ms(host(da.host).intra_gbps);
+    return gbps_to_bytes_per_ms(host(da.host).intra_gbps) * scale;
   }
   const double path_gbps = std::min(
       {host(da.host).nic_gbps, host(db.host).nic_gbps, switch_gbps_});
-  return gbps_to_bytes_per_ms(path_gbps);
+  return gbps_to_bytes_per_ms(path_gbps) * scale;
 }
 
 double ClusterSpec::link_latency_ms(DeviceId a, DeviceId b) const {
@@ -108,9 +144,11 @@ double ClusterSpec::link_latency_ms(DeviceId a, DeviceId b) const {
 }
 
 double ClusterSpec::relative_power(DeviceId id) const {
+  // Validate the id (and non-emptiness) before touching devices_.front().
+  const DeviceSpec& dev = device(id);
   double slowest = devices_.front().gflops_per_ms;
   for (const auto& d : devices_) slowest = std::min(slowest, d.gflops_per_ms);
-  return device(id).gflops_per_ms / slowest;
+  return dev.gflops_per_ms / slowest;
 }
 
 double ClusterSpec::total_relative_power() const {
@@ -130,6 +168,62 @@ double ClusterSpec::min_link_bandwidth_bytes_per_ms() const {
   }
   check(min_bw > 0.0, "min_link_bandwidth: cluster has a single device");
   return min_bw;
+}
+
+ClusterSpec ClusterSpec::remove_device(DeviceId id) const {
+  device(id);  // validates id
+  if (device_count() == 1) {
+    throw ClusterSpecError("remove_device: removing G" + std::to_string(id) +
+                           " would leave the cluster empty");
+  }
+
+  std::vector<DeviceSpec> devices;
+  devices.reserve(devices_.size() - 1);
+  for (const auto& d : devices_) {
+    if (d.id != id) devices.push_back(d);
+  }
+
+  // Drop hosts left without devices and re-densify host ids.
+  std::vector<int> host_map(hosts_.size(), -1);
+  std::vector<HostSpec> hosts;
+  for (const auto& h : hosts_) {
+    const bool populated = std::any_of(devices.begin(), devices.end(),
+                                       [&](const DeviceSpec& d) { return d.host == h.id; });
+    if (!populated) continue;
+    host_map[static_cast<size_t>(h.id)] = static_cast<int>(hosts.size());
+    HostSpec copy = h;
+    copy.id = static_cast<int>(hosts.size());
+    hosts.push_back(copy);
+  }
+  for (size_t i = 0; i < devices.size(); ++i) {
+    devices[i].id = static_cast<DeviceId>(i);
+    devices[i].host = host_map[static_cast<size_t>(devices[i].host)];
+  }
+
+  ClusterSpec out(std::move(hosts), std::move(devices), switch_gbps_);
+  for (const auto& [pair, scale] : link_scale_) {
+    const int ha = host_map[static_cast<size_t>(pair.first)];
+    const int hb = host_map[static_cast<size_t>(pair.second)];
+    if (ha < 0 || hb < 0) continue;
+    out.link_scale_[std::minmax(ha, hb)] = scale;
+  }
+  return out;
+}
+
+ClusterSpec ClusterSpec::degrade_link(DeviceId a, DeviceId b, double factor) const {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw ClusterSpecError("degrade_link: factor must be in (0, 1], got " +
+                           std::to_string(factor));
+  }
+  if (a == b) {
+    throw ClusterSpecError("degrade_link: endpoints must differ (got G" +
+                           std::to_string(a) + " twice)");
+  }
+  const auto key = std::minmax(device(a).host, device(b).host);
+  ClusterSpec out = *this;
+  auto [it, inserted] = out.link_scale_.try_emplace(key, factor);
+  if (!inserted) it->second *= factor;
+  return out;
 }
 
 std::string ClusterSpec::summary() const {

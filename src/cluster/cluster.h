@@ -11,10 +11,23 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
+
 namespace heterog::cluster {
+
+/// Thrown when a ClusterSpec is constructed from malformed inputs (empty
+/// device list, non-positive bandwidth/memory, dangling host ids) or a
+/// derivation (remove_device / degrade_link) is invalid. Derives CheckError
+/// so existing catch sites keep working.
+class ClusterSpecError : public CheckError {
+ public:
+  explicit ClusterSpecError(const std::string& what) : CheckError(what) {}
+};
 
 using DeviceId = int32_t;
 
@@ -84,10 +97,26 @@ class ClusterSpec {
 
   std::string summary() const;
 
+  /// Derivation builders ---------------------------------------------------
+
+  /// Copy of this cluster without device `id`. Device and host ids are
+  /// re-densified (hosts left without devices are dropped); link degradations
+  /// on surviving host pairs are carried over. Throws ClusterSpecError for an
+  /// unknown id or when removal would leave the cluster empty.
+  ClusterSpec remove_device(DeviceId id) const;
+
+  /// Copy of this cluster with the bandwidth of the path between `a`'s and
+  /// `b`'s hosts scaled by `factor` in (0, 1] — the intra-host fabric when
+  /// they share a host, the NIC/switch path otherwise. Degradations compose
+  /// multiplicatively. Throws ClusterSpecError on a bad factor or device id.
+  ClusterSpec degrade_link(DeviceId a, DeviceId b, double factor) const;
+
  private:
   std::vector<HostSpec> hosts_;
   std::vector<DeviceSpec> devices_;
   double switch_gbps_ = 100.0;
+  /// Bandwidth scale per unordered host pair (degrade_link), default 1.0.
+  std::map<std::pair<int, int>, double> link_scale_;
 };
 
 /// Convenience: converts Gbps (network convention, bits) to bytes per ms.

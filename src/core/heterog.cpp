@@ -1,9 +1,101 @@
 #include "core/heterog.h"
 
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <numeric>
+
 #include "common/check.h"
 #include "common/log.h"
+#include "sim/fault_sim.h"
 
 namespace heterog {
+
+namespace {
+
+/// Everything the Strategy Maker + Graph Compiler pipeline produces for one
+/// (training graph, cluster) pair. get_runner builds the initial deployment
+/// from this; the fault-recovery path re-runs it on the survivor cluster.
+struct PlanResult {
+  std::shared_ptr<profiler::HardwareModel> hardware;
+  std::shared_ptr<const profiler::CostModel> cost_model;
+  strategy::Grouping grouping;
+  strategy::StrategyMap strategy;
+  rl::SearchResult search;
+  std::shared_ptr<compile::CompileResult> compiled;
+  sim::PlanEvaluation deployment;
+};
+
+PlanResult make_plan(const graph::GraphDef& training_graph,
+                     const cluster::ClusterSpec& cluster, const HeteroGConfig& config,
+                     bool with_rl, int rl_episodes) {
+  PlanResult plan;
+
+  // Profiler: regression cost models over the (synthetic) hardware.
+  plan.hardware = std::make_shared<profiler::HardwareModel>(cluster);
+  profiler::Profiler prof(*plan.hardware, config.profiler_seed);
+  plan.cost_model = prof.profile(training_graph);
+
+  // Strategy Maker.
+  const agent::EncodedGraph encoded =
+      agent::encode_graph(training_graph, *plan.cost_model, config.agent.max_groups);
+  plan.grouping = encoded.grouping;
+
+  rl::TrainConfig train_config = config.train;
+  train_config.episodes = rl_episodes;
+  rl::Trainer trainer(*plan.cost_model, train_config);
+  if (with_rl && train_config.episodes > 0) {
+    agent::PolicyNetwork policy(cluster.device_count(), config.agent);
+    plan.search = trainer.search(policy, encoded);
+  } else {
+    // Heuristic-only mode: evaluate warm-start candidates and keep the best.
+    rl::SearchResult best;
+    for (const auto& candidate :
+         trainer.heuristic_candidates(training_graph, plan.grouping)) {
+      const auto eval = trainer.evaluate(training_graph, plan.grouping, candidate);
+      const bool better =
+          !eval.oom && (!best.best_feasible || eval.time_ms < best.best_time_ms);
+      if (better || best.best_strategy.group_actions.empty()) {
+        best.best_strategy = candidate;
+        best.best_time_ms = eval.time_ms;
+        best.best_feasible = !eval.oom;
+      }
+    }
+    plan.search = std::move(best);
+  }
+  check(!plan.search.best_strategy.group_actions.empty(),
+        "make_plan: search produced no strategy");
+  plan.strategy = plan.search.best_strategy;
+
+  // Graph Compiler against the ground-truth hardware (deployment).
+  profiler::GroundTruthCosts ground_truth(*plan.hardware);
+  compile::GraphCompiler deploy_compiler(ground_truth);
+  plan.compiled = std::make_shared<compile::CompileResult>(
+      deploy_compiler.compile(training_graph, plan.grouping, plan.strategy));
+
+  sim::PlanEvalOptions options;
+  options.policy = config.use_order_scheduling ? sched::OrderPolicy::kRankPriority
+                                               : sched::OrderPolicy::kFifo;
+  plan.deployment = sim::evaluate_plan(ground_truth, training_graph, plan.grouping,
+                                       plan.strategy, options);
+  return plan;
+}
+
+/// new_id_of[d] after removing `failed` (sorted ascending) from a
+/// `device_count`-device cluster with dense ids.
+std::vector<int> survivor_id_map(int device_count,
+                                 const std::vector<cluster::DeviceId>& failed) {
+  std::vector<int> map(static_cast<size_t>(device_count));
+  int next = 0;
+  for (int d = 0; d < device_count; ++d) {
+    const bool dead =
+        std::binary_search(failed.begin(), failed.end(), static_cast<cluster::DeviceId>(d));
+    map[static_cast<size_t>(d)] = dead ? -1 : next++;
+  }
+  return map;
+}
+
+}  // namespace
 
 RunStats DistRunner::run(int steps) const {
   check(steps >= 0, "DistRunner::run: negative steps");
@@ -14,6 +106,148 @@ RunStats DistRunner::run(int steps) const {
   stats.computation_ms = deployment_.computation_ms;
   stats.communication_ms = deployment_.communication_ms;
   stats.oom = deployment_.oom;
+  return stats;
+}
+
+RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
+  check(steps >= 0, "DistRunner::run: negative steps");
+  if (plan.empty()) return run(steps);
+  plan.validate(cluster_);
+
+  RunStats stats;
+  stats.steps = steps;
+  stats.computation_ms = deployment_.computation_ms;
+  stats.communication_ms = deployment_.communication_ms;
+  stats.oom = deployment_.oom;
+  stats.step_ms.reserve(static_cast<size_t>(steps));
+
+  const FaultHandlingConfig& fh = config_.fault_handling;
+
+  // Mutable execution state; replaced wholesale on every re-plan.
+  cluster::ClusterSpec active_cluster = cluster_;
+  faults::FaultPlan active_plan = plan;
+  compile::DistGraph active_graph = compiled_->graph;
+  double active_iter_ms = deployment_.per_iteration_ms;
+  double active_cold_ms = deployment_.cold_iteration_ms;
+
+  sim::SimOptions sim_options;
+  sim_options.policy = config_.use_order_scheduling ? sched::OrderPolicy::kRankPriority
+                                                    : sched::OrderPolicy::kFifo;
+  sim_options.track_memory = false;
+  std::map<std::string, double> scaled_cache;
+
+  int step = 0;
+  int transients_done_through = -1;  // avoid double-charging retries when a
+                                     // re-plan re-enters the same step
+  while (step < steps) {
+    // Transient faults first: capped exponential backoff. A device still
+    // failing at the retry cap is escalated to a permanent failure below.
+    std::vector<cluster::DeviceId> escalated;
+    for (const auto& event : active_plan.events) {
+      if (event.kind != faults::FaultKind::kTransient || event.onset_step != step ||
+          step <= transients_done_through) {
+        continue;
+      }
+      int attempts = 0;
+      double backoff = fh.retry_backoff_ms;
+      while (attempts < event.failed_attempts && attempts < fh.max_retries) {
+        stats.retry_backoff_total_ms += backoff;
+        backoff = std::min(backoff * 2.0, fh.max_backoff_ms);
+        ++attempts;
+      }
+      stats.transient_retries += attempts;
+      if (attempts < event.failed_attempts) {
+        log_info() << "DistRunner: transient fault on G" << event.device
+                   << " still failing after " << attempts
+                   << " retries at step " << step << " — escalating to failure";
+        escalated.push_back(event.device);
+      }
+    }
+    transients_done_through = std::max(transients_done_through, step);
+
+    faults::FaultScaling scaling = faults::scaling_at(active_plan, active_cluster, step);
+    for (auto d : escalated) scaling.failed.push_back(d);
+    std::sort(scaling.failed.begin(), scaling.failed.end());
+    scaling.failed.erase(std::unique(scaling.failed.begin(), scaling.failed.end()),
+                         scaling.failed.end());
+
+    if (!scaling.failed.empty()) {
+      // Graceful degradation: re-plan on the survivors, resume at `step`.
+      if (static_cast<int>(scaling.failed.size()) >= active_cluster.device_count()) {
+        log_info() << "DistRunner: all devices failed at step " << step
+                   << "; cannot recover";
+        stats.completed = false;
+        break;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      cluster::ClusterSpec survivors = active_cluster;
+      for (auto it = scaling.failed.rbegin(); it != scaling.failed.rend(); ++it) {
+        survivors = survivors.remove_device(*it);
+      }
+      const PlanResult replanned =
+          make_plan(training_graph_, survivors, config_,
+                    fh.replan_rl_episodes > 0, fh.replan_rl_episodes);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      RecoveryReport report;
+      report.fault_step = step;
+      report.failed_devices = scaling.failed;
+      report.steps_lost = 1;  // the in-flight step is re-executed on resume
+      report.replan_wall_ms = wall_ms;
+      report.pre_fault_iteration_ms = active_iter_ms;
+      report.post_fault_iteration_ms = replanned.deployment.per_iteration_ms;
+      report.surviving_devices = survivors.device_count();
+      report.post_plan_oom = replanned.deployment.oom;
+      report.escalated_transient = !escalated.empty();
+      stats.recoveries.push_back(report);
+      stats.oom = stats.oom || replanned.deployment.oom;
+
+      log_info() << "DistRunner: recovered from failure of " << scaling.failed.size()
+                 << " device(s) at step " << step << " in " << wall_ms
+                 << " ms; plan " << active_iter_ms << " -> "
+                 << replanned.deployment.per_iteration_ms << " ms/iteration on "
+                 << survivors.device_count() << " survivors";
+
+      active_plan = faults::remap_plan(
+          active_plan, survivor_id_map(active_cluster.device_count(), scaling.failed));
+      active_cluster = std::move(survivors);
+      active_graph = replanned.compiled->graph;
+      active_iter_ms = replanned.deployment.per_iteration_ms;
+      active_cold_ms = replanned.deployment.cold_iteration_ms;
+      scaled_cache.clear();
+      continue;  // re-execute this step under the new plan
+    }
+
+    double step_time_ms = active_iter_ms;
+    if (scaling.any()) {
+      // Scale the steady-state time by the degraded/baseline makespan ratio
+      // of a single iteration (the pipeline-overlap correction of
+      // evaluate_plan carries over unchanged).
+      const std::string key = scaling.signature();
+      auto it = scaled_cache.find(key);
+      if (it == scaled_cache.end()) {
+        const compile::DistGraph scaled =
+            sim::apply_fault_scaling(active_graph, active_cluster, scaling);
+        it = scaled_cache
+                 .emplace(key, sim::Simulator(sim_options).run(scaled).makespan_ms)
+                 .first;
+      }
+      if (active_cold_ms > 0.0) {
+        step_time_ms = active_iter_ms * it->second / active_cold_ms;
+      } else {
+        step_time_ms = it->second;
+      }
+    }
+    stats.step_ms.push_back(step_time_ms);
+    stats.total_ms += step_time_ms;
+    ++step;
+  }
+
+  stats.total_ms += stats.retry_backoff_total_ms;
+  const int executed = static_cast<int>(stats.step_ms.size());
+  stats.per_iteration_ms = executed > 0 ? stats.total_ms / executed : 0.0;
   return stats;
 }
 
@@ -29,58 +263,21 @@ DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
 
   DistRunner runner;
   runner.cluster_ = device_info;
-  runner.use_order_scheduling_ = config.use_order_scheduling;
+  runner.config_ = config;
 
   // Graph Analyzer: single-GPU forward graph -> full training DAG.
   const graph::GraphDef forward = model_func();
   runner.training_graph_ = graph::build_training_graph(forward);
 
-  // Profiler: regression cost models over the (synthetic) hardware.
-  runner.hardware_ = std::make_shared<profiler::HardwareModel>(runner.cluster_);
-  profiler::Profiler prof(*runner.hardware_, config.profiler_seed);
-  runner.cost_model_ = prof.profile(runner.training_graph_);
-
-  // Strategy Maker.
-  const agent::EncodedGraph encoded = agent::encode_graph(
-      runner.training_graph_, *runner.cost_model_, config.agent.max_groups);
-  runner.grouping_ = encoded.grouping;
-
-  rl::Trainer trainer(*runner.cost_model_, config.train);
-  if (config.search_with_rl && config.train.episodes > 0) {
-    agent::PolicyNetwork policy(runner.cluster_.device_count(), config.agent);
-    runner.search_ = trainer.search(policy, encoded);
-  } else {
-    // Heuristic-only mode: evaluate warm-start candidates and keep the best.
-    rl::SearchResult best;
-    for (const auto& candidate :
-         trainer.heuristic_candidates(runner.training_graph_, runner.grouping_)) {
-      const auto eval =
-          trainer.evaluate(runner.training_graph_, runner.grouping_, candidate);
-      const bool better =
-          !eval.oom && (!best.best_feasible || eval.time_ms < best.best_time_ms);
-      if (better || best.best_strategy.group_actions.empty()) {
-        best.best_strategy = candidate;
-        best.best_time_ms = eval.time_ms;
-        best.best_feasible = !eval.oom;
-      }
-    }
-    runner.search_ = std::move(best);
-  }
-  check(!runner.search_.best_strategy.group_actions.empty(),
-        "get_runner: search produced no strategy");
-  runner.strategy_ = runner.search_.best_strategy;
-
-  // Graph Compiler against the ground-truth hardware (deployment).
-  profiler::GroundTruthCosts ground_truth(*runner.hardware_);
-  compile::GraphCompiler deploy_compiler(ground_truth);
-  runner.compiled_ = std::make_shared<compile::CompileResult>(
-      deploy_compiler.compile(runner.training_graph_, runner.grouping_, runner.strategy_));
-
-  sim::PlanEvalOptions options;
-  options.policy = config.use_order_scheduling ? sched::OrderPolicy::kRankPriority
-                                               : sched::OrderPolicy::kFifo;
-  runner.deployment_ = sim::evaluate_plan(ground_truth, runner.training_graph_,
-                                          runner.grouping_, runner.strategy_, options);
+  PlanResult plan = make_plan(runner.training_graph_, runner.cluster_, config,
+                              config.search_with_rl, config.train.episodes);
+  runner.hardware_ = std::move(plan.hardware);
+  runner.cost_model_ = std::move(plan.cost_model);
+  runner.grouping_ = std::move(plan.grouping);
+  runner.strategy_ = std::move(plan.strategy);
+  runner.search_ = std::move(plan.search);
+  runner.compiled_ = std::move(plan.compiled);
+  runner.deployment_ = std::move(plan.deployment);
   runner.per_iteration_ms_ = runner.deployment_.per_iteration_ms;
   runner.feasible_ = !runner.deployment_.oom;
 

@@ -22,6 +22,7 @@
 #include "baselines/baselines.h"
 #include "cluster/cluster.h"
 #include "compile/compiler.h"
+#include "faults/faults.h"
 #include "graph/training.h"
 #include "profiler/profiler.h"
 #include "rl/trainer.h"
@@ -31,9 +32,25 @@
 
 namespace heterog {
 
+/// Knobs of the detect -> retry -> re-plan loop (DESIGN.md "Fault model &
+/// recovery").
+struct FaultHandlingConfig {
+  /// Transient-fault retry cap; a device still failing after this many
+  /// attempts is escalated to a permanent failure (graceful degradation).
+  int max_retries = 5;
+  /// First retry backoff; doubles per attempt, capped at max_backoff_ms.
+  double retry_backoff_ms = 50.0;
+  double max_backoff_ms = 2000.0;
+  /// RL episodes for the re-plan after a device failure. 0 = heuristic-only
+  /// re-planning (fast; the common choice — a mid-run re-plan should not
+  /// stall training on a long search).
+  int replan_rl_episodes = 0;
+};
+
 struct HeteroGConfig {
   agent::AgentConfig agent;
   rl::TrainConfig train;
+  FaultHandlingConfig fault_handling;
   /// Seed for the synthetic profiling noise.
   uint64_t profiler_seed = 42;
   /// Use HeteroG's execution-order scheduling (vs TF FIFO) — the Fig. 5
@@ -44,6 +61,21 @@ struct HeteroGConfig {
   bool search_with_rl = true;
 };
 
+/// What one recovery from a permanent device failure cost.
+struct RecoveryReport {
+  int fault_step = -1;  // step that was in flight when the failure hit
+  /// Failed device ids, in the id space of the cluster active at fault time
+  /// (equal to the original ids until a previous recovery re-densified them).
+  std::vector<cluster::DeviceId> failed_devices;
+  int steps_lost = 0;            // in-flight steps re-executed after resume
+  double replan_wall_ms = 0.0;   // wall-clock spent re-planning
+  double pre_fault_iteration_ms = 0.0;
+  double post_fault_iteration_ms = 0.0;
+  int surviving_devices = 0;
+  bool post_plan_oom = false;
+  bool escalated_transient = false;  // failure came from exhausted retries
+};
+
 struct RunStats {
   int steps = 0;
   double per_iteration_ms = 0.0;
@@ -51,6 +83,15 @@ struct RunStats {
   double computation_ms = 0.0;
   double communication_ms = 0.0;
   bool oom = false;
+
+  /// Fault-aware runs only (run(steps, plan)): per-step times, retry
+  /// bookkeeping and one report per re-plan. `completed` goes false only
+  /// when recovery is impossible (no surviving devices).
+  std::vector<double> step_ms;
+  int transient_retries = 0;
+  double retry_backoff_total_ms = 0.0;
+  std::vector<RecoveryReport> recoveries;
+  bool completed = true;
 };
 
 /// A deployed distributed training model (Fig. 5's dist_runner).
@@ -59,8 +100,17 @@ class DistRunner {
   /// Executes `steps` training iterations on the (simulated) cluster.
   RunStats run(int steps) const;
 
+  /// Fault-aware execution: steps through `plan`, retrying transient faults
+  /// with capped exponential backoff and recovering from permanent device
+  /// failures by re-planning on the surviving ClusterSpec subset (heuristic
+  /// Strategy Maker, plus an optional short RL refinement — see
+  /// FaultHandlingConfig::replan_rl_episodes) and resuming from the last
+  /// completed step. Each recovery is surfaced as a RecoveryReport.
+  RunStats run(int steps, const faults::FaultPlan& plan) const;
+
   double per_iteration_ms() const { return per_iteration_ms_; }
   bool feasible() const { return feasible_; }
+  const cluster::ClusterSpec& cluster() const { return cluster_; }
 
   const strategy::StrategyMap& strategy() const { return strategy_; }
   const strategy::Grouping& grouping() const { return grouping_; }
@@ -76,6 +126,7 @@ class DistRunner {
                                const cluster::ClusterSpec&, const HeteroGConfig&);
 
   cluster::ClusterSpec cluster_;
+  HeteroGConfig config_;  // kept for mid-run re-planning
   std::shared_ptr<profiler::HardwareModel> hardware_;
   std::shared_ptr<const profiler::CostModel> cost_model_;
   graph::GraphDef training_graph_;
@@ -86,7 +137,6 @@ class DistRunner {
   sim::PlanEvaluation deployment_;
   double per_iteration_ms_ = 0.0;
   bool feasible_ = false;
-  bool use_order_scheduling_ = true;
 };
 
 /// The paper's get_runner: converts a single-GPU model into an optimised

@@ -1,0 +1,303 @@
+// Minimal JSON reader for FaultPlan files (schema in faults.h). Hand-rolled
+// recursive descent — the container bakes no JSON dependency in, and the
+// schema is small enough that a ~150-line parser is the honest cost.
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "faults/faults.h"
+
+namespace heterog::faults {
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw FaultPlanError("fault plan JSON: " + why + " (at offset " +
+                         std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_number();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      v.object[key.str] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            c = esc;
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          default:
+            fail("unsupported escape sequence");
+        }
+      }
+      v.str.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+double get_number(const JsonValue& obj, const std::string& key, double fallback,
+                  bool required = false) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    if (required) throw FaultPlanError("fault plan: missing field \"" + key + "\"");
+    return fallback;
+  }
+  if (it->second.type != JsonValue::Type::kNumber) {
+    throw FaultPlanError("fault plan: field \"" + key + "\" must be a number");
+  }
+  return it->second.number;
+}
+
+int get_int(const JsonValue& obj, const std::string& key, int fallback,
+            bool required = false) {
+  const double d = get_number(obj, key, fallback, required);
+  if (d != std::floor(d)) {
+    throw FaultPlanError("fault plan: field \"" + key + "\" must be an integer");
+  }
+  return static_cast<int>(d);
+}
+
+FaultEvent parse_event(const JsonValue& obj) {
+  if (obj.type != JsonValue::Type::kObject) {
+    throw FaultPlanError("fault plan: each fault must be a JSON object");
+  }
+  const auto kind_it = obj.object.find("kind");
+  if (kind_it == obj.object.end() || kind_it->second.type != JsonValue::Type::kString) {
+    throw FaultPlanError("fault plan: fault missing string field \"kind\"");
+  }
+  const std::string& kind = kind_it->second.str;
+
+  FaultEvent e;
+  e.onset_step = get_int(obj, "onset_step", 0, /*required=*/true);
+  e.recovery_step = get_int(obj, "recovery_step", -1);
+  if (kind == "device_failure") {
+    e.kind = FaultKind::kDeviceFailure;
+    e.device = get_int(obj, "device", -1, /*required=*/true);
+  } else if (kind == "straggler") {
+    e.kind = FaultKind::kStraggler;
+    e.device = get_int(obj, "device", -1, /*required=*/true);
+    e.slowdown = get_number(obj, "slowdown", 2.0);
+  } else if (kind == "link_degradation") {
+    e.kind = FaultKind::kLinkDegradation;
+    e.device_a = get_int(obj, "device_a", -1, /*required=*/true);
+    e.device_b = get_int(obj, "device_b", -1, /*required=*/true);
+    e.bandwidth_factor = get_number(obj, "bandwidth_factor", 0.5);
+  } else if (kind == "transient") {
+    e.kind = FaultKind::kTransient;
+    e.device = get_int(obj, "device", -1, /*required=*/true);
+    e.failed_attempts = get_int(obj, "failed_attempts", 1);
+  } else {
+    throw FaultPlanError("fault plan: unknown fault kind \"" + kind + "\"");
+  }
+  return e;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan_json(const std::string& text) {
+  JsonParser parser(text);
+  const JsonValue root = parser.parse();
+
+  const JsonValue* list = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    list = &root;
+  } else if (root.type == JsonValue::Type::kObject) {
+    const auto it = root.object.find("faults");
+    if (it == root.object.end() || it->second.type != JsonValue::Type::kArray) {
+      throw FaultPlanError("fault plan: top-level object needs a \"faults\" array");
+    }
+    list = &it->second;
+  } else {
+    throw FaultPlanError("fault plan: top level must be an object or array");
+  }
+
+  FaultPlan plan;
+  for (const auto& entry : list->array) plan.events.push_back(parse_event(entry));
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw FaultPlanError("cannot read fault plan file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_fault_plan_json(buffer.str());
+}
+
+std::string fault_plan_to_json(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "{\"faults\": [";
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& e = plan.events[i];
+    if (i) os << ", ";
+    os << "{\"kind\": \"" << fault_kind_name(e.kind) << "\"";
+    switch (e.kind) {
+      case FaultKind::kDeviceFailure:
+        os << ", \"device\": " << e.device;
+        break;
+      case FaultKind::kStraggler:
+        os << ", \"device\": " << e.device << ", \"slowdown\": " << e.slowdown;
+        break;
+      case FaultKind::kLinkDegradation:
+        os << ", \"device_a\": " << e.device_a << ", \"device_b\": " << e.device_b
+           << ", \"bandwidth_factor\": " << e.bandwidth_factor;
+        break;
+      case FaultKind::kTransient:
+        os << ", \"device\": " << e.device
+           << ", \"failed_attempts\": " << e.failed_attempts;
+        break;
+    }
+    os << ", \"onset_step\": " << e.onset_step;
+    if (e.recovery_step >= 0) os << ", \"recovery_step\": " << e.recovery_step;
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace heterog::faults

@@ -1,0 +1,195 @@
+#include "faults/faults.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace heterog::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceFailure:
+      return "device_failure";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kLinkDegradation:
+      return "link_degradation";
+    case FaultKind::kTransient:
+      return "transient";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kDeviceFailure:
+      os << " G" << device;
+      break;
+    case FaultKind::kStraggler:
+      os << " G" << device << " x" << slowdown;
+      break;
+    case FaultKind::kLinkDegradation:
+      os << " G" << device_a << "<->G" << device_b << " x" << bandwidth_factor;
+      break;
+    case FaultKind::kTransient:
+      os << " G" << device << " (" << failed_attempts << " failed attempts)";
+      break;
+  }
+  os << " @step " << onset_step;
+  if (recovery_step >= 0) os << "..." << recovery_step;
+  return os.str();
+}
+
+namespace {
+
+void validate_event(const FaultEvent& e, const cluster::ClusterSpec& cluster) {
+  auto fail = [&](const std::string& why) {
+    throw FaultPlanError("fault plan: " + why + " in event [" + e.describe() + "]");
+  };
+  if (e.onset_step < 0) fail("negative onset_step");
+  if (e.recovery_step >= 0 && e.recovery_step <= e.onset_step) {
+    fail("recovery_step must be after onset_step");
+  }
+  auto check_device = [&](cluster::DeviceId d, const char* field) {
+    if (d < 0 || d >= cluster.device_count()) {
+      fail(std::string(field) + " out of range for a " +
+           std::to_string(cluster.device_count()) + "-device cluster");
+    }
+  };
+  switch (e.kind) {
+    case FaultKind::kDeviceFailure:
+      check_device(e.device, "device");
+      break;
+    case FaultKind::kStraggler:
+      check_device(e.device, "device");
+      if (e.slowdown <= 1.0) fail("straggler slowdown must be > 1");
+      break;
+    case FaultKind::kLinkDegradation:
+      check_device(e.device_a, "device_a");
+      check_device(e.device_b, "device_b");
+      if (e.device_a == e.device_b) fail("link endpoints must differ");
+      if (e.bandwidth_factor <= 0.0 || e.bandwidth_factor >= 1.0) {
+        fail("bandwidth_factor must be in (0, 1)");
+      }
+      break;
+    case FaultKind::kTransient:
+      check_device(e.device, "device");
+      if (e.failed_attempts < 1) fail("failed_attempts must be >= 1");
+      break;
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate(const cluster::ClusterSpec& cluster) const {
+  for (const auto& e : events) validate_event(e, cluster);
+}
+
+bool FaultScaling::any() const {
+  if (!failed.empty() || !links.empty()) return true;
+  return std::any_of(compute_slowdown.begin(), compute_slowdown.end(),
+                     [](double s) { return s > 1.0; });
+}
+
+bool FaultScaling::is_failed(cluster::DeviceId d) const {
+  return std::binary_search(failed.begin(), failed.end(), d);
+}
+
+double FaultScaling::link_factor(const cluster::ClusterSpec& cluster,
+                                 cluster::DeviceId x, cluster::DeviceId y) const {
+  if (links.empty()) return 1.0;
+  const int hx = cluster.device(x).host;
+  const int hy = cluster.device(y).host;
+  const auto key = std::minmax(hx, hy);
+  double factor = 1.0;
+  for (const auto& l : links) {
+    const auto lk = std::minmax(cluster.device(l.a).host, cluster.device(l.b).host);
+    if (lk == key) factor *= l.factor;
+  }
+  return factor;
+}
+
+std::string FaultScaling::signature() const {
+  std::ostringstream os;
+  for (size_t d = 0; d < compute_slowdown.size(); ++d) {
+    if (compute_slowdown[d] > 1.0) os << "s" << d << ":" << compute_slowdown[d] << ";";
+  }
+  for (const auto& l : links) os << "l" << l.a << "-" << l.b << ":" << l.factor << ";";
+  for (auto d : failed) os << "f" << d << ";";
+  return os.str();
+}
+
+FaultScaling scaling_at(const FaultPlan& plan, const cluster::ClusterSpec& cluster,
+                        int step) {
+  FaultScaling out;
+  out.compute_slowdown.assign(static_cast<size_t>(cluster.device_count()), 1.0);
+  for (const auto& e : plan.events) {
+    if (!e.active_at(step)) continue;
+    switch (e.kind) {
+      case FaultKind::kDeviceFailure:
+        if (e.device >= 0 && e.device < cluster.device_count()) {
+          out.failed.push_back(e.device);
+        }
+        break;
+      case FaultKind::kStraggler:
+        if (e.device >= 0 && e.device < cluster.device_count()) {
+          out.compute_slowdown[static_cast<size_t>(e.device)] *= e.slowdown;
+        }
+        break;
+      case FaultKind::kLinkDegradation:
+        out.links.push_back({e.device_a, e.device_b, e.bandwidth_factor});
+        break;
+      case FaultKind::kTransient:
+        break;  // handled by the runner's retry loop
+    }
+  }
+  std::sort(out.failed.begin(), out.failed.end());
+  out.failed.erase(std::unique(out.failed.begin(), out.failed.end()), out.failed.end());
+  return out;
+}
+
+FaultPlan remap_plan(const FaultPlan& plan, const std::vector<int>& new_id_of) {
+  auto remap = [&](cluster::DeviceId d) -> cluster::DeviceId {
+    if (d < 0 || static_cast<size_t>(d) >= new_id_of.size()) return -1;
+    return new_id_of[static_cast<size_t>(d)];
+  };
+  FaultPlan out;
+  for (const auto& e : plan.events) {
+    FaultEvent copy = e;
+    if (e.kind == FaultKind::kLinkDegradation) {
+      copy.device_a = remap(e.device_a);
+      copy.device_b = remap(e.device_b);
+      if (copy.device_a < 0 || copy.device_b < 0) continue;
+    } else {
+      copy.device = remap(e.device);
+      if (copy.device < 0) continue;
+    }
+    out.events.push_back(copy);
+  }
+  return out;
+}
+
+cluster::ClusterSpec degraded_cluster(const cluster::ClusterSpec& base,
+                                      const FaultScaling& scaling) {
+  std::vector<cluster::HostSpec> hosts = base.hosts();
+  std::vector<cluster::DeviceSpec> devices = base.devices();
+  for (auto& d : devices) {
+    const auto idx = static_cast<size_t>(d.id);
+    if (idx < scaling.compute_slowdown.size() && scaling.compute_slowdown[idx] > 1.0) {
+      d.gflops_per_ms /= scaling.compute_slowdown[idx];
+    }
+  }
+  cluster::ClusterSpec out(std::move(hosts), std::move(devices), base.switch_gbps());
+  for (const auto& l : scaling.links) {
+    out = out.degrade_link(l.a, l.b, l.factor);
+  }
+  // Remove failed devices last (highest id first so lower ids stay stable
+  // while iterating; degraded-link host pairs are carried through).
+  std::vector<cluster::DeviceId> failed = scaling.failed;
+  std::sort(failed.rbegin(), failed.rend());
+  for (auto d : failed) out = out.remove_device(d);
+  return out;
+}
+
+}  // namespace heterog::faults

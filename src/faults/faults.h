@@ -1,0 +1,134 @@
+// Fault model for heterogeneous clusters (robustness extension; see
+// DESIGN.md "Fault model & recovery").
+//
+// A FaultPlan is a schedule of adverse events injected into a (simulated)
+// training run: permanent device failures, straggler slowdowns, link
+// bandwidth degradation and transient compute/OOM hiccups. Each event has an
+// onset step and an optional recovery step. The plan is consumed at three
+// layers:
+//   * sim/fault_sim.h    — fault-aware execution: per-step makespans under
+//                          the active fault set;
+//   * core/heterog.h     — DistRunner's detect -> retry -> re-plan loop;
+//   * this module        — derivation of a degraded ClusterSpec for
+//                          re-planning on the surviving/slowed hardware.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace heterog::faults {
+
+/// Thrown for malformed fault plans (bad JSON, unknown kinds, events that
+/// reference devices outside the target cluster, non-positive factors).
+class FaultPlanError : public std::runtime_error {
+ public:
+  explicit FaultPlanError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FaultKind : uint8_t {
+  kDeviceFailure,    // device drops out of the cluster (permanent for the
+                     // runner; the fault-aware simulator honours recovery)
+  kStraggler,        // compute on `device` slows by `slowdown`
+  kLinkDegradation,  // bandwidth on the host path between `device_a` and
+                     // `device_b` scales by `bandwidth_factor`
+  kTransient,        // transient hiccup: the first `failed_attempts` tries of
+                     // step `onset_step` on `device` fail, then succeed
+};
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransient;
+  cluster::DeviceId device = -1;    // failure / straggler / transient target
+  cluster::DeviceId device_a = -1;  // link degradation endpoints; the fault
+  cluster::DeviceId device_b = -1;  // hits the host-pair path between them
+  int onset_step = 0;               // first affected step (0-based)
+  int recovery_step = -1;           // first unaffected step; -1 = never
+  double slowdown = 1.0;            // straggler compute-time multiplier (> 1)
+  double bandwidth_factor = 1.0;    // link degradation factor in (0, 1)
+  int failed_attempts = 1;          // transient: attempts failing at onset
+
+  /// Whether the event is in its [onset, recovery) window at `step`.
+  bool active_at(int step) const {
+    return step >= onset_step && (recovery_step < 0 || step < recovery_step);
+  }
+
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Throws FaultPlanError if any event is internally inconsistent or
+  /// references a device outside `cluster`.
+  void validate(const cluster::ClusterSpec& cluster) const;
+};
+
+/// One entry of active link degradation, in device-endpoint form.
+struct LinkDegradation {
+  cluster::DeviceId a = -1;
+  cluster::DeviceId b = -1;
+  double factor = 1.0;
+};
+
+/// The net effect of all faults active at one step, resolved against a
+/// concrete cluster: per-device compute slowdown, degraded links and the set
+/// of failed devices.
+struct FaultScaling {
+  std::vector<double> compute_slowdown;  // per device, >= 1.0
+  std::vector<LinkDegradation> links;
+  std::vector<cluster::DeviceId> failed;  // sorted, unique
+
+  bool any() const;
+  bool is_failed(cluster::DeviceId d) const;
+
+  /// Combined bandwidth factor (<= 1) applying to the (x -> y) link: the
+  /// product of all degradations whose endpoint host pair matches x/y's.
+  double link_factor(const cluster::ClusterSpec& cluster, cluster::DeviceId x,
+                     cluster::DeviceId y) const;
+
+  /// Stable cache key for memoising simulations of identical fault sets.
+  std::string signature() const;
+};
+
+/// Resolves `plan` at `step` against `cluster`. Transient events do not
+/// contribute (they are handled by the runner's retry loop, not by scaling).
+FaultScaling scaling_at(const FaultPlan& plan, const cluster::ClusterSpec& cluster,
+                        int step);
+
+/// Rewrites every device reference through `new_id_of` (old id -> new id, -1
+/// for removed devices); events whose target vanished are dropped. Used by
+/// the runner after re-planning onto a survivor cluster re-densifies ids.
+FaultPlan remap_plan(const FaultPlan& plan, const std::vector<int>& new_id_of);
+
+/// ClusterSpec reflecting `scaling`: failed devices removed, straggler
+/// devices' compute scaled down, degraded links applied. The result is what
+/// re-planning should target. Throws ClusterSpecError if no device survives.
+cluster::ClusterSpec degraded_cluster(const cluster::ClusterSpec& base,
+                                      const FaultScaling& scaling);
+
+/// JSON (de)serialisation -------------------------------------------------
+///
+/// Accepted schema (top-level object with "faults", or a bare array):
+///   {"faults": [
+///     {"kind": "device_failure",   "device": 3, "onset_step": 5},
+///     {"kind": "straggler",        "device": 1, "onset_step": 0,
+///      "recovery_step": 10, "slowdown": 2.5},
+///     {"kind": "link_degradation", "device_a": 0, "device_b": 2,
+///      "onset_step": 3, "bandwidth_factor": 0.25},
+///     {"kind": "transient",        "device": 2, "onset_step": 4,
+///      "failed_attempts": 2}
+///   ]}
+FaultPlan parse_fault_plan_json(const std::string& text);
+
+/// Reads and parses `path`; throws FaultPlanError when unreadable.
+FaultPlan load_fault_plan(const std::string& path);
+
+/// Serialises `plan` back to the schema above (round-trips with the parser).
+std::string fault_plan_to_json(const FaultPlan& plan);
+
+}  // namespace heterog::faults

@@ -146,7 +146,14 @@ double HardwareModel::op_time_ms(const graph::OpDef& op, double batch,
   const double flops = std::max(op.flops(batch), 0.0);
   if (flops <= 0.0) return kKernelLaunchMs;
   const auto& d = cluster_->device(dev);
-  const double rate = class_rate(d.model, classify(op.kind));  // GFLOPs/ms
+  // The per-class rate table assumes the model's nominal compute power; a
+  // DeviceSpec carrying a different gflops_per_ms (straggler-degraded
+  // clusters, user-tuned specs) derates every class proportionally.
+  const double derate =
+      d.gflops_per_ms > 0.0
+          ? d.gflops_per_ms / cluster::base_gflops_per_ms(d.model)
+          : 1.0;
+  const double rate = class_rate(d.model, classify(op.kind)) * derate;  // GFLOPs/ms
   const double knee = saturation_knee_flops(d.model);
   const double utilisation = flops / (flops + knee);
   const double effective_rate = rate * 1e9 * std::max(utilisation, 0.02);

@@ -1,0 +1,49 @@
+// Fault-aware execution mode for the discrete-event simulator.
+//
+// Instead of one steady-state scalar, the cluster is stepped through a
+// FaultPlan: for every training step the active fault set scales per-device
+// compute durations and per-link bandwidth, and the step's makespan is
+// reported individually. A step whose plan touches a failed device is
+// flagged inexecutable — the signal DistRunner's re-planning loop consumes.
+#pragma once
+
+#include "compile/dist_graph.h"
+#include "faults/faults.h"
+#include "sim/simulator.h"
+
+namespace heterog::sim {
+
+struct StepOutcome {
+  int step = 0;
+  double makespan_ms = 0.0;
+  bool executable = true;  // false: a failed device is in the plan
+  std::vector<cluster::DeviceId> failed_devices;  // cause when !executable
+};
+
+struct FaultAwareRun {
+  std::vector<StepOutcome> steps;
+  double total_ms = 0.0;               // sum over executable steps
+  int first_inexecutable_step = -1;    // -1 when every step ran
+};
+
+/// Copy of `graph` with durations scaled by the active fault set: compute
+/// nodes by their device's slowdown, transfer/collective nodes by the
+/// inverse of the degraded link bandwidth factor on their path.
+compile::DistGraph apply_fault_scaling(const compile::DistGraph& graph,
+                                       const cluster::ClusterSpec& cluster,
+                                       const faults::FaultScaling& scaling);
+
+/// Whether any node of the compiled plan executes on / communicates through
+/// `device`.
+bool plan_uses_device(const compile::DistGraph& graph, cluster::DeviceId device);
+
+/// Steps the plan through `steps` iterations of `plan`. Stops at the first
+/// step whose active fault set fails a device the plan uses (re-planning is
+/// the runner's job, not the simulator's). Identical fault sets are
+/// simulated once and memoised.
+FaultAwareRun simulate_with_faults(const compile::DistGraph& graph,
+                                   const cluster::ClusterSpec& cluster,
+                                   const faults::FaultPlan& plan, int steps,
+                                   SimOptions options = SimOptions());
+
+}  // namespace heterog::sim

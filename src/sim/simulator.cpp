@@ -276,7 +276,14 @@ void apply_oom_check(SimResult& result, const cluster::ClusterSpec& cluster,
   result.oom = false;
   result.oom_devices.clear();
   for (const auto& d : cluster.devices()) {
-    if (static_cast<size_t>(d.id) >= result.peak_memory_bytes.size()) break;
+    // A peak vector shorter than the device count (e.g. a graph compiled for
+    // a smaller device set, or track_memory disabled) means no recorded
+    // usage on the missing devices — treat it as zero rather than indexing
+    // out of bounds. `continue` (not `break`) so a dense-by-id assumption on
+    // devices() is never load-bearing here.
+    if (d.id < 0 || static_cast<size_t>(d.id) >= result.peak_memory_bytes.size()) {
+      continue;
+    }
     const auto usable = static_cast<int64_t>(
         static_cast<double>(d.memory_bytes) * usable_memory_fraction);
     if (result.peak_memory_bytes[static_cast<size_t>(d.id)] > usable) {

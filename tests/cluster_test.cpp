@@ -94,5 +94,115 @@ TEST(Cluster, MinLinkBandwidthIsInterHost) {
   EXPECT_DOUBLE_EQ(c.min_link_bandwidth_bytes_per_ms(), gbps_to_bytes_per_ms(50.0));
 }
 
+TEST(Cluster, MalformedSpecsRaiseTypedErrors) {
+  std::vector<HostSpec> hosts = {{0, "h0", 50.0, 96.0}};
+  std::vector<DeviceSpec> devices(1);
+  devices[0].id = 0;
+  devices[0].host = 0;
+
+  // Empty device list.
+  EXPECT_THROW(ClusterSpec(hosts, {}, 100.0), ClusterSpecError);
+  // Empty host list.
+  EXPECT_THROW(ClusterSpec({}, devices, 100.0), ClusterSpecError);
+  // Non-positive switch bandwidth.
+  EXPECT_THROW(ClusterSpec(hosts, devices, -1.0), ClusterSpecError);
+  // Non-positive NIC bandwidth.
+  {
+    auto bad_hosts = hosts;
+    bad_hosts[0].nic_gbps = 0.0;
+    EXPECT_THROW(ClusterSpec(bad_hosts, devices, 100.0), ClusterSpecError);
+  }
+  // Dangling host id.
+  {
+    auto bad_devices = devices;
+    bad_devices[0].host = 7;
+    EXPECT_THROW(ClusterSpec(hosts, bad_devices, 100.0), ClusterSpecError);
+  }
+  // Negative memory.
+  {
+    auto bad_devices = devices;
+    bad_devices[0].memory_bytes = -1;
+    EXPECT_THROW(ClusterSpec(hosts, bad_devices, 100.0), ClusterSpecError);
+  }
+  // A well-formed spec still constructs (and fills model defaults).
+  const ClusterSpec ok(hosts, devices, 100.0);
+  EXPECT_GT(ok.device(0).gflops_per_ms, 0.0);
+  EXPECT_GT(ok.device(0).memory_bytes, 0);
+}
+
+TEST(Cluster, OutOfRangeDeviceIdsThrowInsteadOfUB) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  EXPECT_THROW(c.relative_power(-1), ClusterSpecError);
+  EXPECT_THROW(c.relative_power(8), ClusterSpecError);
+  EXPECT_THROW(c.link_bandwidth_bytes_per_ms(0, 8), ClusterSpecError);
+  EXPECT_THROW(c.link_bandwidth_bytes_per_ms(-1, 0), ClusterSpecError);
+  EXPECT_THROW(c.device(99), ClusterSpecError);
+}
+
+TEST(Cluster, RemoveDeviceRedensifiesIds) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  const ClusterSpec survivors = c.remove_device(3);
+  ASSERT_EQ(survivors.device_count(), 7);
+  EXPECT_EQ(survivors.host_count(), 4);
+  // Old G4 (1080Ti on host 2) became G3.
+  EXPECT_EQ(survivors.device(3).model, GpuModel::kGtx1080Ti);
+  EXPECT_EQ(survivors.device(3).host, 2);
+  for (int i = 0; i < survivors.device_count(); ++i) {
+    EXPECT_EQ(survivors.device(i).id, i);
+  }
+}
+
+TEST(Cluster, RemoveDeviceDropsEmptyHosts) {
+  const ClusterSpec c = make_paper_testbed_8gpu();
+  // Remove both P100s — host 3 has no devices left and must disappear.
+  const ClusterSpec survivors = c.remove_device(7).remove_device(6);
+  EXPECT_EQ(survivors.device_count(), 6);
+  EXPECT_EQ(survivors.host_count(), 3);
+  for (const auto& d : survivors.devices()) {
+    EXPECT_LT(d.host, survivors.host_count());
+  }
+}
+
+TEST(Cluster, RemoveDeviceRejectsBadInput) {
+  const ClusterSpec c = make_motivation_cluster();
+  EXPECT_THROW(c.remove_device(5), ClusterSpecError);
+  const ClusterSpec one = c.remove_device(2).remove_device(1);
+  EXPECT_EQ(one.device_count(), 1);
+  EXPECT_THROW(one.remove_device(0), ClusterSpecError);  // would empty cluster
+}
+
+TEST(Cluster, DegradeLinkScalesHostPairBandwidth) {
+  const ClusterSpec c = make_fig3_testbed();
+  const double base_cross = c.link_bandwidth_bytes_per_ms(0, 2);
+  const double base_intra = c.link_bandwidth_bytes_per_ms(0, 1);
+
+  const ClusterSpec degraded = c.degrade_link(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(0, 2), base_cross * 0.5);
+  // Same host pair, other device pair: also degraded (host path fault).
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(1, 3), base_cross * 0.5);
+  // Intra-host fabric untouched.
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(0, 1), base_intra);
+
+  // Degradations compose multiplicatively.
+  const ClusterSpec twice = degraded.degrade_link(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(twice.link_bandwidth_bytes_per_ms(0, 2), base_cross * 0.25);
+}
+
+TEST(Cluster, DegradeLinkRejectsBadFactors) {
+  const ClusterSpec c = make_fig3_testbed();
+  EXPECT_THROW(c.degrade_link(0, 2, 0.0), ClusterSpecError);
+  EXPECT_THROW(c.degrade_link(0, 2, 1.5), ClusterSpecError);
+  EXPECT_THROW(c.degrade_link(0, 0, 0.5), ClusterSpecError);
+  EXPECT_THROW(c.degrade_link(0, 9, 0.5), ClusterSpecError);
+}
+
+TEST(Cluster, RemoveDevicePreservesLinkDegradation) {
+  const ClusterSpec c = make_paper_testbed_8gpu().degrade_link(0, 2, 0.5);
+  // Removing a P100 does not touch the degraded host0<->host1 path.
+  const ClusterSpec survivors = c.remove_device(7);
+  EXPECT_DOUBLE_EQ(survivors.link_bandwidth_bytes_per_ms(0, 2),
+                   gbps_to_bytes_per_ms(50.0) * 0.5);
+}
+
 }  // namespace
 }  // namespace heterog::cluster

@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/heterog.h"
+#include "faults/faults.h"
+#include "models/models.h"
+#include "sim/fault_sim.h"
+#include "sim/simulator.h"
+
+namespace heterog {
+namespace {
+
+using compile::DistGraph;
+using compile::DistNode;
+using compile::DistNodeId;
+using compile::NodeKind;
+using faults::FaultEvent;
+using faults::FaultKind;
+using faults::FaultPlan;
+
+DistNodeId add_compute(DistGraph& g, const std::string& name, int device, double ms) {
+  DistNode n;
+  n.name = name;
+  n.kind = NodeKind::kCompute;
+  n.device = device;
+  n.duration_ms = ms;
+  return g.add_node(std::move(n));
+}
+
+DistNodeId add_transfer(DistGraph& g, const std::string& name, int from, int to,
+                        double ms) {
+  DistNode n;
+  n.name = name;
+  n.kind = NodeKind::kTransfer;
+  n.link_from = from;
+  n.link_to = to;
+  n.duration_ms = ms;
+  return g.add_node(std::move(n));
+}
+
+FaultEvent device_failure(cluster::DeviceId device, int onset) {
+  FaultEvent e;
+  e.kind = FaultKind::kDeviceFailure;
+  e.device = device;
+  e.onset_step = onset;
+  return e;
+}
+
+FaultEvent straggler(cluster::DeviceId device, double slowdown, int onset,
+                     int recovery = -1) {
+  FaultEvent e;
+  e.kind = FaultKind::kStraggler;
+  e.device = device;
+  e.slowdown = slowdown;
+  e.onset_step = onset;
+  e.recovery_step = recovery;
+  return e;
+}
+
+FaultEvent transient(cluster::DeviceId device, int onset, int failed_attempts) {
+  FaultEvent e;
+  e.kind = FaultKind::kTransient;
+  e.device = device;
+  e.onset_step = onset;
+  e.failed_attempts = failed_attempts;
+  return e;
+}
+
+FaultEvent link_degradation(cluster::DeviceId a, cluster::DeviceId b, double factor,
+                            int onset, int recovery = -1) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDegradation;
+  e.device_a = a;
+  e.device_b = b;
+  e.bandwidth_factor = factor;
+  e.onset_step = onset;
+  e.recovery_step = recovery;
+  return e;
+}
+
+HeteroGConfig fast_config() {
+  HeteroGConfig config;
+  config.search_with_rl = false;
+  config.train.episodes = 0;
+  config.agent.max_groups = 16;
+  return config;
+}
+
+// JSON ----------------------------------------------------------------------
+
+TEST(FaultJson, ParsesAllKinds) {
+  const std::string json = R"({"faults": [
+    {"kind": "device_failure", "device": 3, "onset_step": 5},
+    {"kind": "straggler", "device": 1, "onset_step": 0, "recovery_step": 10,
+     "slowdown": 2.5},
+    {"kind": "link_degradation", "device_a": 0, "device_b": 2, "onset_step": 3,
+     "bandwidth_factor": 0.25},
+    {"kind": "transient", "device": 2, "onset_step": 4, "failed_attempts": 2}
+  ]})";
+  const FaultPlan plan = faults::parse_fault_plan_json(json);
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kDeviceFailure);
+  EXPECT_EQ(plan.events[0].device, 3);
+  EXPECT_EQ(plan.events[0].onset_step, 5);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(plan.events[1].slowdown, 2.5);
+  EXPECT_EQ(plan.events[1].recovery_step, 10);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kLinkDegradation);
+  EXPECT_EQ(plan.events[2].device_a, 0);
+  EXPECT_EQ(plan.events[2].device_b, 2);
+  EXPECT_DOUBLE_EQ(plan.events[2].bandwidth_factor, 0.25);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kTransient);
+  EXPECT_EQ(plan.events[3].failed_attempts, 2);
+}
+
+TEST(FaultJson, RoundTripsThroughSerialiser) {
+  FaultPlan plan;
+  plan.events = {device_failure(3, 5), straggler(1, 2.5, 0, 10),
+                 link_degradation(0, 2, 0.25, 3), transient(2, 4, 2)};
+  const FaultPlan reparsed =
+      faults::parse_fault_plan_json(faults::fault_plan_to_json(plan));
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind) << i;
+    EXPECT_EQ(reparsed.events[i].device, plan.events[i].device) << i;
+    EXPECT_EQ(reparsed.events[i].onset_step, plan.events[i].onset_step) << i;
+    EXPECT_EQ(reparsed.events[i].recovery_step, plan.events[i].recovery_step) << i;
+  }
+}
+
+TEST(FaultJson, BareArrayAccepted) {
+  const FaultPlan plan = faults::parse_fault_plan_json(
+      R"([{"kind": "device_failure", "device": 0, "onset_step": 1}])");
+  ASSERT_EQ(plan.events.size(), 1u);
+}
+
+TEST(FaultJson, MalformedInputsRejected) {
+  EXPECT_THROW(faults::parse_fault_plan_json("{"), faults::FaultPlanError);
+  EXPECT_THROW(faults::parse_fault_plan_json("42"), faults::FaultPlanError);
+  EXPECT_THROW(faults::parse_fault_plan_json(R"({"faults": 1})"),
+               faults::FaultPlanError);
+  EXPECT_THROW(faults::parse_fault_plan_json(
+                   R"({"faults": [{"kind": "meteor_strike", "onset_step": 1}]})"),
+               faults::FaultPlanError);
+  EXPECT_THROW(
+      faults::parse_fault_plan_json(R"({"faults": [{"kind": "straggler"}]})"),
+      faults::FaultPlanError);
+  EXPECT_THROW(faults::load_fault_plan("/nonexistent/plan.json"),
+               faults::FaultPlanError);
+}
+
+// Plan validation -----------------------------------------------------------
+
+TEST(FaultPlanValidate, RejectsOutOfClusterDevices) {
+  const auto cluster8 = cluster::make_paper_testbed_8gpu();
+  FaultPlan plan;
+  plan.events = {device_failure(11, 5)};
+  EXPECT_THROW(plan.validate(cluster8), faults::FaultPlanError);
+
+  plan.events = {straggler(0, 0.5, 0)};  // slowdown must be > 1
+  EXPECT_THROW(plan.validate(cluster8), faults::FaultPlanError);
+
+  plan.events = {link_degradation(0, 0, 0.5, 0)};  // same endpoint
+  EXPECT_THROW(plan.validate(cluster8), faults::FaultPlanError);
+
+  plan.events = {device_failure(3, 5), straggler(1, 2.0, 0)};
+  EXPECT_NO_THROW(plan.validate(cluster8));
+}
+
+// Scaling -------------------------------------------------------------------
+
+TEST(FaultScaling, StragglerScalesComputeDurations) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  DistGraph g(cluster4);
+  add_compute(g, "a", 0, 2.0);
+  add_compute(g, "b", 1, 2.0);
+
+  FaultPlan plan;
+  plan.events = {straggler(0, 3.0, 0)};
+  const auto scaling = faults::scaling_at(plan, cluster4, 0);
+  const DistGraph scaled = sim::apply_fault_scaling(g, cluster4, scaling);
+  EXPECT_DOUBLE_EQ(scaled.node(0).duration_ms, 6.0);
+  EXPECT_DOUBLE_EQ(scaled.node(1).duration_ms, 2.0);
+}
+
+TEST(FaultScaling, LinkDegradationScalesCrossHostTransfers) {
+  // fig3: G0,G1 on host0; G2,G3 on host1.
+  const auto cluster4 = cluster::make_fig3_testbed();
+  DistGraph g(cluster4);
+  add_transfer(g, "cross", 0, 2, 4.0);
+  add_transfer(g, "intra", 0, 1, 4.0);
+
+  FaultPlan plan;
+  plan.events = {link_degradation(0, 2, 0.25, 0)};
+  const auto scaling = faults::scaling_at(plan, cluster4, 0);
+  const DistGraph scaled = sim::apply_fault_scaling(g, cluster4, scaling);
+  EXPECT_DOUBLE_EQ(scaled.node(0).duration_ms, 16.0);  // 4 / 0.25
+  EXPECT_DOUBLE_EQ(scaled.node(1).duration_ms, 4.0);   // other host pair
+}
+
+TEST(FaultScaling, EventsRespectOnsetAndRecoveryWindows) {
+  const auto cluster8 = cluster::make_paper_testbed_8gpu();
+  FaultPlan plan;
+  plan.events = {straggler(0, 2.0, 3, 6)};
+  EXPECT_FALSE(faults::scaling_at(plan, cluster8, 2).any());
+  EXPECT_TRUE(faults::scaling_at(plan, cluster8, 3).any());
+  EXPECT_TRUE(faults::scaling_at(plan, cluster8, 5).any());
+  EXPECT_FALSE(faults::scaling_at(plan, cluster8, 6).any());
+}
+
+TEST(FaultScaling, DegradedClusterReflectsActiveFaults) {
+  const auto base = cluster::make_paper_testbed_8gpu();
+  FaultPlan plan;
+  plan.events = {device_failure(7, 0), straggler(0, 4.0, 0),
+                 link_degradation(0, 2, 0.5, 0)};
+  const auto scaling = faults::scaling_at(plan, base, 0);
+  const auto degraded = faults::degraded_cluster(base, scaling);
+
+  EXPECT_EQ(degraded.device_count(), 7);
+  EXPECT_DOUBLE_EQ(degraded.device(0).gflops_per_ms,
+                   base.device(0).gflops_per_ms / 4.0);
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(0, 2),
+                   base.link_bandwidth_bytes_per_ms(0, 2) * 0.5);
+}
+
+TEST(FaultScaling, RemapDropsVanishedDevices) {
+  FaultPlan plan;
+  plan.events = {straggler(2, 2.0, 0), transient(3, 1, 1), device_failure(5, 4),
+                 link_degradation(3, 5, 0.5, 0)};
+  // Device 3 removed: ids above shift down by one.
+  const std::vector<int> id_map = {0, 1, 2, -1, 3, 4, 5, 6};
+  const FaultPlan remapped = faults::remap_plan(plan, id_map);
+  ASSERT_EQ(remapped.events.size(), 2u);
+  EXPECT_EQ(remapped.events[0].device, 2);  // straggler unchanged
+  EXPECT_EQ(remapped.events[1].device, 4);  // failure of old 5 -> new 4
+}
+
+// Fault-aware simulation ----------------------------------------------------
+
+TEST(FaultSim, ReportsPerStepMakespans) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  DistGraph g(cluster4);
+  add_compute(g, "a", 0, 2.0);
+  add_compute(g, "b", 1, 2.0);
+
+  FaultPlan plan;
+  plan.events = {straggler(0, 3.0, 1, 3)};
+  const auto run = sim::simulate_with_faults(g, cluster4, plan, 5);
+  ASSERT_EQ(run.steps.size(), 5u);
+  EXPECT_DOUBLE_EQ(run.steps[0].makespan_ms, 2.0);
+  EXPECT_DOUBLE_EQ(run.steps[1].makespan_ms, 6.0);
+  EXPECT_DOUBLE_EQ(run.steps[2].makespan_ms, 6.0);
+  EXPECT_DOUBLE_EQ(run.steps[3].makespan_ms, 2.0);
+  EXPECT_EQ(run.first_inexecutable_step, -1);
+  EXPECT_DOUBLE_EQ(run.total_ms, 2.0 + 6.0 + 6.0 + 2.0 + 2.0);
+}
+
+TEST(FaultSim, DeviceFailureMarksStepInexecutable) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  DistGraph g(cluster4);
+  add_compute(g, "a", 0, 2.0);
+  add_compute(g, "b", 1, 2.0);
+
+  FaultPlan plan;
+  plan.events = {device_failure(1, 2)};
+  const auto run = sim::simulate_with_faults(g, cluster4, plan, 5);
+  ASSERT_EQ(run.steps.size(), 3u);
+  EXPECT_EQ(run.first_inexecutable_step, 2);
+  EXPECT_FALSE(run.steps[2].executable);
+  ASSERT_EQ(run.steps[2].failed_devices.size(), 1u);
+  EXPECT_EQ(run.steps[2].failed_devices[0], 1);
+}
+
+TEST(FaultSim, FailureOfUnusedDeviceDoesNotStopExecution) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  DistGraph g(cluster4);
+  add_compute(g, "a", 0, 2.0);  // device 3 untouched by the plan
+
+  FaultPlan plan;
+  plan.events = {device_failure(3, 1)};
+  const auto run = sim::simulate_with_faults(g, cluster4, plan, 4);
+  EXPECT_EQ(run.first_inexecutable_step, -1);
+  EXPECT_EQ(run.steps.size(), 4u);
+}
+
+// apply_oom_check hardening (regression: peak vector shorter than device
+// count must not index out of bounds) --------------------------------------
+
+TEST(OomCheck, ShortPeakVectorIsTreatedAsZeroUsage) {
+  const auto cluster8 = cluster::make_paper_testbed_8gpu();
+  sim::SimResult result;
+  result.peak_memory_bytes = {int64_t{1} << 40, 0};  // only 2 of 8 devices
+  sim::apply_oom_check(result, cluster8);
+  EXPECT_TRUE(result.oom);  // device 0 overflows...
+  ASSERT_EQ(result.oom_devices.size(), 1u);
+  EXPECT_EQ(result.oom_devices[0], 0);  // ...and no out-of-bounds read occurs
+
+  result.peak_memory_bytes.clear();
+  sim::apply_oom_check(result, cluster8);
+  EXPECT_FALSE(result.oom);
+}
+
+// DistRunner fault-aware execution ------------------------------------------
+
+TEST(RunnerFaults, EmptyPlanMatchesPlainRun) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+  const RunStats plain = runner.run(10);
+  const RunStats faulty = runner.run(10, FaultPlan{});
+  EXPECT_DOUBLE_EQ(plain.total_ms, faulty.total_ms);
+  EXPECT_TRUE(faulty.recoveries.empty());
+}
+
+TEST(RunnerFaults, DeviceFailureMidRunReplansAndCompletes) {
+  // Acceptance: permanent single-device failure at step 5 of a 20-step run on
+  // the 8-GPU testbed completes all 20 steps, reports a RecoveryReport, and
+  // the post-recovery plan is within 2x of a from-scratch plan on the 7-GPU
+  // survivor cluster.
+  const auto base = cluster::make_paper_testbed_8gpu();
+  const auto model = [] {
+    return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96);
+  };
+  const auto runner = get_runner(model, base, fast_config());
+
+  FaultPlan plan;
+  plan.events = {device_failure(3, 5)};
+  const RunStats stats = runner.run(20, plan);
+
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.step_ms.size(), 20u);
+  ASSERT_EQ(stats.recoveries.size(), 1u);
+  const RecoveryReport& report = stats.recoveries[0];
+  EXPECT_EQ(report.fault_step, 5);
+  ASSERT_EQ(report.failed_devices.size(), 1u);
+  EXPECT_EQ(report.failed_devices[0], 3);
+  EXPECT_EQ(report.steps_lost, 1);
+  EXPECT_EQ(report.surviving_devices, 7);
+  EXPECT_GT(report.replan_wall_ms, 0.0);
+  EXPECT_GT(report.post_fault_iteration_ms, 0.0);
+  EXPECT_FALSE(report.post_plan_oom);  // re-plan lands OOM-free on survivors
+  EXPECT_FALSE(stats.oom);
+
+  // Steps before the fault run at the original speed; afterwards at the
+  // re-planned speed.
+  EXPECT_DOUBLE_EQ(stats.step_ms[0], report.pre_fault_iteration_ms);
+  EXPECT_DOUBLE_EQ(stats.step_ms[19], report.post_fault_iteration_ms);
+
+  const auto scratch = get_runner(model, base.remove_device(3), fast_config());
+  EXPECT_LE(report.post_fault_iteration_ms, 2.0 * scratch.per_iteration_ms());
+}
+
+TEST(RunnerFaults, TransientFaultRetriesWithoutReplanning) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+
+  FaultPlan plan;
+  plan.events = {transient(2, 3, 2)};  // 2 failed attempts < default cap of 5
+  const RunStats stats = runner.run(10, plan);
+
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(stats.recoveries.empty());  // no re-planning
+  EXPECT_EQ(stats.step_ms.size(), 10u);
+  EXPECT_EQ(stats.transient_retries, 2);
+  // Exponential backoff: 50 + 100 ms with the default config.
+  EXPECT_DOUBLE_EQ(stats.retry_backoff_total_ms, 150.0);
+  const RunStats plain = runner.run(10);
+  EXPECT_DOUBLE_EQ(stats.total_ms, plain.total_ms + 150.0);
+}
+
+TEST(RunnerFaults, TransientEscalatesToFailureAtRetryCap) {
+  HeteroGConfig config = fast_config();
+  config.fault_handling.max_retries = 3;
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), config);
+
+  FaultPlan plan;
+  plan.events = {transient(2, 4, 100)};  // never recovers within the cap
+  const RunStats stats = runner.run(12, plan);
+
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.transient_retries, 3);
+  ASSERT_EQ(stats.recoveries.size(), 1u);
+  EXPECT_TRUE(stats.recoveries[0].escalated_transient);
+  EXPECT_EQ(stats.recoveries[0].surviving_devices, 7);
+  EXPECT_EQ(stats.step_ms.size(), 12u);
+}
+
+TEST(RunnerFaults, StragglerWindowScalesStepTimes) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+
+  FaultPlan plan;
+  plan.events = {straggler(0, 4.0, 2, 5)};
+  const RunStats stats = runner.run(8, plan);
+
+  EXPECT_TRUE(stats.recoveries.empty());
+  ASSERT_EQ(stats.step_ms.size(), 8u);
+  const double baseline = stats.step_ms[0];
+  EXPECT_GT(stats.step_ms[2], baseline);
+  EXPECT_GT(stats.step_ms[3], baseline);
+  EXPECT_GT(stats.step_ms[4], baseline);
+  EXPECT_DOUBLE_EQ(stats.step_ms[5], baseline);  // recovered
+  EXPECT_DOUBLE_EQ(stats.step_ms[7], baseline);
+}
+
+TEST(RunnerFaults, LinkDegradationSlowsAffectedSteps) {
+  const auto runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_paper_testbed_8gpu(), fast_config());
+
+  FaultPlan plan;
+  plan.events = {link_degradation(0, 2, 0.1, 1, 3)};
+  const RunStats stats = runner.run(5, plan);
+  ASSERT_EQ(stats.step_ms.size(), 5u);
+  EXPECT_GE(stats.step_ms[1], stats.step_ms[0]);
+  EXPECT_DOUBLE_EQ(stats.step_ms[3], stats.step_ms[0]);
+}
+
+TEST(RunnerFaults, StragglerAwareReplanningBeatsStaleStrategy) {
+  // Planning against the straggler-degraded cluster must produce a plan that
+  // is no slower (on the degraded hardware) than the fault-free plan, and the
+  // degraded hardware itself must be slower than the pristine cluster.
+  const auto base = cluster::make_paper_testbed_8gpu();
+  const auto model = [] {
+    return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96);
+  };
+
+  FaultPlan plan;
+  plan.events = {straggler(0, 6.0, 0), straggler(1, 6.0, 0)};
+  const auto degraded =
+      faults::degraded_cluster(base, faults::scaling_at(plan, base, 0));
+
+  const auto clean_runner = get_runner(model, base, fast_config());
+  const auto degraded_runner = get_runner(model, degraded, fast_config());
+
+  EXPECT_GT(degraded_runner.per_iteration_ms(), clean_runner.per_iteration_ms());
+
+  // The stale (fault-free) plan executed on the degraded hardware: scale the
+  // clean deployment by the active fault set and compare.
+  const RunStats stale = clean_runner.run(1, plan);
+  ASSERT_EQ(stale.step_ms.size(), 1u);
+  EXPECT_LE(degraded_runner.per_iteration_ms(), stale.step_ms[0] * 1.05);
+}
+
+}  // namespace
+}  // namespace heterog

@@ -4,6 +4,7 @@
 //   heterog_cli clusters
 //   heterog_cli plan     --model vgg19 --batch 192 [--cluster 8gpu]
 //                        [--episodes 150] [--groups 48] [--out plan.txt]
+//                        [--fault-plan faults.json] [--steps 20]
 //   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
 //                        (--plan plan.txt | --strategy ev-ar|ev-ps|cp-ar|cp-ps)
 //                        [--order rank|fifo] [--microbatches m]
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "core/heterog.h"
+#include "faults/faults.h"
 #include "graph/pipeline.h"
 #include "models/models.h"
 #include "sim/trace.h"
@@ -96,6 +98,7 @@ int usage() {
                "usage: heterog_cli <models|clusters|plan|evaluate|baselines> [flags]\n"
                "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
                "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
+               "            [--fault-plan FILE] [--steps N]\n"
                "  evaluate  --model NAME --batch B (--plan FILE | --strategy ev-ar|...)\n"
                "            [--order rank|fifo] [--microbatches M] [--trace FILE]\n"
                "            [--timeline]\n"
@@ -142,6 +145,14 @@ int cmd_plan(const Args& args) {
   config.train.episodes = args.get_int("episodes", 150);
   config.agent.max_groups = args.get_int("groups", 48);
 
+  // Load and validate the fault plan before the (possibly minutes-long)
+  // strategy search so a bad path or malformed file fails fast.
+  faults::FaultPlan fault_plan;
+  if (args.has("fault-plan")) {
+    fault_plan = faults::load_fault_plan(args.get("fault-plan"));
+    fault_plan.validate(*cluster_spec);
+  }
+
   const auto runner = get_runner(
       [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
       config);
@@ -158,6 +169,36 @@ int cmd_plan(const Args& args) {
       return 2;
     }
     std::printf("plan saved to %s\n", args.get("out").c_str());
+  }
+
+  if (args.has("fault-plan")) {
+    const int steps = args.get_int("steps", 20);
+    std::printf("\ninjecting %zu fault event(s) over %d steps:\n",
+                fault_plan.events.size(), steps);
+    for (const auto& event : fault_plan.events) {
+      std::printf("  %s\n", event.describe().c_str());
+    }
+    const auto stats = runner.run(steps, fault_plan);
+    std::printf("run: %d/%d steps, %.1f ms total (%.2f ms/step), completed=%s\n",
+                static_cast<int>(stats.step_ms.size()), steps, stats.total_ms,
+                stats.per_iteration_ms, stats.completed ? "yes" : "no");
+    if (stats.transient_retries > 0) {
+      std::printf("transient retries: %d (%.0f ms backoff)\n", stats.transient_retries,
+                  stats.retry_backoff_total_ms);
+    }
+    for (const auto& r : stats.recoveries) {
+      std::string failed;
+      for (const auto d : r.failed_devices) {
+        failed += (failed.empty() ? "G" : ",G") + std::to_string(d);
+      }
+      std::printf(
+          "recovery at step %d: lost %s%s, re-planned onto %d device(s) in %.1f ms, "
+          "iteration %.2f -> %.2f ms%s\n",
+          r.fault_step, failed.c_str(),
+          r.escalated_transient ? " (transient escalated)" : "", r.surviving_devices,
+          r.replan_wall_ms, r.pre_fault_iteration_ms, r.post_fault_iteration_ms,
+          r.post_plan_oom ? " (OOM!)" : "");
+    }
   }
   return 0;
 }
@@ -224,9 +265,13 @@ int cmd_evaluate(const Args& args) {
   std::printf("computation %.2f ms | communication %.2f ms\n", eval.computation_ms,
               eval.communication_ms);
   for (const auto& d : cluster_spec->devices()) {
+    // The simulator only reports peaks up to the highest device it placed
+    // work on; devices past the end of the vector used no memory.
+    const auto idx = static_cast<size_t>(d.id);
+    const int64_t peak =
+        d.id >= 0 && idx < eval.peak_memory_bytes.size() ? eval.peak_memory_bytes[idx] : 0;
     std::printf("  G%d peak memory %.2f / %.1f GB\n", d.id,
-                static_cast<double>(eval.peak_memory_bytes[static_cast<size_t>(d.id)]) /
-                    (1 << 30),
+                static_cast<double>(peak) / (1 << 30),
                 static_cast<double>(d.memory_bytes) / (1 << 30));
   }
 
