@@ -81,10 +81,17 @@ inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& be
   const std::string cache_path =
       plan_cache_dir() + "/" + cache_tag + ".plan";
   std::filesystem::create_directories(plan_cache_dir());
-  if (auto cached = strategy::load_plan(cache_path, rig.cluster.device_count())) {
-    if (static_cast<int>(cached->group_actions.size()) == plan.grouping.group_count()) {
-      plan.map = std::move(*cached);
-      plan.from_cache = true;
+  if (std::filesystem::exists(cache_path)) {
+    // Checked load: the v2 fingerprint refuses a cache entry written for a
+    // different cluster even when the device count matches. A corrupt or
+    // stale entry is simply re-searched, not an error.
+    try {
+      auto cached = strategy::load_plan_checked(cache_path, rig.cluster);
+      if (static_cast<int>(cached.group_actions.size()) == plan.grouping.group_count()) {
+        plan.map = std::move(cached);
+        plan.from_cache = true;
+      }
+    } catch (const strategy::PlanFormatError&) {
     }
   }
   if (plan.map.group_actions.empty()) {
@@ -98,7 +105,7 @@ inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& be
     rl::Trainer trainer(*rig.costs, config);
     const auto result = trainer.search(policy, encoded);
     plan.map = result.best_strategy;
-    strategy::save_plan(cache_path, plan.map, rig.cluster.device_count());
+    strategy::save_plan(cache_path, plan.map, rig.cluster);
   }
 
   sim::PlanEvalOptions eval_options;

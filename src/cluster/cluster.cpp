@@ -1,9 +1,11 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace heterog::cluster {
 
@@ -94,6 +96,26 @@ ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> de
     if (d.gflops_per_ms == 0.0) d.gflops_per_ms = base_gflops_per_ms(d.model);
     if (d.memory_bytes == 0) d.memory_bytes = memory_capacity_bytes(d.model);
   }
+}
+
+ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
+                         double switch_gbps,
+                         std::map<std::pair<int, int>, double> link_scales)
+    : ClusterSpec(std::move(hosts), std::move(devices), switch_gbps) {
+  for (const auto& [pair, scale] : link_scales) {
+    host(pair.first);   // validates the id
+    host(pair.second);  // (throws ClusterSpecError on dangling hosts)
+    if (scale <= 0.0 || scale > 1.0) {
+      throw ClusterSpecError("ClusterSpec: link scale for hosts (" +
+                             std::to_string(pair.first) + ", " +
+                             std::to_string(pair.second) + ") must be in (0, 1], got " +
+                             std::to_string(scale));
+    }
+    if (pair.first > pair.second) {
+      throw ClusterSpecError("ClusterSpec: link scale host pairs must be ordered");
+    }
+  }
+  link_scale_ = std::move(link_scales);
 }
 
 const DeviceSpec& ClusterSpec::device(DeviceId id) const {
@@ -233,6 +255,35 @@ std::string ClusterSpec::summary() const {
     os << " G" << d.id << "=" << gpu_model_name(d.model) << "(host" << d.host << ")";
   }
   return os.str();
+}
+
+uint32_t cluster_fingerprint(const ClusterSpec& cluster) {
+  // Canonical text over capability + topology (names excluded: renaming a
+  // host must not invalidate a plan). %.17g round-trips doubles exactly.
+  std::ostringstream os;
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  };
+  os << "switch=";
+  num(cluster.switch_gbps());
+  for (const auto& h : cluster.hosts()) {
+    os << ";h" << h.id << ":";
+    num(h.nic_gbps);
+    os << ":";
+    num(h.intra_gbps);
+  }
+  for (const auto& d : cluster.devices()) {
+    os << ";d" << d.id << ":" << static_cast<int>(d.model) << ":" << d.host << ":";
+    num(d.gflops_per_ms);
+    os << ":" << d.memory_bytes;
+  }
+  for (const auto& [pair, scale] : cluster.host_link_scales()) {
+    os << ";l" << pair.first << "-" << pair.second << ":";
+    num(scale);
+  }
+  return crc32(os.str());
 }
 
 namespace {

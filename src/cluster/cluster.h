@@ -66,6 +66,13 @@ class ClusterSpec {
   ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
               double switch_gbps);
 
+  /// Full reconstruction, including accumulated link degradations keyed by
+  /// unordered host pair — the ckpt journal uses this to round-trip a
+  /// cluster (possibly already degraded mid-run) through a restart. Throws
+  /// ClusterSpecError on dangling host ids or factors outside (0, 1].
+  ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
+              double switch_gbps, std::map<std::pair<int, int>, double> link_scales);
+
   int device_count() const { return static_cast<int>(devices_.size()); }
   int host_count() const { return static_cast<int>(hosts_.size()); }
   const DeviceSpec& device(DeviceId id) const;
@@ -97,6 +104,12 @@ class ClusterSpec {
 
   std::string summary() const;
 
+  /// Accumulated degrade_link factors by unordered host pair (1.0 pairs are
+  /// not stored). Exposed for serialisation; see the four-argument ctor.
+  const std::map<std::pair<int, int>, double>& host_link_scales() const {
+    return link_scale_;
+  }
+
   /// Derivation builders ---------------------------------------------------
 
   /// Copy of this cluster without device `id`. Device and host ids are
@@ -121,6 +134,14 @@ class ClusterSpec {
 
 /// Convenience: converts Gbps (network convention, bits) to bytes per ms.
 double gbps_to_bytes_per_ms(double gbps);
+
+/// CRC-32 fingerprint of everything that affects planning: per-device model,
+/// host, compute power and memory; per-host NIC / intra-host bandwidth;
+/// switch bandwidth; accumulated link degradations. Cosmetic names are
+/// excluded. Two clusters with equal fingerprints are interchangeable for
+/// plan deployment; the v2 plan format and the run journal embed this value
+/// so a plan can refuse to deploy onto hardware it was not made for.
+uint32_t cluster_fingerprint(const ClusterSpec& cluster);
 
 /// Builders -------------------------------------------------------------
 

@@ -1,0 +1,38 @@
+#include "common/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace heterog {
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  // PID-qualified temp name: concurrent writers to the same path race only
+  // at the final rename, where last-rename-wins still leaves a complete file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+
+  bool ok = content.empty() ||
+            std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(::fileno(f)) == 0;  // data durable before the rename
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+
+  // Best-effort directory fsync so the rename itself survives power loss.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  std::FILE* d = std::fopen(dir.c_str(), "rb");
+  if (d) {
+    ::fsync(::fileno(d));
+    std::fclose(d);
+  }
+  return true;
+}
+
+}  // namespace heterog

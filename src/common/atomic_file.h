@@ -1,0 +1,21 @@
+// Crash-consistent file replacement.
+//
+// write_file_atomic publishes `content` at `path` with the classic
+// write-temp / flush / fsync / rename protocol: a crash (or SIGKILL, or a
+// full disk) at any instant leaves either the previous file or the complete
+// new one — never a truncated hybrid. Readers concurrently opening `path`
+// always see a complete file because rename(2) is atomic on POSIX.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace heterog {
+
+/// Atomically replaces `path` with `content`. The temporary file is created
+/// in the same directory (rename must not cross filesystems). Returns false
+/// — leaving any existing file at `path` untouched — on any failure:
+/// unwritable directory, short write, failed flush/fsync or failed rename.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace heterog

@@ -1,0 +1,44 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <string>
+
+namespace heterog {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> make_crc32_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = make_crc32_table();
+
+}  // namespace
+
+uint32_t crc32(std::string_view data, uint32_t prior) {
+  uint32_t c = prior ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(uint32_t crc) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+}  // namespace heterog

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum used
+// by the versioned plan format (strategy/serialize) and the run journal
+// (ckpt/journal) to detect torn writes and bit rot. Table-driven, no
+// dependencies; not a cryptographic hash and not meant to be one.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace heterog {
+
+/// Continues a CRC-32 over `data` from a previous partial value (pass the
+/// result of a prior call to checksum a stream in pieces). The initial call
+/// should use the default `prior` of 0.
+uint32_t crc32(std::string_view data, uint32_t prior = 0);
+
+/// Canonical 8-hex-digit lowercase rendering ("%08x") — the format embedded
+/// in plan / journal files. Parsers compare this *string* (not the parsed
+/// value) so that any byte flip inside a stored checksum is itself detected.
+std::string crc32_hex(uint32_t crc);
+
+}  // namespace heterog

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <numeric>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/log.h"
 #include "sim/fault_sim.h"
+#include "strategy/serialize.h"
 
 namespace heterog {
 
@@ -81,6 +84,36 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
   return plan;
 }
 
+/// Rebuilds a deployment from an already-decided plan (resume path): the
+/// profiling and compilation stages of make_plan, with the strategy search
+/// replaced by the given strategy. Deterministic in (graph, cluster, config).
+PlanResult deploy_fixed_plan(const graph::GraphDef& training_graph,
+                             const cluster::ClusterSpec& cluster,
+                             const HeteroGConfig& config, strategy::Grouping grouping,
+                             strategy::StrategyMap strategy) {
+  PlanResult plan;
+  plan.hardware = std::make_shared<profiler::HardwareModel>(cluster);
+  profiler::Profiler prof(*plan.hardware, config.profiler_seed);
+  plan.cost_model = prof.profile(training_graph);
+  plan.grouping = std::move(grouping);
+  plan.strategy = std::move(strategy);
+  plan.search.best_strategy = plan.strategy;
+
+  profiler::GroundTruthCosts ground_truth(*plan.hardware);
+  compile::GraphCompiler deploy_compiler(ground_truth);
+  plan.compiled = std::make_shared<compile::CompileResult>(
+      deploy_compiler.compile(training_graph, plan.grouping, plan.strategy));
+
+  sim::PlanEvalOptions options;
+  options.policy = config.use_order_scheduling ? sched::OrderPolicy::kRankPriority
+                                               : sched::OrderPolicy::kFifo;
+  plan.deployment = sim::evaluate_plan(ground_truth, training_graph, plan.grouping,
+                                       plan.strategy, options);
+  plan.search.best_time_ms = plan.deployment.per_iteration_ms;
+  plan.search.best_feasible = !plan.deployment.oom;
+  return plan;
+}
+
 /// new_id_of[d] after removing `failed` (sorted ascending) from a
 /// `device_count`-device cluster with dense ids.
 std::vector<int> survivor_id_map(int device_count,
@@ -93,6 +126,20 @@ std::vector<int> survivor_id_map(int device_count,
     map[static_cast<size_t>(d)] = dead ? -1 : next++;
   }
   return map;
+}
+
+ckpt::RecoveryRecord to_record(const RecoveryReport& report) {
+  ckpt::RecoveryRecord record;
+  record.fault_step = report.fault_step;
+  record.failed_devices = report.failed_devices;
+  record.steps_lost = report.steps_lost;
+  record.replan_wall_ms = report.replan_wall_ms;
+  record.pre_fault_iteration_ms = report.pre_fault_iteration_ms;
+  record.post_fault_iteration_ms = report.post_fault_iteration_ms;
+  record.surviving_devices = report.surviving_devices;
+  record.post_plan_oom = report.post_plan_oom;
+  record.escalated_transient = report.escalated_transient;
+  return record;
 }
 
 }  // namespace
@@ -112,16 +159,78 @@ RunStats DistRunner::run(int steps) const {
 RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
   check(steps >= 0, "DistRunner::run: negative steps");
   if (plan.empty()) return run(steps);
-  plan.validate(cluster_);
+  return run_impl(steps, plan, 0, ckpt::CheckpointOptions{}, nullptr);
+}
+
+RunStats DistRunner::run(int steps, const ckpt::CheckpointOptions& ckpt) const {
+  return run_impl(steps, faults::FaultPlan{}, 0, ckpt, nullptr);
+}
+
+RunStats DistRunner::run(int steps, const faults::FaultPlan& plan,
+                         const ckpt::CheckpointOptions& ckpt) const {
+  return run_impl(steps, plan, 0, ckpt, nullptr);
+}
+
+RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int start_step,
+                              const ckpt::CheckpointOptions& copts,
+                              const ckpt::RunJournal* prior) const {
+  check(steps >= 0, "DistRunner::run: negative steps");
+  check(start_step >= 0 && start_step <= steps, "DistRunner::run: bad start step");
+  if (!plan.empty()) plan.validate(cluster_);
 
   RunStats stats;
-  stats.steps = steps;
+  stats.steps = steps - start_step;
   stats.computation_ms = deployment_.computation_ms;
   stats.communication_ms = deployment_.communication_ms;
   stats.oom = deployment_.oom;
-  stats.step_ms.reserve(static_cast<size_t>(steps));
+  stats.step_ms.reserve(static_cast<size_t>(steps - start_step));
 
   const FaultHandlingConfig& fh = config_.fault_handling;
+
+  // Journal bookkeeping. The journal always describes the run from step 0:
+  // a resumed run extends `prior`'s history, a fresh run starts its own, so
+  // a crash during a resumed run resumes again from a complete record.
+  const bool ckpt_on = copts.enabled();
+  ckpt::RunJournal journal;
+  if (ckpt_on) {
+    if (prior) {
+      journal = *prior;
+    } else {
+      journal.model_name = training_graph_.name();
+      journal.meta = copts.meta;
+      journal.cluster = cluster_;
+      journal.cluster_crc = cluster::cluster_fingerprint(cluster_);
+      journal.profiler_seed = config_.profiler_seed;
+      journal.use_order_scheduling = config_.use_order_scheduling;
+      journal.max_groups = config_.agent.max_groups;
+      journal.fh_max_retries = fh.max_retries;
+      journal.fh_retry_backoff_ms = fh.retry_backoff_ms;
+      journal.fh_max_backoff_ms = fh.max_backoff_ms;
+      journal.fh_replan_rl_episodes = fh.replan_rl_episodes;
+      journal.plan_text = strategy::to_text(strategy_, cluster_);
+      journal.grouping_assignment = grouping_.assignment();
+      if (!plan.empty()) journal.fault_plan_json = faults::fault_plan_to_json(plan);
+    }
+    journal.total_steps = steps;
+    journal.ckpt_every = copts.every;
+    journal.watermark = start_step;
+  }
+  const int prior_retries = prior ? prior->transient_retries : 0;
+  const double prior_backoff = prior ? prior->retry_backoff_total_ms : 0.0;
+
+  const auto save_snapshot = [&](int completed_steps) {
+    if (!ckpt_on) return;
+    journal.watermark = completed_steps;
+    journal.transient_retries = prior_retries + stats.transient_retries;
+    journal.retry_backoff_total_ms = prior_backoff + stats.retry_backoff_total_ms;
+    const std::string path = copts.journal_path();
+    if (!ckpt::save_journal(path, journal)) {
+      log_info() << "DistRunner: failed to write checkpoint journal to " << path
+                 << " — continuing without this snapshot";
+    } else if (copts.after_checkpoint) {
+      copts.after_checkpoint(completed_steps, path);
+    }
+  };
 
   // Mutable execution state; replaced wholesale on every re-plan.
   cluster::ClusterSpec active_cluster = cluster_;
@@ -140,6 +249,12 @@ RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
   int transients_done_through = -1;  // avoid double-charging retries when a
                                      // re-plan re-enters the same step
   while (step < steps) {
+    // Steps before start_step are replayed: state transitions (escalation,
+    // re-planning, fault-plan remapping) are applied so execution state at
+    // the watermark matches an uninterrupted run's, but nothing is charged
+    // to stats — those steps completed before the crash.
+    const bool live = step >= start_step;
+
     // Transient faults first: capped exponential backoff. A device still
     // failing at the retry cap is escalated to a permanent failure below.
     std::vector<cluster::DeviceId> escalated;
@@ -151,15 +266,17 @@ RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
       int attempts = 0;
       double backoff = fh.retry_backoff_ms;
       while (attempts < event.failed_attempts && attempts < fh.max_retries) {
-        stats.retry_backoff_total_ms += backoff;
+        if (live) stats.retry_backoff_total_ms += backoff;
         backoff = std::min(backoff * 2.0, fh.max_backoff_ms);
         ++attempts;
       }
-      stats.transient_retries += attempts;
+      if (live) stats.transient_retries += attempts;
       if (attempts < event.failed_attempts) {
-        log_info() << "DistRunner: transient fault on G" << event.device
-                   << " still failing after " << attempts
-                   << " retries at step " << step << " — escalating to failure";
+        if (live) {
+          log_info() << "DistRunner: transient fault on G" << event.device
+                     << " still failing after " << attempts
+                     << " retries at step " << step << " — escalating to failure";
+        }
         escalated.push_back(event.device);
       }
     }
@@ -201,14 +318,16 @@ RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
       report.surviving_devices = survivors.device_count();
       report.post_plan_oom = replanned.deployment.oom;
       report.escalated_transient = !escalated.empty();
-      stats.recoveries.push_back(report);
       stats.oom = stats.oom || replanned.deployment.oom;
-
-      log_info() << "DistRunner: recovered from failure of " << scaling.failed.size()
-                 << " device(s) at step " << step << " in " << wall_ms
-                 << " ms; plan " << active_iter_ms << " -> "
-                 << replanned.deployment.per_iteration_ms << " ms/iteration on "
-                 << survivors.device_count() << " survivors";
+      if (live) {
+        stats.recoveries.push_back(report);
+        if (ckpt_on) journal.recoveries.push_back(to_record(report));
+        log_info() << "DistRunner: recovered from failure of " << scaling.failed.size()
+                   << " device(s) at step " << step << " in " << wall_ms
+                   << " ms; plan " << active_iter_ms << " -> "
+                   << replanned.deployment.per_iteration_ms << " ms/iteration on "
+                   << survivors.device_count() << " survivors";
+      }
 
       active_plan = faults::remap_plan(
           active_plan, survivor_id_map(active_cluster.device_count(), scaling.failed));
@@ -218,6 +337,11 @@ RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
       active_cold_ms = replanned.deployment.cold_iteration_ms;
       scaled_cache.clear();
       continue;  // re-execute this step under the new plan
+    }
+
+    if (!live) {
+      ++step;
+      continue;
     }
 
     double step_time_ms = active_iter_ms;
@@ -242,12 +366,17 @@ RunStats DistRunner::run(int steps, const faults::FaultPlan& plan) const {
     }
     stats.step_ms.push_back(step_time_ms);
     stats.total_ms += step_time_ms;
+    if (ckpt_on) journal.step_ms.push_back(step_time_ms);
     ++step;
+    // Mid-run snapshots are anchored at absolute step counts so an
+    // interrupted and an uninterrupted run checkpoint at the same steps.
+    if (ckpt_on && step % copts.every == 0 && step < steps) save_snapshot(step);
   }
 
   stats.total_ms += stats.retry_backoff_total_ms;
   const int executed = static_cast<int>(stats.step_ms.size());
   stats.per_iteration_ms = executed > 0 ? stats.total_ms / executed : 0.0;
+  save_snapshot(step);  // final snapshot: run end, or the step recovery died at
   return stats;
 }
 
@@ -285,6 +414,105 @@ DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
              << runner.per_iteration_ms_ << " ms/iteration (feasible="
              << runner.feasible_ << ")";
   return runner;
+}
+
+RunStats resume_run(const std::string& journal_path,
+                    const std::function<graph::GraphDef()>& model_func,
+                    const ckpt::CheckpointOptions& ckpt) {
+  check(static_cast<bool>(model_func), "resume_run: model_func is empty");
+
+  const ckpt::RunJournal journal = ckpt::load_journal(journal_path);
+
+  // The journal CRC already proved the bytes are intact; the fingerprint
+  // check proves the *cluster* is the one the plan was deployed on (it would
+  // catch, e.g., a hand-edited journal re-checksummed over different
+  // hardware).
+  const uint32_t fp = cluster::cluster_fingerprint(journal.cluster);
+  if (fp != journal.cluster_crc) {
+    throw ckpt::JournalError(
+        "resume_run: cluster fingerprint mismatch (journal says " +
+        crc32_hex(journal.cluster_crc) + ", embedded cluster hashes to " +
+        crc32_hex(fp) + ")");
+  }
+
+  const graph::GraphDef forward = model_func();
+  graph::GraphDef training_graph = graph::build_training_graph(forward);
+  if (training_graph.name() != journal.model_name) {
+    throw ckpt::JournalError("resume_run: model mismatch — journal was written for '" +
+                             journal.model_name + "', model_func built '" +
+                             training_graph.name() + "'");
+  }
+  if (static_cast<int>(journal.grouping_assignment.size()) !=
+      training_graph.op_count()) {
+    throw ckpt::JournalError(
+        "resume_run: model mismatch — journal grouping covers " +
+        std::to_string(journal.grouping_assignment.size()) + " ops, model_func built " +
+        std::to_string(training_graph.op_count()));
+  }
+
+  HeteroGConfig config;
+  config.profiler_seed = journal.profiler_seed;
+  config.use_order_scheduling = journal.use_order_scheduling;
+  config.agent.max_groups = journal.max_groups;
+  config.fault_handling.max_retries = journal.fh_max_retries;
+  config.fault_handling.retry_backoff_ms = journal.fh_retry_backoff_ms;
+  config.fault_handling.max_backoff_ms = journal.fh_max_backoff_ms;
+  config.fault_handling.replan_rl_episodes = journal.fh_replan_rl_episodes;
+
+  // Re-hydrate the deployed plan. These artifacts live *inside* the
+  // CRC-valid journal, so a failure here is journal corruption, not a
+  // plan-file problem — re-surface as JournalError.
+  strategy::StrategyMap strategy;
+  strategy::Grouping grouping;
+  faults::FaultPlan fault_plan;
+  try {
+    strategy = strategy::parse_plan(journal.plan_text, journal.cluster);
+    grouping = strategy::Grouping::from_assignment(journal.grouping_assignment);
+    if (!journal.fault_plan_json.empty()) {
+      fault_plan = faults::parse_fault_plan_json(journal.fault_plan_json);
+    }
+  } catch (const std::exception& e) {
+    throw ckpt::JournalError(std::string("resume_run: embedded artifact invalid: ") +
+                             e.what());
+  }
+
+  // Recompile the dist graph from the journalled plan — no strategy search
+  // is repeated, so resume cost is profile + compile only.
+  PlanResult plan = deploy_fixed_plan(training_graph, journal.cluster, config,
+                                      std::move(grouping), std::move(strategy));
+
+  DistRunner runner;
+  runner.cluster_ = journal.cluster;
+  runner.config_ = config;
+  runner.training_graph_ = std::move(training_graph);
+  runner.hardware_ = std::move(plan.hardware);
+  runner.cost_model_ = std::move(plan.cost_model);
+  runner.grouping_ = std::move(plan.grouping);
+  runner.strategy_ = std::move(plan.strategy);
+  runner.search_ = std::move(plan.search);
+  runner.compiled_ = std::move(plan.compiled);
+  runner.deployment_ = std::move(plan.deployment);
+  runner.per_iteration_ms_ = runner.deployment_.per_iteration_ms;
+  runner.feasible_ = !runner.deployment_.oom;
+
+  // The resumed run keeps checkpointing: explicit options win, the journal's
+  // own directory and cadence are the default.
+  ckpt::CheckpointOptions copts = ckpt;
+  if (copts.dir.empty()) {
+    const std::string parent =
+        std::filesystem::path(journal_path).parent_path().string();
+    copts.dir = parent.empty() ? std::string(".") : parent;
+  }
+  if (copts.every <= 0) copts.every = journal.ckpt_every;
+  if (copts.meta.empty()) copts.meta = journal.meta;
+
+  log_info() << "resume_run(" << journal_path << "): resuming '"
+             << journal.model_name << "' at step " << journal.watermark << "/"
+             << journal.total_steps << " with " << journal.recoveries.size()
+             << " prior recover" << (journal.recoveries.size() == 1 ? "y" : "ies");
+
+  return runner.run_impl(journal.total_steps, fault_plan, journal.watermark, copts,
+                         &journal);
 }
 
 }  // namespace heterog

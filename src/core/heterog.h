@@ -20,6 +20,7 @@
 
 #include "agent/policy.h"
 #include "baselines/baselines.h"
+#include "ckpt/journal.h"
 #include "cluster/cluster.h"
 #include "compile/compiler.h"
 #include "faults/faults.h"
@@ -108,6 +109,15 @@ class DistRunner {
   /// completed step. Each recovery is surfaced as a RecoveryReport.
   RunStats run(int steps, const faults::FaultPlan& plan) const;
 
+  /// Checkpointing variants: same execution, plus a crash-consistent run
+  /// journal snapshot every `ckpt.every` completed steps (and at run end).
+  /// A process killed at any instant leaves a loadable journal from which
+  /// resume_run continues deterministically. Per-step times are recorded
+  /// even for an empty fault plan so resumed tails are comparable.
+  RunStats run(int steps, const ckpt::CheckpointOptions& ckpt) const;
+  RunStats run(int steps, const faults::FaultPlan& plan,
+               const ckpt::CheckpointOptions& ckpt) const;
+
   double per_iteration_ms() const { return per_iteration_ms_; }
   bool feasible() const { return feasible_; }
   const cluster::ClusterSpec& cluster() const { return cluster_; }
@@ -124,6 +134,20 @@ class DistRunner {
  private:
   friend DistRunner get_runner(const std::function<graph::GraphDef()>&,
                                const cluster::ClusterSpec&, const HeteroGConfig&);
+  friend RunStats resume_run(const std::string&,
+                             const std::function<graph::GraphDef()>&,
+                             const ckpt::CheckpointOptions&);
+
+  /// Shared engine behind every run() overload and resume_run. Steps in
+  /// [0, start_step) are *replayed*: every state transition (transient
+  /// escalation, device-failure re-planning, fault-plan remapping) is
+  /// applied so the execution state at start_step is bit-identical to an
+  /// uninterrupted run's, but no time or stats are charged — those steps
+  /// already happened before the crash. `prior` carries the journal history
+  /// a resumed run extends; null for fresh runs.
+  RunStats run_impl(int steps, const faults::FaultPlan& plan, int start_step,
+                    const ckpt::CheckpointOptions& ckpt,
+                    const ckpt::RunJournal* prior) const;
 
   cluster::ClusterSpec cluster_;
   HeteroGConfig config_;  // kept for mid-run re-planning
@@ -144,5 +168,28 @@ class DistRunner {
 DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
                       const cluster::ClusterSpec& device_info,
                       const HeteroGConfig& config = HeteroGConfig());
+
+/// Deterministic recovery from a checkpointed run (DESIGN.md "Crash
+/// consistency & resume"). Loads and CRC-validates the journal, re-validates
+/// the cluster fingerprint of the embedded cluster, rebuilds the training
+/// graph via `model_func` (cross-checked against the journal's model name
+/// and op count), recompiles the dist graph from the journal's deployed
+/// plan — no strategy search is repeated — and resumes execution from the
+/// completed-step watermark, replaying any pre-watermark fault recoveries so
+/// a crash *during* a device-failure recovery resumes mid-recovery.
+///
+/// Returns the RunStats of the tail (steps [watermark, total)); the
+/// journal's own history covers the prefix. The resumed run keeps
+/// checkpointing: `ckpt` overrides, defaulting to the journal's directory
+/// and cadence. The headline guarantee, enforced by tests/ckpt_test.cpp: a
+/// run killed at an arbitrary checkpointed step and resumed produces
+/// per-step times bit-identical to the uninterrupted run's tail, with or
+/// without an active FaultPlan.
+///
+/// Throws ckpt::JournalError on a missing/corrupt journal, fingerprint
+/// mismatch, or a model_func inconsistent with the journal.
+RunStats resume_run(const std::string& journal_path,
+                    const std::function<graph::GraphDef()>& model_func,
+                    const ckpt::CheckpointOptions& ckpt = {});
 
 }  // namespace heterog

@@ -59,6 +59,16 @@ class JsonParser {
   }
 
   JsonValue parse_value() {
+    // Depth cap: a crafted file of nothing but '[' must fail typed, not
+    // overflow the stack.
+    if (depth_ >= 256) fail("nesting too deep");
+    ++depth_;
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
     const char c = peek();
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
@@ -178,6 +188,7 @@ class JsonParser {
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 double get_number(const JsonValue& obj, const std::string& key, double fallback,
@@ -196,8 +207,10 @@ double get_number(const JsonValue& obj, const std::string& key, double fallback,
 int get_int(const JsonValue& obj, const std::string& key, int fallback,
             bool required = false) {
   const double d = get_number(obj, key, fallback, required);
-  if (d != std::floor(d)) {
-    throw FaultPlanError("fault plan: field \"" + key + "\" must be an integer");
+  // The range check matters as much as the integrality check: casting an
+  // out-of-int-range double is undefined behaviour, not just a wrong value.
+  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0) {
+    throw FaultPlanError("fault plan: field \"" + key + "\" must be an int");
   }
   return static_cast<int>(d);
 }

@@ -3,7 +3,129 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/crc32.h"
+
 namespace heterog::strategy {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) { throw PlanFormatError("plan: " + why); }
+
+/// Splits off the final "crc <hex>" line of a v2 payload and verifies it.
+/// Returns the checksummed body (everything before the crc line).
+std::string verify_crc_trailer(const std::string& text) {
+  // The crc line is by construction the last line; search from the end so
+  // embedded-looking "crc " bytes earlier in a (corrupt) body cannot
+  // confuse the split.
+  std::string trimmed = text;
+  if (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+  const size_t nl = trimmed.find_last_of('\n');
+  const std::string last = nl == std::string::npos ? trimmed : trimmed.substr(nl + 1);
+  if (last.rfind("crc ", 0) != 0) fail("missing crc trailer line");
+  if (trimmed.size() == last.size()) fail("plan is only a crc line");
+  const std::string body = text.substr(0, nl + 1);
+  // String comparison, not value comparison: a flipped byte inside the
+  // stored checksum itself must also be detected.
+  const std::string expected = crc32_hex(crc32(body));
+  if (last.substr(4) != expected) {
+    fail("checksum mismatch (stored \"" + last.substr(4) + "\", computed \"" +
+         expected + "\")");
+  }
+  return body;
+}
+
+/// Group counts are parsed signed and range-checked so a crafted plan cannot
+/// drive a gigantic reserve() into std::length_error / bad_alloc (those are
+/// not PlanFormatErrors). No real plan comes near the cap.
+size_t parse_group_count(std::istringstream& is, const char* version) {
+  std::string key;
+  long long groups = -1;
+  if (!(is >> key >> groups) || key != "groups") {
+    fail(std::string(version) + ": bad groups line");
+  }
+  constexpr long long kMax = 1'000'000;
+  if (groups < 0 || groups > kMax) {
+    fail(std::string(version) + ": group count out of range: " + std::to_string(groups));
+  }
+  return static_cast<size_t>(groups);
+}
+
+StrategyMap parse_actions(std::istringstream& is, size_t groups, int device_count) {
+  StrategyMap map;
+  map.group_actions.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    int index = -1;
+    if (!(is >> index)) {
+      fail("truncated: expected " + std::to_string(groups) + " actions, found " +
+           std::to_string(g));
+    }
+    if (index < 0 || index >= Action::action_count(device_count)) {
+      fail("action index " + std::to_string(index) + " out of range for " +
+           std::to_string(device_count) + " devices");
+    }
+    map.group_actions.push_back(Action::from_index(index, device_count));
+  }
+  return map;
+}
+
+void reject_trailing(std::istringstream& is) {
+  std::string extra;
+  if (is >> extra) fail("trailing garbage after last action (\"" + extra + "\")");
+}
+
+/// Shared v1/v2 parser. `cluster` may be null (fingerprint check skipped).
+StrategyMap parse_any(const std::string& text, int device_count,
+                      const cluster::ClusterSpec* cluster) {
+  std::istringstream header(text);
+  std::string magic, version;
+  if (!(header >> magic >> version) || magic != "heterog-plan") {
+    fail("not a heterog-plan file");
+  }
+
+  if (version == "v1") {
+    std::istringstream is(text);
+    is >> magic >> version;
+    std::string key;
+    int devices = 0;
+    if (!(is >> key >> devices) || key != "devices") fail("v1: bad devices line");
+    if (devices != device_count) {
+      fail("v1: plan is for " + std::to_string(devices) + " devices, expected " +
+           std::to_string(device_count));
+    }
+    const size_t groups = parse_group_count(is, "v1");
+    StrategyMap map = parse_actions(is, groups, device_count);
+    reject_trailing(is);
+    return map;
+  }
+
+  if (version != "v2") fail("unsupported version \"" + version + "\"");
+
+  const std::string body = verify_crc_trailer(text);
+  std::istringstream is(body);
+  is >> magic >> version;
+  std::string key, fingerprint;
+  if (!(is >> key >> fingerprint) || key != "cluster" || fingerprint.size() != 8) {
+    fail("v2: bad cluster fingerprint line");
+  }
+  if (cluster && fingerprint != crc32_hex(cluster_fingerprint(*cluster))) {
+    fail("v2: cluster fingerprint mismatch — plan was made for different hardware "
+         "(plan " + fingerprint + ", cluster " +
+         crc32_hex(cluster_fingerprint(*cluster)) + ")");
+  }
+  int devices = 0;
+  if (!(is >> key >> devices) || key != "devices") fail("v2: bad devices line");
+  if (devices != device_count) {
+    fail("v2: plan is for " + std::to_string(devices) + " devices, expected " +
+         std::to_string(device_count));
+  }
+  const size_t groups = parse_group_count(is, "v2");
+  StrategyMap map = parse_actions(is, groups, device_count);
+  reject_trailing(is);  // action count cross-check: nothing between actions and crc
+  return map;
+}
+
+}  // namespace
 
 std::string to_text(const StrategyMap& map, int device_count) {
   std::ostringstream os;
@@ -14,45 +136,63 @@ std::string to_text(const StrategyMap& map, int device_count) {
   return os.str();
 }
 
-std::optional<StrategyMap> from_text(const std::string& text, int device_count) {
-  std::istringstream is(text);
-  std::string magic, version;
-  if (!(is >> magic >> version) || magic != "heterog-plan" || version != "v1") {
-    return std::nullopt;
-  }
-  std::string key;
-  int devices = 0;
-  if (!(is >> key >> devices) || key != "devices" || devices != device_count) {
-    return std::nullopt;
-  }
-  size_t groups = 0;
-  if (!(is >> key >> groups) || key != "groups") return std::nullopt;
+std::string to_text(const StrategyMap& map, const cluster::ClusterSpec& cluster) {
+  const int device_count = cluster.device_count();
+  std::ostringstream os;
+  os << "heterog-plan v2\n";
+  os << "cluster " << crc32_hex(cluster_fingerprint(cluster)) << "\n";
+  os << "devices " << device_count << "\n";
+  os << "groups " << map.group_actions.size() << "\n";
+  for (const Action& a : map.group_actions) os << a.index(device_count) << "\n";
+  std::string body = os.str();
+  body += "crc " + crc32_hex(crc32(body)) + "\n";
+  return body;
+}
 
-  StrategyMap map;
-  map.group_actions.reserve(groups);
-  for (size_t g = 0; g < groups; ++g) {
-    int index = -1;
-    if (!(is >> index) || index < 0 || index >= Action::action_count(device_count)) {
-      return std::nullopt;
-    }
-    map.group_actions.push_back(Action::from_index(index, device_count));
+std::optional<StrategyMap> from_text(const std::string& text, int device_count) {
+  try {
+    return parse_any(text, device_count, nullptr);
+  } catch (const PlanFormatError&) {
+    return std::nullopt;
   }
-  return map;
+}
+
+StrategyMap parse_plan(const std::string& text, const cluster::ClusterSpec& cluster) {
+  return parse_any(text, cluster.device_count(), &cluster);
 }
 
 bool save_plan(const std::string& path, const StrategyMap& map, int device_count) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << to_text(map, device_count);
-  return static_cast<bool>(out);
+  return write_file_atomic(path, to_text(map, device_count));
 }
 
-std::optional<StrategyMap> load_plan(const std::string& path, int device_count) {
+bool save_plan(const std::string& path, const StrategyMap& map,
+               const cluster::ClusterSpec& cluster) {
+  return write_file_atomic(path, to_text(map, cluster));
+}
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return from_text(buffer.str(), device_count);
+  return buffer.str();
+}
+
+}  // namespace
+
+std::optional<StrategyMap> load_plan(const std::string& path, int device_count) {
+  const auto text = read_file(path);
+  if (!text) return std::nullopt;
+  return from_text(*text, device_count);
+}
+
+StrategyMap load_plan_checked(const std::string& path,
+                              const cluster::ClusterSpec& cluster) {
+  const auto text = read_file(path);
+  if (!text) throw PlanFormatError("plan: cannot read file: " + path);
+  return parse_plan(*text, cluster);
 }
 
 }  // namespace heterog::strategy

@@ -206,6 +206,26 @@ Grouping Grouping::from_origin(const Grouping& base,
   return derived;
 }
 
+Grouping Grouping::from_assignment(const std::vector<GroupId>& assignment) {
+  check(!assignment.empty(), "Grouping::from_assignment: empty assignment");
+  GroupId max_group = -1;
+  for (const GroupId g : assignment) {
+    check(g >= 0, "Grouping::from_assignment: negative group id");
+    max_group = std::max(max_group, g);
+  }
+  Grouping grouping;
+  grouping.group_of_ = assignment;
+  grouping.members_.assign(static_cast<size_t>(max_group) + 1, {});
+  for (size_t op = 0; op < assignment.size(); ++op) {
+    grouping.members_[static_cast<size_t>(assignment[op])].push_back(
+        static_cast<OpId>(op));
+  }
+  for (const auto& members : grouping.members_) {
+    check(!members.empty(), "Grouping::from_assignment: group ids must be dense");
+  }
+  return grouping;
+}
+
 const Action& StrategyMap::action_for(const Grouping& grouping, OpId op) const {
   const GroupId g = grouping.group_of(op);
   check(g >= 0 && g < static_cast<GroupId>(group_actions.size()),

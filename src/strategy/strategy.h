@@ -80,6 +80,12 @@ class Grouping {
   static Grouping from_origin(const Grouping& base,
                               const std::vector<graph::OpId>& origin);
 
+  /// Reconstructs a Grouping from a per-op assignment vector (the shape
+  /// returned by assignment()), as persisted by the ckpt run journal. Group
+  /// ids must be dense: every id in [0, max] occupied. Throws CheckError
+  /// otherwise.
+  static Grouping from_assignment(const std::vector<GroupId>& assignment);
+
  private:
   std::vector<GroupId> group_of_;             // per op
   std::vector<std::vector<OpId>> members_;    // per group

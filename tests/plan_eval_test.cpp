@@ -180,6 +180,37 @@ TEST(Serialize, RejectsWrongDeviceCountAndGarbage) {
                                    8).has_value());  // action out of range
 }
 
+TEST(Serialize, RejectsTrailingGarbage) {
+  strategy::StrategyMap map;
+  map.group_actions.push_back(Action::mp(3));
+  map.group_actions.push_back(Action::mp(5));
+  const std::string text = strategy::to_text(map, 8);
+  ASSERT_TRUE(strategy::from_text(text, 8).has_value());
+  // Concatenation corruption must not masquerade as a valid shorter plan.
+  EXPECT_FALSE(strategy::from_text(text + "0\n", 8).has_value());
+  EXPECT_FALSE(strategy::from_text(text + "garbage\n", 8).has_value());
+}
+
+TEST(Serialize, V2RoundTripAndChecksum) {
+  const auto cluster = cluster::make_paper_testbed_8gpu();
+  strategy::StrategyMap map;
+  for (int i = 0; i < 5; ++i) {
+    map.group_actions.push_back(Action::from_index(i, cluster.device_count()));
+  }
+  const std::string text = strategy::to_text(map, cluster);
+  EXPECT_EQ(text.rfind("heterog-plan v2", 0), 0u);
+  const auto parsed = strategy::from_text(text, cluster.device_count());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->group_actions.size(), map.group_actions.size());
+  EXPECT_NO_THROW((void)strategy::parse_plan(text, cluster));
+
+  std::string corrupted = text;
+  corrupted[text.size() / 2] ^= 0x1;
+  EXPECT_THROW((void)strategy::parse_plan(corrupted, cluster),
+               strategy::PlanFormatError);
+  EXPECT_FALSE(strategy::from_text(corrupted, cluster.device_count()).has_value());
+}
+
 TEST(Serialize, FileHelpers) {
   strategy::StrategyMap map;
   map.group_actions.push_back(Action::dp(ReplicationMode::kProportional, CommMethod::kPS));

@@ -5,13 +5,16 @@
 //   heterog_cli plan     --model vgg19 --batch 192 [--cluster 8gpu]
 //                        [--episodes 150] [--groups 48] [--out plan.txt]
 //                        [--fault-plan faults.json] [--steps 20]
+//                        [--checkpoint-dir DIR] [--ckpt-every K]
+//   heterog_cli resume   --journal DIR/journal.heterog [--ckpt-every K]
 //   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
 //                        (--plan plan.txt | --strategy ev-ar|ev-ps|cp-ar|cp-ps)
 //                        [--order rank|fifo] [--microbatches m]
 //                        [--trace out.json] [--timeline]
 //   heterog_cli baselines --model vgg19 --batch 192 [--cluster 8gpu]
 //
-// Exit codes: 0 success, 1 bad usage, 2 runtime failure.
+// Exit codes: 0 success, 1 bad usage, 2 runtime failure. Every error path
+// exits nonzero; tools/CMakeLists.txt pins this with WILL_FAIL ctests.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -95,15 +98,41 @@ std::optional<cluster::ClusterSpec> find_cluster(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: heterog_cli <models|clusters|plan|evaluate|baselines> [flags]\n"
+               "usage: heterog_cli <models|clusters|plan|resume|evaluate|baselines> "
+               "[flags]\n"
                "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
                "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
                "            [--fault-plan FILE] [--steps N]\n"
+               "            [--checkpoint-dir DIR] [--ckpt-every K]\n"
+               "  resume    --journal FILE [--ckpt-every K]\n"
                "  evaluate  --model NAME --batch B (--plan FILE | --strategy ev-ar|...)\n"
                "            [--order rank|fifo] [--microbatches M] [--trace FILE]\n"
                "            [--timeline]\n"
                "  baselines --model NAME --batch B [--cluster ...]\n");
   return 1;
+}
+
+void print_run_stats(const heterog::RunStats& stats, int steps) {
+  std::printf("run: %d/%d steps, %.1f ms total (%.2f ms/step), completed=%s\n",
+              static_cast<int>(stats.step_ms.size()), steps, stats.total_ms,
+              stats.per_iteration_ms, stats.completed ? "yes" : "no");
+  if (stats.transient_retries > 0) {
+    std::printf("transient retries: %d (%.0f ms backoff)\n", stats.transient_retries,
+                stats.retry_backoff_total_ms);
+  }
+  for (const auto& r : stats.recoveries) {
+    std::string failed;
+    for (const auto d : r.failed_devices) {
+      failed += (failed.empty() ? "G" : ",G") + std::to_string(d);
+    }
+    std::printf(
+        "recovery at step %d: lost %s%s, re-planned onto %d device(s) in %.1f ms, "
+        "iteration %.2f -> %.2f ms%s\n",
+        r.fault_step, failed.c_str(),
+        r.escalated_transient ? " (transient escalated)" : "", r.surviving_devices,
+        r.replan_wall_ms, r.pre_fault_iteration_ms, r.post_fault_iteration_ms,
+        r.post_plan_oom ? " (OOM!)" : "");
+  }
 }
 
 void print_breakdown(const strategy::StrategyBreakdown& bd) {
@@ -145,8 +174,22 @@ int cmd_plan(const Args& args) {
   config.train.episodes = args.get_int("episodes", 150);
   config.agent.max_groups = args.get_int("groups", 48);
 
-  // Load and validate the fault plan before the (possibly minutes-long)
-  // strategy search so a bad path or malformed file fails fast.
+  // Checkpointing knobs; validated before the (possibly minutes-long)
+  // strategy search so mistakes fail fast.
+  ckpt::CheckpointOptions copts;
+  copts.dir = args.get("checkpoint-dir");
+  copts.every = args.get_int("ckpt-every", 5);
+  if ((args.has("checkpoint-dir") && copts.dir.empty()) || copts.every <= 0) {
+    std::fprintf(stderr, "error: --checkpoint-dir needs a path and --ckpt-every "
+                         "a positive step count\n");
+    return 1;
+  }
+  copts.meta = {{"model", model->name},
+                {"layers", std::to_string(layers)},
+                {"batch", args.get("batch")},
+                {"cluster", args.get("cluster", "8gpu")}};
+
+  // Same fail-fast treatment for the fault plan.
   faults::FaultPlan fault_plan;
   if (args.has("fault-plan")) {
     fault_plan = faults::load_fault_plan(args.get("fault-plan"));
@@ -163,43 +206,68 @@ int cmd_plan(const Args& args) {
   print_breakdown(runner.breakdown());
 
   if (args.has("out")) {
-    if (!strategy::save_plan(args.get("out"), runner.strategy(),
-                             cluster_spec->device_count())) {
+    if (!strategy::save_plan(args.get("out"), runner.strategy(), *cluster_spec)) {
       std::fprintf(stderr, "error: cannot write %s\n", args.get("out").c_str());
       return 2;
     }
     std::printf("plan saved to %s\n", args.get("out").c_str());
   }
 
-  if (args.has("fault-plan")) {
+  if (args.has("fault-plan") || copts.enabled()) {
     const int steps = args.get_int("steps", 20);
-    std::printf("\ninjecting %zu fault event(s) over %d steps:\n",
-                fault_plan.events.size(), steps);
-    for (const auto& event : fault_plan.events) {
-      std::printf("  %s\n", event.describe().c_str());
-    }
-    const auto stats = runner.run(steps, fault_plan);
-    std::printf("run: %d/%d steps, %.1f ms total (%.2f ms/step), completed=%s\n",
-                static_cast<int>(stats.step_ms.size()), steps, stats.total_ms,
-                stats.per_iteration_ms, stats.completed ? "yes" : "no");
-    if (stats.transient_retries > 0) {
-      std::printf("transient retries: %d (%.0f ms backoff)\n", stats.transient_retries,
-                  stats.retry_backoff_total_ms);
-    }
-    for (const auto& r : stats.recoveries) {
-      std::string failed;
-      for (const auto d : r.failed_devices) {
-        failed += (failed.empty() ? "G" : ",G") + std::to_string(d);
+    if (!fault_plan.empty()) {
+      std::printf("\ninjecting %zu fault event(s) over %d steps:\n",
+                  fault_plan.events.size(), steps);
+      for (const auto& event : fault_plan.events) {
+        std::printf("  %s\n", event.describe().c_str());
       }
-      std::printf(
-          "recovery at step %d: lost %s%s, re-planned onto %d device(s) in %.1f ms, "
-          "iteration %.2f -> %.2f ms%s\n",
-          r.fault_step, failed.c_str(),
-          r.escalated_transient ? " (transient escalated)" : "", r.surviving_devices,
-          r.replan_wall_ms, r.pre_fault_iteration_ms, r.post_fault_iteration_ms,
-          r.post_plan_oom ? " (OOM!)" : "");
+    }
+    const auto stats = runner.run(steps, fault_plan, copts);
+    print_run_stats(stats, steps);
+    if (copts.enabled()) {
+      std::printf("journal: %s (every %d steps)\n", copts.journal_path().c_str(),
+                  copts.every);
     }
   }
+  return 0;
+}
+
+int cmd_resume(const Args& args) {
+  if (!args.has("journal")) return usage();
+  const std::string path = args.get("journal");
+
+  // Peek at the journal's metadata to rebuild the model without flags; the
+  // library re-loads and fully re-validates it inside resume_run.
+  const ckpt::RunJournal journal = ckpt::load_journal(path);
+  const auto model_it = journal.meta.find("model");
+  const auto batch_it = journal.meta.find("batch");
+  if (model_it == journal.meta.end() || batch_it == journal.meta.end()) {
+    std::fprintf(stderr,
+                 "error: %s carries no model metadata (not written by heterog_cli "
+                 "plan?); resume it through heterog::resume_run instead\n",
+                 path.c_str());
+    return 2;
+  }
+  const auto model = find_model(model_it->second);
+  const double batch = std::atof(batch_it->second.c_str());
+  if (!model || batch <= 0.0) {
+    std::fprintf(stderr, "error: %s names unknown model '%s' (batch %s)\n",
+                 path.c_str(), model_it->second.c_str(), batch_it->second.c_str());
+    return 2;
+  }
+  int layers = model->default_layers;
+  if (const auto it = journal.meta.find("layers"); it != journal.meta.end()) {
+    layers = std::atoi(it->second.c_str());
+  }
+
+  ckpt::CheckpointOptions copts;  // dir/cadence default to the journal's own
+  copts.every = args.get_int("ckpt-every", 0);
+
+  std::printf("resuming %s: model=%s layers=%d batch=%g at step %d/%d\n", path.c_str(),
+              model->name, layers, batch, journal.watermark, journal.total_steps);
+  const auto stats = resume_run(
+      path, [&] { return models::build_forward(model->kind, layers, batch); }, copts);
+  print_run_stats(stats, journal.total_steps - journal.watermark);
   return 0;
 }
 
@@ -224,6 +292,14 @@ int cmd_evaluate(const Args& args) {
   const int layers = args.get_int("layers", model->default_layers);
   const int micro_batches = args.get_int("microbatches", 1);
 
+  // Load the plan before the expensive grouping work: a missing, corrupt or
+  // wrong-cluster file surfaces immediately as a typed PlanFormatError
+  // (caught in main, exit 2) instead of after seconds of profiling.
+  std::optional<strategy::StrategyMap> loaded;
+  if (args.has("plan")) {
+    loaded = strategy::load_plan_checked(args.get("plan"), *cluster_spec);
+  }
+
   profiler::HardwareModel hardware(*cluster_spec);
   profiler::GroundTruthCosts costs(hardware);
 
@@ -232,12 +308,11 @@ int cmd_evaluate(const Args& args) {
       strategy::Grouping::build(train, costs, args.get_int("groups", 48));
 
   strategy::StrategyMap map;
-  if (args.has("plan")) {
-    const auto loaded = strategy::load_plan(args.get("plan"), cluster_spec->device_count());
-    if (!loaded || static_cast<int>(loaded->group_actions.size()) !=
-                       base_grouping.group_count()) {
-      std::fprintf(stderr, "error: plan %s missing or incompatible\n",
-                   args.get("plan").c_str());
+  if (loaded) {
+    if (static_cast<int>(loaded->group_actions.size()) != base_grouping.group_count()) {
+      std::fprintf(stderr, "error: plan %s has %zu group actions, model groups into %d\n",
+                   args.get("plan").c_str(), loaded->group_actions.size(),
+                   base_grouping.group_count());
       return 2;
     }
     map = *loaded;
@@ -330,6 +405,7 @@ int main(int argc, char** argv) {
     if (args->command == "models") return cmd_models();
     if (args->command == "clusters") return cmd_clusters();
     if (args->command == "plan") return cmd_plan(*args);
+    if (args->command == "resume") return cmd_resume(*args);
     if (args->command == "evaluate") return cmd_evaluate(*args);
     if (args->command == "baselines") return cmd_baselines(*args);
   } catch (const std::exception& e) {
