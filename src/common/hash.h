@@ -1,0 +1,63 @@
+// 64-bit incremental hashing for memoization keys.
+//
+// Hash64 is a splitmix64-based accumulator: every mixed word passes through
+// the full splitmix finaliser, so single-bit input differences avalanche
+// across the whole state. Used by the RL evaluation cache to key
+// (graph, grouping, strategy, options) tuples; tests/eval_engine_test.cpp
+// pins that strategies differing in exactly one group's action never
+// collide on the seed models.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace heterog {
+
+class Hash64 {
+ public:
+  /// splitmix64 finaliser (Steele et al.); bijective, full avalanche.
+  static uint64_t mix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  Hash64& mix(uint64_t value) {
+    state_ = mix64(state_ ^ value);
+    return *this;
+  }
+
+  Hash64& mix_signed(int64_t value) { return mix(static_cast<uint64_t>(value)); }
+
+  Hash64& mix_double(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return mix(bits);
+  }
+
+  Hash64& mix_string(std::string_view s) {
+    mix(s.size());
+    uint64_t word = 0;
+    int filled = 0;
+    for (unsigned char c : s) {
+      word = (word << 8) | c;
+      if (++filled == 8) {
+        mix(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled > 0) mix(word);
+    return *this;
+  }
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0x243F6A8885A308D3ULL;  // pi, for lack of opinions
+};
+
+}  // namespace heterog

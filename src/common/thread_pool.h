@@ -1,0 +1,57 @@
+// Fixed-size worker pool for fan-out/fan-in parallelism.
+//
+// The pool exists for the RL search's evaluation engine: per-episode strategy
+// samples and heuristic warm-start candidates are mutually independent
+// compile+simulate jobs, so they fan out across workers and reduce back in
+// input order. The API is deliberately tiny — parallel_for with a blocking
+// barrier is the only shape the library needs, and keeping the barrier
+// inside the pool keeps every call site trivially deterministic (workers
+// write to disjoint slots; the caller reads only after the barrier).
+//
+// Thread-safety contract: `body` runs concurrently on worker threads and
+// must only touch state that is either local to its index or internally
+// synchronised. Exceptions thrown by `body` are captured and the first one
+// (by task index) is rethrown on the calling thread after all tasks drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace heterog {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. `threads <= 1` spawns none: parallel_for then
+  /// runs inline on the caller, so a serial pool is zero-overhead and the
+  /// call sites need no special casing.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 for an inline pool).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs body(0) .. body(n-1) across the workers and blocks until every
+  /// call returned. Rethrows the lowest-index exception, if any. Must not be
+  /// called from inside a pool task (the caller blocks; nested batches could
+  /// starve the workers they wait on).
+  void parallel_for(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::queue<std::function<void()>> tasks_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace heterog

@@ -62,6 +62,10 @@ struct CompilerOptions {
   int forced_ps_device = -1;
 };
 
+/// Thread-safety: compile() only reads costs_/options_ and builds its output
+/// locally, and CostProvider implementations are immutable after
+/// construction — concurrent compiles (rl::EvalEngine's worker pool) are
+/// safe without external locking.
 class GraphCompiler {
  public:
   explicit GraphCompiler(const profiler::CostProvider& costs) : costs_(&costs) {}

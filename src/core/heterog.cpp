@@ -51,19 +51,26 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
     agent::PolicyNetwork policy(cluster.device_count(), config.agent);
     plan.search = trainer.search(policy, encoded);
   } else {
-    // Heuristic-only mode: evaluate warm-start candidates and keep the best.
+    // Heuristic-only mode: evaluate warm-start candidates (one parallel
+    // batch across config.train.threads workers) and keep the best — the
+    // ordered reduce makes the pick independent of the thread count.
     rl::SearchResult best;
-    for (const auto& candidate :
-         trainer.heuristic_candidates(training_graph, plan.grouping)) {
-      const auto eval = trainer.evaluate(training_graph, plan.grouping, candidate);
+    const std::vector<strategy::StrategyMap> candidates =
+        trainer.heuristic_candidates(training_graph, plan.grouping);
+    const std::vector<rl::Evaluation> evals =
+        trainer.evaluate_batch(training_graph, plan.grouping, candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const auto& eval = evals[i];
       const bool better =
           !eval.oom && (!best.best_feasible || eval.time_ms < best.best_time_ms);
       if (better || best.best_strategy.group_actions.empty()) {
-        best.best_strategy = candidate;
+        best.best_strategy = candidates[i];
         best.best_time_ms = eval.time_ms;
         best.best_feasible = !eval.oom;
       }
     }
+    best.eval_cache_hits = trainer.eval_engine().stats().hits;
+    best.eval_cache_misses = trainer.eval_engine().stats().misses;
     plan.search = std::move(best);
   }
   check(!plan.search.best_strategy.group_actions.empty(),

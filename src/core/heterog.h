@@ -50,6 +50,11 @@ struct FaultHandlingConfig {
 
 struct HeteroGConfig {
   agent::AgentConfig agent;
+  /// Search configuration. `train.threads` fans strategy evaluation across a
+  /// worker pool and `train.eval_cache_capacity` memoizes repeated plans —
+  /// both change only wall-clock time, never the chosen plan (the search is
+  /// bit-identical for any thread count; see DESIGN.md "Parallel evaluation
+  /// & memoization").
   rl::TrainConfig train;
   FaultHandlingConfig fault_handling;
   /// Seed for the synthetic profiling noise.

@@ -19,9 +19,14 @@ using strategy::ReplicationMode;
 }  // namespace
 
 Trainer::Trainer(const profiler::CostProvider& costs, TrainConfig config)
-    : costs_(&costs), config_(config), compiler_(costs) {
+    : costs_(&costs), config_(config) {
   check(config_.episodes >= 0 && config_.samples_per_episode >= 1,
         "Trainer: bad episode configuration");
+  check(config_.threads >= 1, "Trainer: thread count must be >= 1");
+  EvalEngineOptions engine_options;
+  engine_options.threads = config_.threads;
+  engine_options.cache_capacity = config_.eval_cache_capacity;
+  engine_ = std::make_unique<EvalEngine>(costs, engine_options);
 }
 
 double Trainer::reward_from(double time_ms, bool oom) const {
@@ -31,17 +36,32 @@ double Trainer::reward_from(double time_ms, bool oom) const {
   return reward;
 }
 
+Evaluation Trainer::to_evaluation(const sim::PlanEvaluation& plan) const {
+  Evaluation eval;
+  eval.time_ms = plan.per_iteration_ms;
+  eval.oom = plan.oom;
+  eval.reward = reward_from(plan.per_iteration_ms, plan.oom);
+  return eval;
+}
+
 Evaluation Trainer::evaluate(const graph::GraphDef& graph,
                              const strategy::Grouping& grouping,
                              const strategy::StrategyMap& strategy) const {
   sim::PlanEvalOptions options;
   options.compiler = config_.compiler;
-  const auto result = sim::evaluate_plan(*costs_, graph, grouping, strategy, options);
-  Evaluation eval;
-  eval.time_ms = result.per_iteration_ms;
-  eval.oom = result.oom;
-  eval.reward = reward_from(result.per_iteration_ms, result.oom);
-  return eval;
+  return to_evaluation(engine_->evaluate(graph, grouping, strategy, options));
+}
+
+std::vector<Evaluation> Trainer::evaluate_batch(
+    const graph::GraphDef& graph, const strategy::Grouping& grouping,
+    const std::vector<strategy::StrategyMap>& strategies) const {
+  sim::PlanEvalOptions options;
+  options.compiler = config_.compiler;
+  const auto plans = engine_->evaluate_batch(graph, grouping, strategies, options);
+  std::vector<Evaluation> evals;
+  evals.reserve(plans.size());
+  for (const auto& plan : plans) evals.push_back(to_evaluation(plan));
+  return evals;
 }
 
 std::vector<strategy::StrategyMap> Trainer::heuristic_candidates(
@@ -227,7 +247,9 @@ std::pair<strategy::StrategyMap, Evaluation> Trainer::repair_oom(
   // the final plan carries slack instead of sitting on the knife edge.
   repair_opts.usable_memory_fraction = 0.90;
   for (int iter = 0; iter < max_iterations; ++iter) {
-    const auto result = sim::evaluate_plan(*costs_, graph, grouping, map, repair_opts);
+    // Memoized like every evaluation: repeated repairs of similar candidates
+    // share intermediate results (the repair options are part of the key).
+    const auto result = engine_->evaluate(graph, grouping, map, repair_opts);
     eval.time_ms = result.per_iteration_ms;
     eval.oom = result.oom;
     eval.reward = reward_from(result.per_iteration_ms, result.oom);
@@ -323,17 +345,31 @@ void Trainer::reinforce_step(agent::PolicyNetwork& policy,
       tape.sum_all(tape.hadamard(probs, log_probs)),
       -1.0 / static_cast<double>(encoded.group_count()));
 
-  nn::Var policy_loss;
+  // Sample every strategy first (the RNG is consumed in sample order, same
+  // as a fully serial loop — evaluation draws nothing from it), fan the
+  // evaluations out across the engine's workers, then reduce in sample
+  // order: baseline updates, incumbent updates and loss terms see results
+  // in exactly the serial sequence, so the search is bit-identical whatever
+  // the thread count.
+  std::vector<std::vector<int>> sampled(static_cast<size_t>(config_.samples_per_episode));
+  std::vector<strategy::StrategyMap> maps(static_cast<size_t>(config_.samples_per_episode));
   for (int s = 0; s < config_.samples_per_episode; ++s) {
-    const std::vector<int> actions =
+    sampled[static_cast<size_t>(s)] =
         policy.sample_actions(logits_value, rng, policy.config().sample_temperature);
-
-    strategy::StrategyMap map;
-    map.group_actions.reserve(actions.size());
-    for (int a : actions) {
+    auto& map = maps[static_cast<size_t>(s)];
+    map.group_actions.reserve(sampled[static_cast<size_t>(s)].size());
+    for (int a : sampled[static_cast<size_t>(s)]) {
       map.group_actions.push_back(Action::from_index(a, policy.device_count()));
     }
-    const Evaluation eval = evaluate(*encoded.graph, encoded.grouping, map);
+  }
+  const std::vector<Evaluation> evals =
+      evaluate_batch(*encoded.graph, encoded.grouping, maps);
+
+  nn::Var policy_loss;
+  for (int s = 0; s < config_.samples_per_episode; ++s) {
+    const std::vector<int>& actions = sampled[static_cast<size_t>(s)];
+    const strategy::StrategyMap& map = maps[static_cast<size_t>(s)];
+    const Evaluation& eval = evals[static_cast<size_t>(s)];
     const double prev_baseline =
         baseline.initialised() ? baseline.value() : eval.reward;
     const double advantage = eval.reward - prev_baseline;
@@ -377,6 +413,7 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
 
   SearchResult result;
   Rng rng(config_.seed);
+  const EvalEngineStats stats_before = engine_->stats();
 
   if (config_.seed_heuristics) {
     auto consider = [&](const strategy::StrategyMap& candidate, const Evaluation& eval) {
@@ -388,11 +425,19 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
         result.best_feasible = !eval.oom;
       }
     };
+    // Evaluate every warm-start candidate as one parallel batch, then reduce
+    // in candidate order — the incumbent after this loop is the one the
+    // serial path would have picked.
+    std::vector<strategy::StrategyMap> candidates =
+        heuristic_candidates(*encoded.graph, encoded.grouping);
+    const std::vector<Evaluation> evals =
+        evaluate_batch(*encoded.graph, encoded.grouping, candidates);
     std::vector<std::pair<double, strategy::StrategyMap>> oom_candidates;
-    for (auto& candidate : heuristic_candidates(*encoded.graph, encoded.grouping)) {
-      const Evaluation eval = evaluate(*encoded.graph, encoded.grouping, candidate);
-      consider(candidate, eval);
-      if (eval.oom) oom_candidates.emplace_back(eval.time_ms, std::move(candidate));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      consider(candidates[i], evals[i]);
+      if (evals[i].oom) {
+        oom_candidates.emplace_back(evals[i].time_ms, std::move(candidates[i]));
+      }
     }
     // Memory-repair the most promising infeasible candidates (greedy moves
     // guided by simulated peaks) — this is what rescues the large models
@@ -403,14 +448,26 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
     // candidates can yield better hybrids (e.g. CP-PS that only overflows
     // the V100s). When nothing is feasible yet, repair generously — the
     // large models depend on it.
-    const size_t repair_budget = result.best_feasible ? 2 : oom_candidates.size();
-    for (size_t i = 0; i < std::min(repair_budget, oom_candidates.size()); ++i) {
-      auto [repaired, rough] =
+    const size_t repair_budget = std::min(
+        result.best_feasible ? size_t{2} : oom_candidates.size(), oom_candidates.size());
+    // Repairs are independent per candidate (each is a deterministic local
+    // fixpoint that never reads the incumbent), so fan them out across the
+    // pool — workers call engine_->evaluate() inline, never parallel_for —
+    // and consider the repaired plans in candidate order afterwards.
+    std::vector<std::pair<strategy::StrategyMap, Evaluation>> repaired_slots(repair_budget);
+    std::vector<Evaluation> refined_slots(repair_budget);
+    engine_->parallel_for(repair_budget, [&](size_t i) {
+      repaired_slots[i] =
           repair_oom(*encoded.graph, encoded.grouping, oom_candidates[i].second, 40);
-      if (rough.oom) continue;
-      // Re-evaluate at full fidelity (steady-state unrolling).
-      const Evaluation eval = evaluate(*encoded.graph, encoded.grouping, repaired);
-      consider(repaired, eval);
+      if (!repaired_slots[i].second.oom) {
+        // Re-evaluate at full fidelity (steady-state unrolling).
+        refined_slots[i] =
+            evaluate(*encoded.graph, encoded.grouping, repaired_slots[i].first);
+      }
+    });
+    for (size_t i = 0; i < repair_budget; ++i) {
+      if (repaired_slots[i].second.oom) continue;
+      consider(repaired_slots[i].first, refined_slots[i]);
     }
   }
 
@@ -431,29 +488,63 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
 
   // Final polish: greedy single-group moves on the incumbent. Each move
   // re-assigns one group to a random alternative action and keeps the change
-  // only when the plan stays feasible and gets faster.
+  // only when the plan stays feasible and gets faster. The moves are drawn
+  // up front (every move consumes its (g, a) pair from the RNG whether or
+  // not it is accepted, so the draw sequence is fixed), then evaluated in
+  // speculative batches against the current incumbent: the first improving
+  // move in scan order is accepted, and the rest of its batch — evaluated
+  // against a now-stale incumbent — is discarded and redrawn from the move
+  // list. That reproduces the serial hill climb exactly: a candidate after
+  // an accepted move never contributes a result computed off the old base.
   if (result.best_feasible && config_.polish_moves > 0 &&
       !result.best_strategy.group_actions.empty()) {
     Rng polish_rng(config_.seed ^ 0x9E3779B9);
     const int groups = static_cast<int>(result.best_strategy.group_actions.size());
     const int actions = strategy::Action::action_count(costs_->cluster().device_count());
+    std::vector<std::pair<int, int>> moves;
+    moves.reserve(static_cast<size_t>(config_.polish_moves));
     for (int move = 0; move < config_.polish_moves; ++move) {
-      strategy::StrategyMap candidate = result.best_strategy;
       const int g = polish_rng.uniform_int(0, groups - 1);
       const int a = polish_rng.uniform_int(0, actions - 1);
-      candidate.group_actions[static_cast<size_t>(g)] =
-          strategy::Action::from_index(a, costs_->cluster().device_count());
-      const Evaluation eval = evaluate(*encoded.graph, encoded.grouping, candidate);
-      if (!eval.oom && eval.time_ms < result.best_time_ms - 1e-9) {
-        result.best_strategy = std::move(candidate);
-        result.best_time_ms = eval.time_ms;
+      moves.emplace_back(g, a);
+    }
+    const size_t batch_size = static_cast<size_t>(std::max(config_.threads, 1));
+    size_t next = 0;
+    while (next < moves.size()) {
+      const size_t n = std::min(batch_size, moves.size() - next);
+      std::vector<strategy::StrategyMap> batch;
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        strategy::StrategyMap candidate = result.best_strategy;
+        candidate.group_actions[static_cast<size_t>(moves[next + i].first)] =
+            strategy::Action::from_index(moves[next + i].second,
+                                         costs_->cluster().device_count());
+        batch.push_back(std::move(candidate));
       }
+      const std::vector<Evaluation> evals =
+          evaluate_batch(*encoded.graph, encoded.grouping, batch);
+      size_t advanced = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (!evals[i].oom && evals[i].time_ms < result.best_time_ms - 1e-9) {
+          result.best_strategy = std::move(batch[i]);
+          result.best_time_ms = evals[i].time_ms;
+          advanced = i + 1;  // later slots were speculated off the old base
+          break;
+        }
+      }
+      next += advanced;
     }
   }
 
+  const EvalEngineStats stats_after = engine_->stats();
+  result.eval_cache_hits = stats_after.hits - stats_before.hits;
+  result.eval_cache_misses = stats_after.misses - stats_before.misses;
+
   log_info() << "search(" << encoded.graph->name() << "): best "
              << result.best_time_ms << " ms after " << result.episodes_run
-             << " episodes (feasible=" << result.best_feasible << ")";
+             << " episodes (feasible=" << result.best_feasible << ", eval cache "
+             << result.eval_cache_hits << " hits / " << result.eval_cache_misses
+             << " misses)";
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "compile/compiler.h"
+#include "rl/eval_engine.h"
 #include "sim/simulator.h"
 
 namespace heterog::rl {
@@ -45,6 +46,13 @@ struct TrainConfig {
   /// (<= 0 disables early stopping).
   int patience = 60;
   uint64_t seed = 7;
+  /// Worker threads for strategy evaluation (per-episode samples, heuristic
+  /// seeds, OOM repair, polish lookahead). 1 = serial. Results are
+  /// bit-identical whatever the value — tests/eval_engine_test.cpp pins it.
+  int threads = 1;
+  /// Memoized evaluations kept in the engine's LRU cache (0 disables);
+  /// re-sampled strategies skip compile+simulate entirely.
+  size_t eval_cache_capacity = 4096;
 };
 
 /// Evaluation of one concrete strategy.
@@ -61,6 +69,10 @@ struct SearchResult {
   int episodes_run = 0;
   int episode_of_best = 0;
   std::vector<double> episode_best_ms;  // incumbent trace per episode
+  /// Evaluation-cache traffic of this search (hits = evaluations answered
+  /// without compile+simulate; misses = full evaluations performed).
+  uint64_t eval_cache_hits = 0;
+  uint64_t eval_cache_misses = 0;
 };
 
 class Trainer {
@@ -68,9 +80,16 @@ class Trainer {
   Trainer(const profiler::CostProvider& costs, TrainConfig config);
 
   /// Evaluates a strategy end-to-end (compile + rank-order simulate + OOM
-  /// check) and converts the result to a reward.
+  /// check) and converts the result to a reward. Memoized: identical
+  /// (graph, grouping, strategy) tuples are answered from the engine cache.
   Evaluation evaluate(const graph::GraphDef& graph, const strategy::Grouping& grouping,
                       const strategy::StrategyMap& strategy) const;
+
+  /// Evaluates `strategies` concurrently across the engine's worker pool;
+  /// result i corresponds to strategies[i] (deterministic reduce order).
+  std::vector<Evaluation> evaluate_batch(
+      const graph::GraphDef& graph, const strategy::Grouping& grouping,
+      const std::vector<strategy::StrategyMap>& strategies) const;
 
   /// Trains `policy` on one graph until the episode budget (or patience) is
   /// exhausted; returns the incumbent best plan.
@@ -95,14 +114,22 @@ class Trainer {
 
   const TrainConfig& config() const { return config_; }
 
+  /// The evaluation engine behind evaluate()/search() (cache stats, test
+  /// hooks). One engine — and therefore one cache — per Trainer, scoped to
+  /// its CostProvider; a cluster change means a new Trainer and fresh cache.
+  EvalEngine& eval_engine() const { return *engine_; }
+
  private:
   double reward_from(double time_ms, bool oom) const;
+  Evaluation to_evaluation(const sim::PlanEvaluation& plan) const;
   void reinforce_step(agent::PolicyNetwork& policy, const agent::EncodedGraph& encoded,
                       MovingAverage& baseline, Rng& rng, SearchResult* result);
 
   const profiler::CostProvider* costs_;
   TrainConfig config_;
-  compile::GraphCompiler compiler_;
+  /// Internally synchronised; mutable so the logically-const evaluate() can
+  /// record cache traffic.
+  mutable std::unique_ptr<EvalEngine> engine_;
   std::unique_ptr<nn::AdamOptimizer> optimizer_;  // bound to the first policy used
   agent::PolicyNetwork* bound_policy_ = nullptr;
   MovingAverage pretrain_baseline_;

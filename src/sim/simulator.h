@@ -49,6 +49,10 @@ struct SimResult {
   std::vector<double> finish_ms;
 };
 
+/// Thread-safety: run()/run_with_priorities() are pure functions of
+/// (options_, graph) — all working state lives on the call stack, so one
+/// Simulator (or many) may run concurrently from any number of threads.
+/// rl::EvalEngine relies on this to fan plan evaluations across its pool.
 class Simulator {
  public:
   explicit Simulator(SimOptions options = SimOptions()) : options_(options) {}

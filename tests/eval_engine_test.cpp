@@ -1,0 +1,325 @@
+// Tests for the parallel, memoized evaluation engine behind Trainer::search.
+//
+// The headline contract — search(threads=N) is bit-identical to
+// search(threads=1), with or without the memo cache — is pinned here across
+// three models and two clusters (the "determinism wall"). The rest covers
+// ThreadPool semantics, cache keying (no silent collisions between
+// strategies differing in one group's action, proven via a poisoned cache),
+// and the heuristic warm-start dedupe (a repeated search is answered
+// entirely from cache).
+//
+// This binary carries the `eval` ctest label and runs under
+// -DHETEROG_SANITIZE=thread in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "models/models.h"
+#include "rl/eval_engine.h"
+#include "rl/trainer.h"
+#include "test_util.h"
+
+namespace heterog::rl {
+namespace {
+
+using strategy::Action;
+using strategy::CommMethod;
+using strategy::ReplicationMode;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> counts(257);
+  for (auto& c : counts) c = 0;
+  pool.parallel_for(counts.size(), [&](size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.parallel_for(16, [&](size_t i) { order.push_back(i); });  // no locking:
+  // a 1-thread pool must run the body inline on the calling thread.
+  std::vector<size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, [&](size_t) { FAIL() << "body must not run for n=0"; });
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [&](size_t i) {
+      if (i % 2 == 1) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 1");
+  }
+}
+
+TEST(ThreadPool, TasksGenuinelyOverlap) {
+  // Sleeping tasks overlap even on a single-core machine, so this catches a
+  // pool that secretly serialises. 8 x 50 ms on 4 workers: serial would be
+  // 400 ms, ideal is 100 ms; the bound leaves slack for loaded CI boxes.
+  ThreadPool pool(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.parallel_for(8, [](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(wall_ms, 300.0);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(33, [&](size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 33 * 32 / 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism wall: threads=4 bit-identical to threads=1, cache on and off,
+// across three models x two clusters.
+
+struct WallCase {
+  const char* name;
+  models::ModelKind kind;
+  int layers;
+  double batch;
+};
+
+SearchResult run_search(const profiler::CostProvider& costs, int device_count,
+                        const agent::EncodedGraph& encoded, int threads,
+                        size_t cache_capacity) {
+  TrainConfig config;
+  config.episodes = 5;
+  config.samples_per_episode = 2;
+  config.patience = 0;
+  config.polish_moves = 8;
+  config.threads = threads;
+  config.eval_cache_capacity = cache_capacity;
+
+  agent::AgentConfig agent_config;
+  agent_config.max_groups = 16;
+  agent_config.seed = 11;
+  agent::PolicyNetwork policy(device_count, agent_config);
+  Trainer trainer(costs, config);
+  return trainer.search(policy, encoded);
+}
+
+void expect_identical(const SearchResult& serial, const SearchResult& parallel) {
+  // Exact equality, not tolerance: the parallel path must produce the very
+  // same doubles as the serial one.
+  EXPECT_EQ(serial.best_time_ms, parallel.best_time_ms);
+  EXPECT_EQ(serial.best_feasible, parallel.best_feasible);
+  EXPECT_EQ(serial.episodes_run, parallel.episodes_run);
+  EXPECT_EQ(serial.episode_of_best, parallel.episode_of_best);
+  EXPECT_EQ(serial.episode_best_ms, parallel.episode_best_ms);
+  EXPECT_EQ(serial.best_strategy.group_actions, parallel.best_strategy.group_actions);
+}
+
+TEST(EvalEngineDeterminism, ParallelSearchBitIdenticalToSerial) {
+  const WallCase cases[] = {
+      {"mobilenet_v2", models::ModelKind::kMobileNetV2, 0, 64.0},
+      {"inception_v3", models::ModelKind::kInceptionV3, 0, 32.0},
+      {"transformer", models::ModelKind::kTransformer, 2, 16.0},
+  };
+  const cluster::ClusterSpec clusters[] = {cluster::make_paper_testbed_8gpu(),
+                                           cluster::make_fig3_testbed()};
+  for (const auto& cluster : clusters) {
+    heterog::testing::TestRig rig(cluster);
+    for (const auto& c : cases) {
+      SCOPED_TRACE(std::string(c.name) + " on " + std::to_string(cluster.device_count()) +
+                   " devices");
+      const auto graph = models::build_training(c.kind, c.layers, c.batch);
+      const auto encoded = agent::encode_graph(graph, *rig.costs, 16);
+
+      for (size_t cache : {size_t{4096}, size_t{0}}) {
+        SCOPED_TRACE(cache == 0 ? "cache disabled" : "cache enabled");
+        const auto serial =
+            run_search(*rig.costs, cluster.device_count(), encoded, 1, cache);
+        const auto parallel =
+            run_search(*rig.costs, cluster.device_count(), encoded, 4, cache);
+        expect_identical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(EvalEngineDeterminism, CacheDoesNotChangeResults) {
+  // Same search, cache on vs off — memoization is a wall-clock knob only.
+  heterog::testing::TestRig rig(cluster::make_paper_testbed_8gpu());
+  const auto graph = models::build_training(models::ModelKind::kMobileNetV2, 0, 64.0);
+  const auto encoded = agent::encode_graph(graph, *rig.costs, 16);
+  const auto cached = run_search(*rig.costs, 8, encoded, 2, 4096);
+  const auto uncached = run_search(*rig.costs, 8, encoded, 2, 0);
+  expect_identical(cached, uncached);
+  EXPECT_EQ(uncached.eval_cache_hits, 0u);  // nothing to hit with cache off
+  // Both searches issued the same logical evaluations; the cache can only
+  // convert some of them from misses to hits.
+  EXPECT_EQ(cached.eval_cache_hits + cached.eval_cache_misses,
+            uncached.eval_cache_misses);
+}
+
+// ---------------------------------------------------------------------------
+// Cache correctness: keying and poisoning.
+
+class EvalEngineCache : public ::testing::Test {
+ protected:
+  heterog::testing::TestRig rig_{cluster::make_paper_testbed_8gpu()};
+
+  static sim::PlanEvalOptions default_options() {
+    return sim::PlanEvalOptions{};
+  }
+};
+
+TEST_F(EvalEngineCache, PoisonedEntrySurfacesOnExactKeyOnly) {
+  // Three seed models; for each, poison the cache under strategy A's key and
+  // check that A returns the poison (the cache is genuinely consulted) while
+  // every strategy differing in exactly one group's action misses it (the
+  // key separates near-identical strategies — no silent collisions).
+  const WallCase cases[] = {
+      {"mobilenet_v2", models::ModelKind::kMobileNetV2, 0, 64.0},
+      {"inception_v3", models::ModelKind::kInceptionV3, 0, 32.0},
+      {"transformer", models::ModelKind::kTransformer, 2, 16.0},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto graph = models::build_training(c.kind, c.layers, c.batch);
+    const auto grouping = strategy::Grouping::build(graph, *rig_.costs, 12);
+    const auto base = strategy::StrategyMap::uniform(
+        grouping.group_count(), Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+    const auto options = default_options();
+
+    EvalEngineOptions engine_options;
+    EvalEngine engine(*rig_.costs, engine_options);
+
+    sim::PlanEvaluation poison;
+    poison.per_iteration_ms = 123456.5;  // a value no real evaluation produces
+    engine.poison(EvalEngine::plan_key(graph, grouping, base, options), poison);
+
+    EXPECT_EQ(engine.evaluate(graph, grouping, base, options).per_iteration_ms,
+              123456.5);
+
+    const int actions = Action::action_count(rig_.cluster.device_count());
+    for (int g = 0; g < grouping.group_count(); ++g) {
+      for (int a = 0; a < actions; ++a) {
+        auto variant = base;
+        variant.group_actions[static_cast<size_t>(g)] =
+            Action::from_index(a, rig_.cluster.device_count());
+        if (variant.group_actions == base.group_actions) continue;
+        ASSERT_NE(EvalEngine::plan_key(graph, grouping, variant, options),
+                  EvalEngine::plan_key(graph, grouping, base, options))
+            << "key collision: group " << g << " action " << a;
+      }
+    }
+    // Spot-check end to end: a one-action variant must not surface the
+    // poisoned result.
+    auto variant = base;
+    variant.group_actions[0] = Action::mp(0);
+    EXPECT_NE(engine.evaluate(graph, grouping, variant, options).per_iteration_ms,
+              123456.5);
+  }
+}
+
+TEST_F(EvalEngineCache, KeyCoversEvaluationOptions) {
+  // repair_oom evaluates with unroll=1 / fraction=0.90 — those results must
+  // never be served for full-fidelity queries.
+  const auto graph = heterog::testing::make_toy_training_graph();
+  const auto grouping = strategy::Grouping::build(graph, *rig_.costs, 8);
+  const auto map = strategy::StrategyMap::uniform(
+      grouping.group_count(), Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce));
+
+  sim::PlanEvalOptions full;
+  sim::PlanEvalOptions repair;
+  repair.unroll_iterations = 1;
+  repair.usable_memory_fraction = 0.90;
+  EXPECT_NE(EvalEngine::plan_key(graph, grouping, map, full),
+            EvalEngine::plan_key(graph, grouping, map, repair));
+
+  sim::PlanEvalOptions fused;
+  fused.compiler.allreduce_fusion_bytes = 16 << 20;
+  EXPECT_NE(EvalEngine::plan_key(graph, grouping, map, full),
+            EvalEngine::plan_key(graph, grouping, map, fused));
+}
+
+TEST_F(EvalEngineCache, LruEvictsBeyondCapacityAndCountsStats) {
+  const auto graph = heterog::testing::make_toy_training_graph();
+  const auto grouping = strategy::Grouping::build(graph, *rig_.costs, 8);
+  const auto options = default_options();
+
+  EvalEngineOptions engine_options;
+  engine_options.cache_capacity = 2;
+  EvalEngine engine(*rig_.costs, engine_options);
+
+  const Action variants[] = {
+      Action::dp(ReplicationMode::kEven, CommMethod::kAllReduce),
+      Action::dp(ReplicationMode::kEven, CommMethod::kPS),
+      Action::dp(ReplicationMode::kProportional, CommMethod::kAllReduce),
+  };
+  for (const auto& a : variants) {
+    engine.evaluate(graph, grouping,
+                    strategy::StrategyMap::uniform(grouping.group_count(), a), options);
+  }
+  EXPECT_EQ(engine.stats().misses, 3u);
+  EXPECT_EQ(engine.stats().evictions, 1u);  // capacity 2, third insert evicts
+
+  // The evicted (oldest) entry misses again; the newest still hits.
+  engine.evaluate(graph, grouping,
+                  strategy::StrategyMap::uniform(grouping.group_count(), variants[2]),
+                  options);
+  EXPECT_EQ(engine.stats().hits, 1u);
+  engine.evaluate(graph, grouping,
+                  strategy::StrategyMap::uniform(grouping.group_count(), variants[0]),
+                  options);
+  EXPECT_EQ(engine.stats().misses, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic warm-start dedupe: repeated searches on one Trainer re-evaluate
+// nothing — every evaluation of the second search is a cache hit.
+
+TEST(EvalEngineDedupe, RepeatedHeuristicSearchFullyCached) {
+  heterog::testing::TestRig rig(cluster::make_paper_testbed_8gpu());
+  const auto graph = models::build_training(models::ModelKind::kMobileNetV2, 0, 64.0);
+  const auto encoded = agent::encode_graph(graph, *rig.costs, 16);
+
+  TrainConfig config;
+  config.episodes = 0;  // heuristics + polish only: no RNG-driven sampling
+  config.threads = 2;
+
+  agent::AgentConfig agent_config;
+  agent_config.max_groups = 16;
+  agent::PolicyNetwork policy(8, agent_config);
+
+  Trainer trainer(*rig.costs, config);
+  const auto first = trainer.search(policy, encoded);
+  const auto second = trainer.search(policy, encoded);
+
+  EXPECT_EQ(first.best_time_ms, second.best_time_ms);
+  EXPECT_GT(first.eval_cache_misses, 0u);
+  // The dedupe pin: the second search performs zero full evaluations.
+  EXPECT_EQ(second.eval_cache_misses, 0u);
+  EXPECT_EQ(second.eval_cache_hits, first.eval_cache_hits + first.eval_cache_misses);
+}
+
+}  // namespace
+}  // namespace heterog::rl

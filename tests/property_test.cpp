@@ -3,9 +3,12 @@
 // DAG and the simulation must respect fundamental scheduling bounds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <tuple>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "models/models.h"
 #include "sched/scheduler.h"
 #include "sim/plan_eval.h"
@@ -155,6 +158,135 @@ TEST_P(BatchMonotonicity, LargerBatchIsNeverMeaningfullyFaster) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Actions, BatchMonotonicity, ::testing::Values(8, 9, 10, 11));
+
+// ---------------------------------------------------------------------------
+// Randomized scheduler invariants: 200 random (graph, grouping, strategy,
+// cluster) cases. Whatever the plan, the simulated schedule must never run
+// two units of work on one resource at once (no two ops on one GPU, no two
+// transfers on one directed link, one collective on the NCCL channel at a
+// time), and the list-scheduling makespan must stay within the paper's
+// T_LS <= (M + M^2) T* guarantee — checked against max(critical path,
+// busiest resource), a lower bound on T*, so a pass here implies the bound.
+
+graph::GraphDef random_training_graph(Rng& rng, int case_index) {
+  const double batch = static_cast<double>(rng.uniform_int(8, 64));
+  graph::GraphDef fwd("random_" + std::to_string(case_index), batch);
+
+  const int layers = rng.uniform_int(3, 6);
+  std::vector<std::vector<graph::OpId>> by_layer;
+  graph::OpDef input;
+  input.name = "input";
+  input.kind = graph::OpKind::kIdentity;
+  input.out_bytes_per_sample = 64 * 1024;
+  by_layer.push_back({fwd.add_op(input)});
+
+  int op_counter = 0;
+  for (int l = 1; l <= layers; ++l) {
+    const int width = rng.uniform_int(1, 4);
+    std::vector<graph::OpId> layer_ops;
+    for (int w = 0; w < width; ++w) {
+      graph::OpDef op;
+      op.name = "op" + std::to_string(op_counter++);
+      op.kind = rng.uniform_int(0, 1) == 0 ? graph::OpKind::kConv2D
+                                           : graph::OpKind::kMatMul;
+      op.flops_per_sample = (0.05 + 0.4 * rng.uniform()) * 1e9;
+      op.out_bytes_per_sample = static_cast<int64_t>(64 + rng.uniform_int(0, 2048)) << 10;
+      op.param_bytes = static_cast<int64_t>(rng.uniform_int(0, 24)) << 20;
+      const auto id = fwd.add_op(op);
+      // 1-2 predecessors from the previous layer keep the DAG connected and
+      // give it real depth (the critical path matters for the bound below).
+      const auto& prev = by_layer.back();
+      const int preds = std::min<int>(rng.uniform_int(1, 2), static_cast<int>(prev.size()));
+      std::vector<graph::OpId> picked;
+      for (int p = 0; p < preds; ++p) {
+        const auto from = prev[static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int>(prev.size()) - 1))];
+        if (std::find(picked.begin(), picked.end(), from) == picked.end()) {
+          fwd.add_edge(from, id);
+          picked.push_back(from);
+        }
+      }
+      layer_ops.push_back(id);
+    }
+    by_layer.push_back(std::move(layer_ops));
+  }
+
+  graph::OpDef loss;
+  loss.name = "loss";
+  loss.kind = graph::OpKind::kLoss;
+  loss.flops_per_sample = 1e6;
+  loss.out_bytes_per_sample = 4;
+  const auto loss_id = fwd.add_op(loss);
+  for (const auto id : by_layer.back()) fwd.add_edge(id, loss_id);
+  return graph::build_training_graph(fwd);
+}
+
+TEST(RandomScheduleInvariants, NoResourceOverlapAndMakespanBound) {
+  constexpr int kCases = 200;
+  Rng rng(20260806);
+  heterog::testing::TestRig rig8{cluster::make_paper_testbed_8gpu()};
+  heterog::testing::TestRig rig_fig3{cluster::make_fig3_testbed()};
+
+  for (int c = 0; c < kCases; ++c) {
+    auto& rig = (c % 2 == 0) ? rig8 : rig_fig3;
+    const int devices = rig.cluster.device_count();
+    SCOPED_TRACE("case " + std::to_string(c) + " on " + std::to_string(devices) +
+                 " devices");
+
+    const auto graph = random_training_graph(rng, c);
+    const auto grouping =
+        strategy::Grouping::build(graph, *rig.costs, rng.uniform_int(4, 16));
+    strategy::StrategyMap map;
+    for (int g = 0; g < grouping.group_count(); ++g) {
+      map.group_actions.push_back(Action::from_index(
+          rng.uniform_int(0, Action::action_count(devices) - 1), devices));
+    }
+
+    const auto compiled = rig.compiler->compile(graph, grouping, map);
+    std::string error;
+    ASSERT_TRUE(compiled.graph.validate(&error)) << error;
+    const auto result = sim::Simulator().run(compiled.graph);
+
+    // Invariant 1: no two units of work overlap on any resource. Collect
+    // every (start, finish) interval per occupied resource and check that
+    // sorted neighbours never intersect.
+    std::map<int, std::vector<std::pair<double, double>>> intervals;
+    std::vector<int> occupied;
+    for (compile::DistNodeId id = 0; id < compiled.graph.node_count(); ++id) {
+      const auto& node = compiled.graph.node(id);
+      if (node.duration_ms <= 0.0) continue;  // zero-width: cannot overlap
+      compiled.graph.resources().resources_of(node, occupied);
+      for (const int r : occupied) {
+        intervals[r].emplace_back(result.start_ms[static_cast<size_t>(id)],
+                                  result.finish_ms[static_cast<size_t>(id)]);
+      }
+    }
+    for (auto& [resource, spans] : intervals) {
+      std::sort(spans.begin(), spans.end());
+      for (size_t i = 1; i < spans.size(); ++i) {
+        ASSERT_GE(spans[i].first + 1e-9, spans[i - 1].second)
+            << "overlap on resource " << resource << ": ["
+            << spans[i - 1].first << ", " << spans[i - 1].second << ") vs ["
+            << spans[i].first << ", " << spans[i].second << ")";
+      }
+    }
+
+    // Invariant 2: T_LS <= (M + M^2) T*. T* is unknown, but the critical
+    // path and the busiest resource both lower-bound it, so the (stronger)
+    // check against max(CP, busiest) implies the paper's guarantee.
+    const auto ranks = sched::compute_ranks(compiled.graph);
+    double critical_path = 0.0;
+    for (const double r : ranks) critical_path = std::max(critical_path, r);
+    double busiest = 0.0;
+    for (const double b : result.resource_busy_ms) busiest = std::max(busiest, b);
+    const double lower_bound = std::max(critical_path, busiest);
+    ASSERT_GT(lower_bound, 0.0);
+    const double factor = static_cast<double>(devices) +
+                          static_cast<double>(devices) * static_cast<double>(devices);
+    EXPECT_LE(result.makespan_ms, factor * lower_bound + 1e-6);
+    EXPECT_GE(result.makespan_ms + 1e-6, lower_bound);
+  }
+}
 
 }  // namespace
 }  // namespace heterog

@@ -4,6 +4,7 @@
 //   heterog_cli clusters
 //   heterog_cli plan     --model vgg19 --batch 192 [--cluster 8gpu]
 //                        [--episodes 150] [--groups 48] [--out plan.txt]
+//                        [--threads N] [--eval-cache N]
 //                        [--fault-plan faults.json] [--steps 20]
 //                        [--checkpoint-dir DIR] [--ckpt-every K]
 //   heterog_cli resume   --journal DIR/journal.heterog [--ckpt-every K]
@@ -102,6 +103,7 @@ int usage() {
                "[flags]\n"
                "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
                "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
+               "            [--threads N] [--eval-cache N]\n"
                "            [--fault-plan FILE] [--steps N]\n"
                "            [--checkpoint-dir DIR] [--ckpt-every K]\n"
                "  resume    --journal FILE [--ckpt-every K]\n"
@@ -173,6 +175,17 @@ int cmd_plan(const Args& args) {
   HeteroGConfig config;
   config.train.episodes = args.get_int("episodes", 150);
   config.agent.max_groups = args.get_int("groups", 48);
+  // Parallel evaluation + memoization: wall-clock knobs only — the chosen
+  // plan is bit-identical whatever --threads, and --eval-cache 0 disables
+  // memoization without changing results.
+  config.train.threads = args.get_int("threads", 1);
+  const int eval_cache = args.get_int("eval-cache", 4096);
+  if (config.train.threads < 1 || eval_cache < 0) {
+    std::fprintf(stderr, "error: --threads needs a positive count and "
+                         "--eval-cache a non-negative capacity\n");
+    return 1;
+  }
+  config.train.eval_cache_capacity = static_cast<size_t>(eval_cache);
 
   // Checkpointing knobs; validated before the (possibly minutes-long)
   // strategy search so mistakes fail fast.
@@ -203,6 +216,15 @@ int cmd_plan(const Args& args) {
               args.get("cluster", "8gpu").c_str());
   std::printf("plan: %.1f ms / iteration, feasible=%s\n", runner.per_iteration_ms(),
               runner.feasible() ? "yes" : "no");
+  const auto& search = runner.search_result();
+  if (search.eval_cache_hits + search.eval_cache_misses > 0) {
+    std::printf("search: %d episodes, eval cache %llu hits / %llu misses "
+                "(%d thread%s)\n",
+                search.episodes_run,
+                static_cast<unsigned long long>(search.eval_cache_hits),
+                static_cast<unsigned long long>(search.eval_cache_misses),
+                config.train.threads, config.train.threads == 1 ? "" : "s");
+  }
   print_breakdown(runner.breakdown());
 
   if (args.has("out")) {
