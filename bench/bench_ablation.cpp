@@ -113,5 +113,6 @@ int main() {
     std::printf("Ablation 4: grouping size N (VGG-19, heuristic candidates)\n%s\n",
                 table.render().c_str());
   }
+  write_bench_json("ablation");
   return 0;
 }

@@ -88,5 +88,6 @@ int main() {
   std::printf(
       "Same seed => same plan at every thread count; speedup is wall clock only.\n"
       "Cache hits are evaluations answered without compile+simulate.\n");
+  write_bench_json("eval_engine");
   return 0;
 }

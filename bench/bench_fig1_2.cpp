@@ -144,5 +144,6 @@ int main() {
       "Expected shape: every row's \"approach\" beats its baseline — heterogeneity\n"
       "hurts AllReduce (Fig.1), and PS-on-slowest / proportional replicas / partial\n"
       "MP each recover time in their regime (Fig.2).\n");
+  write_bench_json("fig1_2");
   return 0;
 }

@@ -80,5 +80,6 @@ int main() {
   std::printf(
       "Expected shape: (a) proportional beats even by a modest margin; (b) ratios\n"
       "span roughly 1.1-1.9 across op types and shrink on small inputs.\n");
+  write_bench_json("fig3");
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
   std::printf(
       "Expected shape: HeteroG's per-iteration time is smaller while its\n"
       "(comp+comm)/iter overlap ratio is larger than the DP baseline's.\n");
+  write_bench_json("fig8");
   return 0;
 }

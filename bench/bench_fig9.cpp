@@ -87,5 +87,6 @@ int main() {
       "Expected shape: HeteroG highest for every model; Post (placement only)\n"
       "lowest or near-lowest; FlexFlow and HetPipe between Horovod and HeteroG\n"
       "for most models.\n");
+  write_bench_json("fig9");
   return 0;
 }

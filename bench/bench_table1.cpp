@@ -84,5 +84,6 @@ int main() {
       "Expected shape: HeteroG fastest everywhere; AllReduce beats PS for the CNNs\n"
       "and Transformer, PS beats AllReduce for BERT/XLNet; all large rows OOM under\n"
       "DP while HeteroG deploys them.\n");
+  write_bench_json("table1");
   return 0;
 }

@@ -59,5 +59,6 @@ int main() {
   BenchRig rig(cluster::make_paper_testbed_8gpu());
   render("Table 2 (standard benchmarks):", models::standard_benchmarks(), rig);
   render("Table 3 (large models):", models::large_benchmarks(), rig);
+  write_bench_json("table2_3");
   return 0;
 }

@@ -58,5 +58,6 @@ int main() {
   for (size_t i = 0; i < large.size(); ++i) run_row(large[i], kPaperLarge[i]);
 
   std::printf("%s\n", table.render().c_str());
+  write_bench_json("table4");
   return 0;
 }

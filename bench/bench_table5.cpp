@@ -78,5 +78,6 @@ int main() {
       "Expected shape: HeteroG finishes first; the end-to-end speed-ups equal the\n"
       "per-iteration speed-ups of Tables 1/4 because iteration counts are\n"
       "strategy-independent.\n");
+  write_bench_json("table5");
   return 0;
 }

@@ -118,5 +118,6 @@ int main() {
   std::printf(
       "Expected shape: fine-tuning the pre-trained policy reaches an equally good\n"
       "plan with a fraction of the from-scratch effort (paper: 15-26%%).\n");
+  write_bench_json("table6");
   return 0;
 }

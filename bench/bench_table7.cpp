@@ -45,5 +45,6 @@ int main() {
       "deterministic simulator's FIFO dispatches in arrival order per resource,\n"
       "which is a stronger baseline than TensorFlow's executor; the measured gap is\n"
       "therefore smaller than the paper's 10-20%% (see EXPERIMENTS.md).\n");
+  write_bench_json("table7");
   return 0;
 }

@@ -6,12 +6,20 @@
 //   HETEROG_MAX_GROUPS     grouping size (default 48)
 //   HETEROG_BENCH_FAST     =1 shrinks searches for smoke runs
 //   HETEROG_PLAN_CACHE     directory for cached plans (default ./bench_cache)
+//   HETEROG_BENCH_JSON     path: dump the metrics-registry snapshot (search
+//                          convergence, plan-cache traffic, utilization) as
+//                          one JSON object at write_bench_json()
 //
 // HeteroG searches are cached on disk keyed by (model, batch, cluster) so
 // benches that share plans (Table 1 <-> Tables 2/3, Fig. 8) do not repeat
 // the RL search.
+//
+// Every bench records into obs::MetricsRegistry::global() via heterog_plan:
+// `rl.*` convergence gauges, `bench.plan_cache_*` counters and `sim.*`
+// utilization ratios (naming convention in docs/observability.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,6 +30,7 @@
 #include "baselines/baselines.h"
 #include "common/table.h"
 #include "models/models.h"
+#include "obs/metrics.h"
 #include "profiler/profiler.h"
 #include "rl/trainer.h"
 #include "sim/plan_eval.h"
@@ -67,6 +76,12 @@ struct HeteroGPlan {
   double per_iteration_ms = 0.0;
   bool feasible = false;
   bool from_cache = false;
+  /// Full search telemetry (episode trace, cache traffic); empty when the
+  /// plan came from the on-disk cache and no search ran.
+  rl::SearchResult search;
+  /// Ground-truth evaluation with utilization collected (device/link busy
+  /// times, critical path).
+  sim::PlanEvaluation eval;
 };
 
 /// Runs (or loads) the HeteroG search for one benchmark configuration.
@@ -75,6 +90,7 @@ inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& be
                                 compile::CompilerOptions compiler_options =
                                     compile::CompilerOptions()) {
   const auto graph = models::build_training(bench.kind, bench.layers, batch);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   HeteroGPlan plan;
   plan.grouping = strategy::Grouping::build(graph, *rig.costs, max_groups());
 
@@ -94,6 +110,12 @@ inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& be
     } catch (const strategy::PlanFormatError&) {
     }
   }
+  metrics.add("bench.plans.count");
+  if (plan.from_cache) {
+    metrics.add("bench.plan_cache_hits.count");
+  } else {
+    metrics.add("bench.plan_cache_misses.count");
+  }
   if (plan.map.group_actions.empty()) {
     rl::TrainConfig config;
     config.compiler = compiler_options;
@@ -103,18 +125,64 @@ inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& be
     agent::PolicyNetwork policy(rig.cluster.device_count(), agent_config);
     const auto encoded = agent::encode_graph(graph, *rig.costs, max_groups());
     rl::Trainer trainer(*rig.costs, config);
-    const auto result = trainer.search(policy, encoded);
-    plan.map = result.best_strategy;
-    strategy::save_plan(cache_path, plan.map, rig.cluster);
+    obs::ScopedTimer search_timer(metrics, "rl.search_wall.ms");
+    plan.search = trainer.search(policy, encoded);
+    search_timer.stop();
+    plan.map = plan.search.best_strategy;
+    // Convergence columns: last search wins the gauges, the eval-cache
+    // counters accumulate across every search of the bench.
+    metrics.set("rl.search_episodes.count", plan.search.episodes_run);
+    metrics.set("rl.episode_of_best.count", plan.search.episode_of_best);
+    metrics.set("rl.best_time.ms", plan.search.best_time_ms);
+    metrics.set("rl.best_reward.none", plan.search.best_reward);
+    metrics.add("rl.eval_cache_hits.count", plan.search.eval_cache_hits);
+    metrics.add("rl.eval_cache_misses.count", plan.search.eval_cache_misses);
   }
 
   sim::PlanEvalOptions eval_options;
   eval_options.compiler = compiler_options;
-  const auto eval =
+  eval_options.collect_utilization = true;
+  obs::ScopedTimer eval_timer(metrics, "sim.plan_eval.ms");
+  plan.eval =
       sim::evaluate_plan(*rig.costs, graph, plan.grouping, plan.map, eval_options);
-  plan.per_iteration_ms = eval.per_iteration_ms;
-  plan.feasible = !eval.oom;
+  eval_timer.stop();
+  plan.per_iteration_ms = plan.eval.per_iteration_ms;
+  plan.feasible = !plan.eval.oom;
+  if (plan.eval.cold_iteration_ms > 0.0 && !plan.eval.device_busy_ms.empty()) {
+    double busy_sum = 0.0;
+    for (const double b : plan.eval.device_busy_ms) busy_sum += b;
+    const double denom =
+        plan.eval.cold_iteration_ms * static_cast<double>(plan.eval.device_busy_ms.size());
+    metrics.set("sim.device_util_mean.ratio", busy_sum / denom);
+    metrics.set("sim.device_util_max.ratio",
+                *std::max_element(plan.eval.device_busy_ms.begin(),
+                                  plan.eval.device_busy_ms.end()) /
+                    plan.eval.cold_iteration_ms);
+    metrics.set("sim.critical_path_share.ratio",
+                plan.eval.critical_path_ms / plan.eval.cold_iteration_ms);
+  }
   return plan;
+}
+
+/// Dumps the global metrics registry as one JSON object
+/// ({"bench":NAME,"metrics":{counters,gauges,histograms}}) to the path in
+/// HETEROG_BENCH_JSON; no-op when the variable is unset. Call at the end of
+/// each bench main so the BENCH output carries utilization and convergence
+/// columns machine-readably.
+inline void write_bench_json(const char* bench_name) {
+  const char* path = std::getenv("HETEROG_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  const std::string json =
+      std::string("{\"bench\":\"") + bench_name +
+      "\",\"metrics\":" + obs::MetricsRegistry::global().snapshot().to_json() + "}\n";
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("bench metrics json written to %s\n", path);
 }
 
 /// Formats "our / speed-up" cells in Table 1/4 style: baseline time with the

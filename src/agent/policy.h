@@ -44,18 +44,30 @@ struct PolicyForward {
   nn::Var logits;  // [group_count x (M+4)]
 };
 
+/// The GAT + Transformer policy over the M+4 action space: for each op
+/// group, actions [0, M) place the whole group on that device (model
+/// parallelism) and actions M..M+3 replicate it data-parallel — the cross
+/// product of {even, capacity-proportional} replication x {parameter server,
+/// AllReduce} synchronisation (strategy.h). Methods are const but NOT
+/// thread-safe against concurrent parameter mutation (the optimizer step);
+/// one search drives one network from one thread.
 class PolicyNetwork {
  public:
+  /// `device_count` is M, fixing the action space at M+4 logit columns.
   PolicyNetwork(int device_count, AgentConfig config);
 
+  /// One differentiable pass: [group_count x (M+4)] logits on `tape`
+  /// (unitless log-odds; the REINFORCE loss backprops through them).
   PolicyForward forward(nn::Tape& tape, const EncodedGraph& encoded) const;
 
-  /// Samples one action per group from softmax(logits / temperature).
+  /// Samples one action index in [0, M+4) per group from
+  /// softmax(logits / temperature); deterministic given `rng`'s state.
   std::vector<int> sample_actions(const nn::Matrix& logits, Rng& rng,
                                   double temperature) const;
-  /// Greedy (argmax) actions.
+  /// Greedy (argmax) action index in [0, M+4) per group.
   std::vector<int> greedy_actions(const nn::Matrix& logits) const;
 
+  /// M + 4: one MP placement per device plus the four DP variants.
   int action_count() const { return device_count_ + 4; }
   int device_count() const { return device_count_; }
   const AgentConfig& config() const { return config_; }
@@ -65,6 +77,7 @@ class PolicyNetwork {
 
   /// Deep copy of all parameter values (for pre-train / fine-tune studies).
   std::vector<nn::Matrix> snapshot_params() const;
+  /// Restores a snapshot_params() copy; shapes must match this network's.
   void restore_params(const std::vector<nn::Matrix>& snapshot);
 
  private:

@@ -54,6 +54,7 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
     // Heuristic-only mode: evaluate warm-start candidates (one parallel
     // batch across config.train.threads workers) and keep the best — the
     // ordered reduce makes the pick independent of the thread count.
+    const auto t0 = std::chrono::steady_clock::now();
     rl::SearchResult best;
     const std::vector<strategy::StrategyMap> candidates =
         trainer.heuristic_candidates(training_graph, plan.grouping);
@@ -66,11 +67,27 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
       if (better || best.best_strategy.group_actions.empty()) {
         best.best_strategy = candidates[i];
         best.best_time_ms = eval.time_ms;
+        best.best_reward = eval.reward;
         best.best_feasible = !eval.oom;
       }
     }
     best.eval_cache_hits = trainer.eval_engine().stats().hits;
     best.eval_cache_misses = trainer.eval_engine().stats().misses;
+    if (config.train.events != nullptr && config.train.events->ok()) {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      config.train.events->emit(obs::Event("search_end")
+                                    .with("model", training_graph.name())
+                                    .with("episodes_run", 0)
+                                    .with("best_ms", best.best_time_ms)
+                                    .with("best_reward", best.best_reward)
+                                    .with("best_feasible", best.best_feasible)
+                                    .with("episode_of_best", 0)
+                                    .with("cache_hits", best.eval_cache_hits)
+                                    .with("cache_misses", best.eval_cache_misses)
+                                    .with("wall_ms", wall_ms));
+    }
     plan.search = std::move(best);
   }
   check(!plan.search.best_strategy.group_actions.empty(),
@@ -86,8 +103,10 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
   sim::PlanEvalOptions options;
   options.policy = config.use_order_scheduling ? sched::OrderPolicy::kRankPriority
                                                : sched::OrderPolicy::kFifo;
+  options.collect_utilization = true;  // deployment path: one extra rank pass
   plan.deployment = sim::evaluate_plan(ground_truth, training_graph, plan.grouping,
                                        plan.strategy, options);
+  emit_schedule_events(config.events, plan.deployment, cluster.device_count());
   return plan;
 }
 
@@ -114,8 +133,10 @@ PlanResult deploy_fixed_plan(const graph::GraphDef& training_graph,
   sim::PlanEvalOptions options;
   options.policy = config.use_order_scheduling ? sched::OrderPolicy::kRankPriority
                                                : sched::OrderPolicy::kFifo;
+  options.collect_utilization = true;
   plan.deployment = sim::evaluate_plan(ground_truth, training_graph, plan.grouping,
                                        plan.strategy, options);
+  emit_schedule_events(config.events, plan.deployment, cluster.device_count());
   plan.search.best_time_ms = plan.deployment.per_iteration_ms;
   plan.search.best_feasible = !plan.deployment.oom;
   return plan;
@@ -151,6 +172,34 @@ ckpt::RecoveryRecord to_record(const RecoveryReport& report) {
 
 }  // namespace
 
+void emit_schedule_events(obs::EventLog* events, const sim::PlanEvaluation& eval,
+                          int device_count) {
+  if (events == nullptr || !events->ok()) return;
+  const double makespan = eval.cold_iteration_ms;
+  const double denom = makespan > 0.0 ? makespan : 1.0;
+  events->emit(obs::Event("schedule")
+                   .with("makespan_ms", makespan)
+                   .with("per_iteration_ms", eval.per_iteration_ms)
+                   .with("computation_ms", eval.computation_ms)
+                   .with("communication_ms", eval.communication_ms)
+                   .with("critical_path_ms", eval.critical_path_ms)
+                   .with("critical_path_share", eval.critical_path_ms / denom)
+                   .with("devices", device_count)
+                   .with("oom", eval.oom));
+  for (size_t d = 0; d < eval.device_busy_ms.size(); ++d) {
+    events->emit(obs::Event("device_utilization")
+                     .with("device", static_cast<int>(d))
+                     .with("busy_ms", eval.device_busy_ms[d])
+                     .with("utilization", eval.device_busy_ms[d] / denom));
+  }
+  for (const auto& link : eval.comm_busy) {
+    events->emit(obs::Event("link_utilization")
+                     .with("resource", link.resource)
+                     .with("busy_ms", link.busy_ms)
+                     .with("utilization", link.busy_ms / denom));
+  }
+}
+
 RunStats DistRunner::run(int steps) const {
   check(steps >= 0, "DistRunner::run: negative steps");
   RunStats stats;
@@ -160,6 +209,31 @@ RunStats DistRunner::run(int steps) const {
   stats.computation_ms = deployment_.computation_ms;
   stats.communication_ms = deployment_.communication_ms;
   stats.oom = deployment_.oom;
+  if (config_.events != nullptr && config_.events->ok()) {
+    obs::EventLog& events = *config_.events;
+    events.emit(obs::Event("run_start")
+                    .with("steps", steps)
+                    .with("start_step", 0)
+                    .with("devices", cluster_.device_count())
+                    .with("per_iteration_ms", stats.per_iteration_ms)
+                    .with("faults", 0)
+                    .with("checkpointing", false));
+    // The fast path never simulates individual steps; every step costs the
+    // steady-state per-iteration time.
+    for (int s = 0; s < steps; ++s) {
+      events.emit(obs::Event("run_step")
+                      .with("step", s)
+                      .with("step_ms", stats.per_iteration_ms));
+    }
+    events.emit(obs::Event("run_end")
+                    .with("steps_executed", steps)
+                    .with("total_ms", stats.total_ms)
+                    .with("per_iteration_ms", stats.per_iteration_ms)
+                    .with("transient_retries", 0)
+                    .with("retry_backoff_ms", 0.0)
+                    .with("recoveries", 0)
+                    .with("completed", true));
+  }
   return stats;
 }
 
@@ -225,19 +299,44 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
   const int prior_retries = prior ? prior->transient_retries : 0;
   const double prior_backoff = prior ? prior->retry_backoff_total_ms : 0.0;
 
+  obs::EventLog* events = config_.events;
+  const bool log_events = events != nullptr && events->ok();
+
   const auto save_snapshot = [&](int completed_steps) {
     if (!ckpt_on) return;
     journal.watermark = completed_steps;
     journal.transient_retries = prior_retries + stats.transient_retries;
     journal.retry_backoff_total_ms = prior_backoff + stats.retry_backoff_total_ms;
     const std::string path = copts.journal_path();
-    if (!ckpt::save_journal(path, journal)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool saved = ckpt::save_journal(path, journal);
+    if (log_events) {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      events->emit(obs::Event("run_checkpoint")
+                       .with("step", completed_steps)
+                       .with("wall_ms", wall_ms)
+                       .with("path", path)
+                       .with("ok", saved));
+    }
+    if (!saved) {
       log_info() << "DistRunner: failed to write checkpoint journal to " << path
                  << " — continuing without this snapshot";
     } else if (copts.after_checkpoint) {
       copts.after_checkpoint(completed_steps, path);
     }
   };
+
+  if (log_events) {
+    events->emit(obs::Event("run_start")
+                     .with("steps", steps)
+                     .with("start_step", start_step)
+                     .with("devices", cluster_.device_count())
+                     .with("per_iteration_ms", deployment_.per_iteration_ms)
+                     .with("faults", static_cast<int>(plan.events.size()))
+                     .with("checkpointing", ckpt_on));
+  }
 
   // Mutable execution state; replaced wholesale on every re-plan.
   cluster::ClusterSpec active_cluster = cluster_;
@@ -272,12 +371,23 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
       }
       int attempts = 0;
       double backoff = fh.retry_backoff_ms;
+      double backoff_spent_ms = 0.0;
       while (attempts < event.failed_attempts && attempts < fh.max_retries) {
-        if (live) stats.retry_backoff_total_ms += backoff;
+        backoff_spent_ms += backoff;
         backoff = std::min(backoff * 2.0, fh.max_backoff_ms);
         ++attempts;
       }
-      if (live) stats.transient_retries += attempts;
+      if (live) {
+        stats.retry_backoff_total_ms += backoff_spent_ms;
+        stats.transient_retries += attempts;
+        if (attempts > 0 && log_events) {
+          events->emit(obs::Event("run_retry")
+                           .with("step", step)
+                           .with("device", static_cast<int>(event.device))
+                           .with("attempts", attempts)
+                           .with("backoff_ms", backoff_spent_ms));
+        }
+      }
       if (attempts < event.failed_attempts) {
         if (live) {
           log_info() << "DistRunner: transient fault on G" << event.device
@@ -329,6 +439,21 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
       if (live) {
         stats.recoveries.push_back(report);
         if (ckpt_on) journal.recoveries.push_back(to_record(report));
+        if (log_events) {
+          events->emit(obs::Event("run_recovery")
+                           .with("step", step)
+                           .with("failed_devices",
+                                 static_cast<int>(scaling.failed.size()))
+                           .with("steps_lost", report.steps_lost)
+                           .with("replan_wall_ms", wall_ms)
+                           .with("pre_fault_iteration_ms",
+                                 report.pre_fault_iteration_ms)
+                           .with("post_fault_iteration_ms",
+                                 report.post_fault_iteration_ms)
+                           .with("surviving_devices", report.surviving_devices)
+                           .with("post_plan_oom", report.post_plan_oom)
+                           .with("escalated_transient", report.escalated_transient));
+        }
         log_info() << "DistRunner: recovered from failure of " << scaling.failed.size()
                    << " device(s) at step " << step << " in " << wall_ms
                    << " ms; plan " << active_iter_ms << " -> "
@@ -374,6 +499,10 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
     stats.step_ms.push_back(step_time_ms);
     stats.total_ms += step_time_ms;
     if (ckpt_on) journal.step_ms.push_back(step_time_ms);
+    if (log_events) {
+      events->emit(
+          obs::Event("run_step").with("step", step).with("step_ms", step_time_ms));
+    }
     ++step;
     // Mid-run snapshots are anchored at absolute step counts so an
     // interrupted and an uninterrupted run checkpoint at the same steps.
@@ -384,6 +513,16 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
   const int executed = static_cast<int>(stats.step_ms.size());
   stats.per_iteration_ms = executed > 0 ? stats.total_ms / executed : 0.0;
   save_snapshot(step);  // final snapshot: run end, or the step recovery died at
+  if (log_events) {
+    events->emit(obs::Event("run_end")
+                     .with("steps_executed", executed)
+                     .with("total_ms", stats.total_ms)
+                     .with("per_iteration_ms", stats.per_iteration_ms)
+                     .with("transient_retries", stats.transient_retries)
+                     .with("retry_backoff_ms", stats.retry_backoff_total_ms)
+                     .with("recoveries", static_cast<int>(stats.recoveries.size()))
+                     .with("completed", stats.completed));
+  }
   return stats;
 }
 
@@ -425,7 +564,7 @@ DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
 
 RunStats resume_run(const std::string& journal_path,
                     const std::function<graph::GraphDef()>& model_func,
-                    const ckpt::CheckpointOptions& ckpt) {
+                    const ckpt::CheckpointOptions& ckpt, obs::EventLog* events) {
   check(static_cast<bool>(model_func), "resume_run: model_func is empty");
 
   const ckpt::RunJournal journal = ckpt::load_journal(journal_path);
@@ -465,6 +604,7 @@ RunStats resume_run(const std::string& journal_path,
   config.fault_handling.retry_backoff_ms = journal.fh_retry_backoff_ms;
   config.fault_handling.max_backoff_ms = journal.fh_max_backoff_ms;
   config.fault_handling.replan_rl_episodes = journal.fh_replan_rl_episodes;
+  config.events = events;  // schedule + run_* telemetry of the resumed tail
 
   // Re-hydrate the deployed plan. These artifacts live *inside* the
   // CRC-valid journal, so a failure here is journal corruption, not a

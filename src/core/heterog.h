@@ -25,6 +25,7 @@
 #include "compile/compiler.h"
 #include "faults/faults.h"
 #include "graph/training.h"
+#include "obs/event_log.h"
 #include "profiler/profiler.h"
 #include "rl/trainer.h"
 #include "sim/plan_eval.h"
@@ -65,6 +66,13 @@ struct HeteroGConfig {
   /// Skip RL and deploy the best heuristic candidate only (fast mode for
   /// examples and smoke tests).
   bool search_with_rl = true;
+  /// Telemetry sink for the runner and deployment layers (non-owning; must
+  /// outlive every run). When set, get_runner emits schedule /
+  /// device_utilization / link_utilization events for each deployed plan and
+  /// DistRunner::run streams run_* events (docs/observability.md). Set
+  /// train.events as well to also capture the strategy search. Write-only:
+  /// results are bit-identical with or without a sink.
+  obs::EventLog* events = nullptr;
 };
 
 /// What one recovery from a permanent device failure cost.
@@ -132,6 +140,10 @@ class DistRunner {
   const graph::GraphDef& training_graph() const { return training_graph_; }
   const compile::DistGraph& dist_graph() const { return compiled_->graph; }
   const rl::SearchResult& search_result() const { return search_; }
+  /// Ground-truth evaluation of the deployed plan, including per-device /
+  /// per-link busy times and the critical path (collect_utilization is always
+  /// on for deployments — benches read utilization columns from here).
+  const sim::PlanEvaluation& deployment() const { return deployment_; }
 
   /// Table 2/3-style per-strategy op fractions of the deployed plan.
   strategy::StrategyBreakdown breakdown() const;
@@ -141,7 +153,7 @@ class DistRunner {
                                const cluster::ClusterSpec&, const HeteroGConfig&);
   friend RunStats resume_run(const std::string&,
                              const std::function<graph::GraphDef()>&,
-                             const ckpt::CheckpointOptions&);
+                             const ckpt::CheckpointOptions&, obs::EventLog*);
 
   /// Shared engine behind every run() overload and resume_run. Steps in
   /// [0, start_step) are *replayed*: every state transition (transient
@@ -174,6 +186,16 @@ DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
                       const cluster::ClusterSpec& device_info,
                       const HeteroGConfig& config = HeteroGConfig());
 
+/// Streams one `schedule` event plus one `device_utilization` per GPU and
+/// one `link_utilization` per busy communication resource for an evaluated
+/// plan (docs/observability.md; ratios are against the cold single-iteration
+/// makespan, so the evaluation should have been produced with
+/// PlanEvalOptions::collect_utilization set). No-op when `events` is null or
+/// failed to open. get_runner emits this for every deployment; heterog_cli
+/// reuses it for ad-hoc `evaluate --metrics` runs.
+void emit_schedule_events(obs::EventLog* events, const sim::PlanEvaluation& eval,
+                          int device_count);
+
 /// Deterministic recovery from a checkpointed run (DESIGN.md "Crash
 /// consistency & resume"). Loads and CRC-validates the journal, re-validates
 /// the cluster fingerprint of the embedded cluster, rebuilds the training
@@ -193,8 +215,12 @@ DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
 ///
 /// Throws ckpt::JournalError on a missing/corrupt journal, fingerprint
 /// mismatch, or a model_func inconsistent with the journal.
+///
+/// `events` (non-owning, optional) streams the resumed tail's schedule and
+/// run_* telemetry, exactly as HeteroGConfig::events does for a fresh run.
 RunStats resume_run(const std::string& journal_path,
                     const std::function<graph::GraphDef()>& model_func,
-                    const ckpt::CheckpointOptions& ckpt = {});
+                    const ckpt::CheckpointOptions& ckpt = {},
+                    obs::EventLog* events = nullptr);
 
 }  // namespace heterog

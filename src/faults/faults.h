@@ -37,6 +37,8 @@ enum class FaultKind : uint8_t {
   kTransient,        // transient hiccup: the first `failed_attempts` tries of
                      // step `onset_step` on `device` fail, then succeed
 };
+/// Stable lower-case name of a kind ("device_failure", ...) — the JSON
+/// vocabulary below. Pure function; safe from any thread.
 const char* fault_kind_name(FaultKind kind);
 
 struct FaultEvent {
@@ -50,17 +52,20 @@ struct FaultEvent {
   double bandwidth_factor = 1.0;    // link degradation factor in (0, 1)
   int failed_attempts = 1;          // transient: attempts failing at onset
 
-  /// Whether the event is in its [onset, recovery) window at `step`.
+  /// Whether the event is in its [onset, recovery) window at `step`
+  /// (steps are 0-based counts, not times). Const and pure.
   bool active_at(int step) const {
     return step >= onset_step && (recovery_step < 0 || step < recovery_step);
   }
 
+  /// Human-readable one-liner for logs ("straggler on G1 x2.5 ...").
   std::string describe() const;
 };
 
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
+  /// True when no events are scheduled; an empty plan is always valid.
   bool empty() const { return events.empty(); }
 
   /// Throws FaultPlanError if any event is internally inconsistent or
@@ -83,7 +88,9 @@ struct FaultScaling {
   std::vector<LinkDegradation> links;
   std::vector<cluster::DeviceId> failed;  // sorted, unique
 
+  /// True when any slowdown, degradation or failure is in effect.
   bool any() const;
+  /// Membership test against the sorted `failed` set (binary search).
   bool is_failed(cluster::DeviceId d) const;
 
   /// Combined bandwidth factor (<= 1) applying to the (x -> y) link: the

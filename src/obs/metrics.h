@@ -1,0 +1,123 @@
+// Unified observability: thread-safe metrics registry (counters, gauges,
+// fixed-bucket histograms) with RAII scoped timers.
+//
+// Naming convention (docs/observability.md "Metric naming"): every metric is
+// a dot-separated `subsystem.name.unit` string, e.g.
+//
+//   rl.search_wall.ms        bench.plans.count        sim.device_util.ratio
+//
+// The unit suffix is load-bearing: `report` and the bench JSON dump group
+// and format values by it (`ms`, `count`, `ratio`, `bytes`).
+//
+// Thread-safety: every member of MetricsRegistry may be called from any
+// number of threads concurrently (one mutex guards the maps; the TSan `obs`
+// ctest label hammers it). Snapshots are consistent point-in-time copies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace heterog::obs {
+
+/// Point-in-time copy of one histogram. Buckets are cumulative-free,
+/// half-open on the left: value v lands in the first bucket with
+/// v <= upper_bounds[i]; values above the last bound land in the overflow
+/// bucket, so counts.size() == upper_bounds.size() + 1.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;    // total observations
+  double sum = 0.0;      // sum of observed values (same unit as the metric)
+  double min = 0.0;      // defined only when count > 0
+  double max = 0.0;      // defined only when count > 0
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Consistent copy of an entire registry, ordered by metric name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Keys are sorted (std::map), so equal snapshots render byte-identical.
+  std::string to_json() const;
+};
+
+/// The histogram bucket edges used when a metric is first observed without a
+/// prior define_histogram() call: exponential 0.1 ms .. 10 s (wall-time
+/// oriented; define explicit edges for anything that is not a duration).
+const std::vector<double>& default_histogram_bounds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (created at 0 on first use).
+  void add(const std::string& name, uint64_t delta = 1);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void set(const std::string& name, double value);
+
+  /// Records one observation into the named histogram; the histogram is
+  /// created with default_histogram_bounds() unless defined beforehand.
+  void observe(const std::string& name, double value);
+
+  /// Pre-declares a histogram with explicit bucket upper bounds (must be
+  /// strictly increasing and non-empty). No-op if the name already exists.
+  void define_histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Drops every metric (tests and per-bench isolation).
+  void clear();
+
+  /// Process-wide registry used by the benches; library code takes a
+  /// registry (or none) explicitly and never touches the global one.
+  static MetricsRegistry& global();
+
+ private:
+  struct Histogram {
+    std::vector<double> upper_bounds;
+    std::vector<uint64_t> counts;  // upper_bounds.size() + 1 (overflow)
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII wall-clock timer: records the elapsed milliseconds into
+/// `registry.observe(name)` when destroyed (or at stop(), whichever first).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& registry, std::string name);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+  /// Milliseconds since construction (monotonic clock).
+  double elapsed_ms() const;
+
+  /// Records now and disarms the destructor; returns the recorded ms.
+  double stop();
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  int64_t start_ns_ = 0;
+  bool armed_ = true;
+};
+
+}  // namespace heterog::obs

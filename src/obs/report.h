@@ -1,0 +1,100 @@
+// Run-report pipeline: aggregate one or more JSONL event logs (obs/event_log)
+// into the summary `heterog_cli report` prints.
+//
+// The report has up to four sections, each present only when its events are:
+//   * Search   — episode count, best time/reward, convergence, cache traffic
+//                (search_* events; the figures match the producing
+//                rl::SearchResult field-for-field — tests/obs_test.cpp pins
+//                episode count, best reward and cache hit-rate);
+//   * Run      — step count and step-time distribution, transient retries,
+//                recoveries, checkpoint latency (run_* events);
+//   * Schedule — per-device utilization, busiest links, critical-path share
+//                (schedule / *_utilization events);
+//   * Pretrain — mean reward per round (pretrain_round events).
+//
+// CSV export writes the per-episode convergence series (one row per
+// search_episode event) for plotting.
+//
+// Thread-safety: free functions over immutable inputs; safe anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+
+namespace heterog::obs {
+
+/// Aggregates computed from the event stream (the renderer's input, exposed
+/// for tests to cross-check against SearchResult / RunStats).
+struct ReportSummary {
+  // Search section (search_* events).
+  bool has_search = false;
+  int search_episodes = 0;          // episodes run (search_end, falls back to count)
+  double best_time_ms = 0.0;        // incumbent per-iteration time
+  double best_reward = 0.0;         // reward of the incumbent
+  bool best_feasible = false;
+  int episode_of_best = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double search_wall_ms = 0.0;
+  /// hits / (hits + misses); 0 when no evaluations were recorded.
+  double cache_hit_rate() const;
+
+  // Run section (run_* events).
+  bool has_run = false;
+  int run_steps = 0;
+  double run_total_ms = 0.0;
+  double step_mean_ms = 0.0;
+  double step_p50_ms = 0.0;
+  double step_p95_ms = 0.0;
+  double step_max_ms = 0.0;
+  int transient_retries = 0;
+  double retry_backoff_ms = 0.0;
+  int recoveries = 0;
+  double replan_wall_ms = 0.0;      // summed over recoveries
+  int checkpoints = 0;
+  double checkpoint_mean_ms = 0.0;
+  double checkpoint_max_ms = 0.0;
+  bool run_completed = true;
+
+  // Schedule section (schedule / *_utilization events).
+  bool has_schedule = false;
+  double makespan_ms = 0.0;
+  double critical_path_share = 0.0;  // critical path ms / makespan ms
+  struct DeviceUtilization {
+    int device = -1;
+    double busy_ms = 0.0;
+    double utilization = 0.0;  // busy / makespan, in [0, 1]
+  };
+  std::vector<DeviceUtilization> devices;
+  struct LinkUtilization {
+    std::string resource;  // "link G0->G2", "nccl", "nic host1 ingress"
+    double busy_ms = 0.0;
+    double utilization = 0.0;
+  };
+  std::vector<LinkUtilization> links;  // sorted by busy_ms descending
+
+  // Pretrain section.
+  int pretrain_rounds = 0;
+  double pretrain_last_mean_reward = 0.0;
+
+  int total_events = 0;
+};
+
+/// Aggregates all events of all files, in file order. Throws EventLogError
+/// on any unreadable or malformed file.
+ReportSummary summarize_events(const std::vector<std::string>& paths);
+ReportSummary summarize_events(const std::vector<ParsedEvent>& events);
+
+/// The rendered text report (section tables, ready to print).
+std::string render_report(const ReportSummary& summary);
+
+/// Writes the per-episode convergence series as CSV
+/// (episode,best_ms,best_feasible,mean_reward,baseline,entropy,cache_hits,
+/// cache_misses,wall_ms). Returns false when the file cannot be written.
+bool write_convergence_csv(const std::string& path,
+                           const std::vector<ParsedEvent>& events);
+
+}  // namespace heterog::obs

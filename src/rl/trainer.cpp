@@ -1,6 +1,7 @@
 #include "rl/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 
@@ -15,6 +16,12 @@ namespace {
 using strategy::Action;
 using strategy::CommMethod;
 using strategy::ReplicationMode;
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
 
 }  // namespace
 
@@ -331,9 +338,10 @@ std::pair<strategy::StrategyMap, Evaluation> Trainer::repair_oom(
   return {std::move(map), eval};
 }
 
-void Trainer::reinforce_step(agent::PolicyNetwork& policy,
-                             const agent::EncodedGraph& encoded, MovingAverage& baseline,
-                             Rng& rng, SearchResult* result) {
+EpisodeStats Trainer::reinforce_step(agent::PolicyNetwork& policy,
+                                     const agent::EncodedGraph& encoded,
+                                     MovingAverage& baseline, Rng& rng,
+                                     SearchResult* result) {
   nn::Tape tape;
   const auto forward = policy.forward(tape, encoded);
   const nn::Matrix& logits_value = forward.logits.value();
@@ -365,6 +373,7 @@ void Trainer::reinforce_step(agent::PolicyNetwork& policy,
   const std::vector<Evaluation> evals =
       evaluate_batch(*encoded.graph, encoded.grouping, maps);
 
+  EpisodeStats episode_stats;
   nn::Var policy_loss;
   for (int s = 0; s < config_.samples_per_episode; ++s) {
     const std::vector<int>& actions = sampled[static_cast<size_t>(s)];
@@ -374,6 +383,8 @@ void Trainer::reinforce_step(agent::PolicyNetwork& policy,
         baseline.initialised() ? baseline.value() : eval.reward;
     const double advantage = eval.reward - prev_baseline;
     baseline.update(eval.reward);
+    episode_stats.mean_reward += eval.reward / config_.samples_per_episode;
+    if (eval.oom) ++episode_stats.oom_samples;
 
     if (result != nullptr) {
       const bool better = !eval.oom && (!result->best_feasible ||
@@ -399,6 +410,10 @@ void Trainer::reinforce_step(agent::PolicyNetwork& policy,
       tape.subtract(policy_loss, tape.scale(entropy, config_.entropy_weight));
   tape.backward(loss);
   optimizer_->step();
+
+  episode_stats.baseline = baseline.value();
+  episode_stats.entropy = entropy.scalar();
+  return episode_stats;
 }
 
 SearchResult Trainer::search(agent::PolicyNetwork& policy,
@@ -414,8 +429,30 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
   SearchResult result;
   Rng rng(config_.seed);
   const EvalEngineStats stats_before = engine_->stats();
+  const auto search_t0 = std::chrono::steady_clock::now();
+
+  // Telemetry is write-only: events carry copies of values the search
+  // computes anyway, so the result is bit-identical with or without a log.
+  obs::EventLog* events = config_.events;
+  const auto cache_traffic = [&](uint64_t* hits, uint64_t* misses) {
+    const EvalEngineStats now = engine_->stats();
+    *hits = now.hits - stats_before.hits;
+    *misses = now.misses - stats_before.misses;
+  };
+  if (events != nullptr) {
+    events->emit(obs::Event("search_start")
+                     .with("model", encoded.graph->name())
+                     .with("groups", encoded.group_count())
+                     .with("devices", policy.device_count())
+                     .with("episode_budget", config_.episodes)
+                     .with("samples_per_episode", config_.samples_per_episode)
+                     .with("threads", config_.threads)
+                     .with("cache_capacity",
+                           static_cast<int64_t>(config_.eval_cache_capacity)));
+  }
 
   if (config_.seed_heuristics) {
+    const auto phase_t0 = std::chrono::steady_clock::now();
     auto consider = [&](const strategy::StrategyMap& candidate, const Evaluation& eval) {
       const bool better = !eval.oom && (!result.best_feasible ||
                                         eval.time_ms < result.best_time_ms);
@@ -469,6 +506,15 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
       if (repaired_slots[i].second.oom) continue;
       consider(repaired_slots[i].first, refined_slots[i]);
     }
+    if (events != nullptr) {
+      events->emit(obs::Event("search_phase")
+                       .with("phase", "heuristics")
+                       .with("wall_ms", wall_ms_since(phase_t0))
+                       .with("candidates", static_cast<int64_t>(evals.size()))
+                       .with("repaired", static_cast<int64_t>(repair_budget))
+                       .with("best_ms", result.best_time_ms)
+                       .with("best_feasible", result.best_feasible));
+    }
   }
 
   MovingAverage baseline(config_.baseline_decay);
@@ -476,8 +522,26 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
   double last_best = result.best_feasible ? result.best_time_ms : 1e300;
   for (int episode = 0; episode < config_.episodes; ++episode) {
     result.episodes_run = episode + 1;
-    reinforce_step(policy, encoded, baseline, rng, &result);
+    const auto episode_t0 = std::chrono::steady_clock::now();
+    const EpisodeStats ep = reinforce_step(policy, encoded, baseline, rng, &result);
     result.episode_best_ms.push_back(result.best_feasible ? result.best_time_ms : -1.0);
+    if (events != nullptr) {
+      uint64_t hits = 0, misses = 0;
+      cache_traffic(&hits, &misses);
+      events->emit(obs::Event("search_episode")
+                       .with("episode", episode + 1)
+                       .with("best_ms", result.best_time_ms)
+                       .with("best_feasible", result.best_feasible)
+                       .with("best_reward",
+                             reward_from(result.best_time_ms, !result.best_feasible))
+                       .with("mean_reward", ep.mean_reward)
+                       .with("baseline", ep.baseline)
+                       .with("entropy", ep.entropy)
+                       .with("oom_samples", ep.oom_samples)
+                       .with("cache_hits", hits)
+                       .with("cache_misses", misses)
+                       .with("wall_ms", wall_ms_since(episode_t0)));
+    }
     if (result.best_feasible && result.best_time_ms < last_best - 1e-9) {
       last_best = result.best_time_ms;
       stale = 0;
@@ -498,6 +562,8 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
   // an accepted move never contributes a result computed off the old base.
   if (result.best_feasible && config_.polish_moves > 0 &&
       !result.best_strategy.group_actions.empty()) {
+    const auto polish_t0 = std::chrono::steady_clock::now();
+    int accepted = 0;
     Rng polish_rng(config_.seed ^ 0x9E3779B9);
     const int groups = static_cast<int>(result.best_strategy.group_actions.size());
     const int actions = strategy::Action::action_count(costs_->cluster().device_count());
@@ -528,17 +594,41 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
         if (!evals[i].oom && evals[i].time_ms < result.best_time_ms - 1e-9) {
           result.best_strategy = std::move(batch[i]);
           result.best_time_ms = evals[i].time_ms;
+          ++accepted;
           advanced = i + 1;  // later slots were speculated off the old base
           break;
         }
       }
       next += advanced;
     }
+    if (events != nullptr) {
+      events->emit(obs::Event("search_phase")
+                       .with("phase", "polish")
+                       .with("wall_ms", wall_ms_since(polish_t0))
+                       .with("moves", config_.polish_moves)
+                       .with("accepted", accepted)
+                       .with("best_ms", result.best_time_ms)
+                       .with("best_feasible", result.best_feasible));
+    }
   }
 
   const EvalEngineStats stats_after = engine_->stats();
   result.eval_cache_hits = stats_after.hits - stats_before.hits;
   result.eval_cache_misses = stats_after.misses - stats_before.misses;
+  result.best_reward = reward_from(result.best_time_ms, !result.best_feasible);
+
+  if (events != nullptr) {
+    events->emit(obs::Event("search_end")
+                     .with("model", encoded.graph->name())
+                     .with("episodes_run", result.episodes_run)
+                     .with("best_ms", result.best_time_ms)
+                     .with("best_reward", result.best_reward)
+                     .with("best_feasible", result.best_feasible)
+                     .with("episode_of_best", result.episode_of_best)
+                     .with("cache_hits", result.eval_cache_hits)
+                     .with("cache_misses", result.eval_cache_misses)
+                     .with("wall_ms", wall_ms_since(search_t0)));
+  }
 
   log_info() << "search(" << encoded.graph->name() << "): best "
              << result.best_time_ms << " ms after " << result.episodes_run
@@ -592,7 +682,13 @@ double Trainer::pretrain_round(agent::PolicyNetwork& policy,
     tape.backward(loss);
     optimizer_->step();
   }
-  return total_reward / samples;
+  const double mean_reward = total_reward / samples;
+  if (config_.events != nullptr) {
+    config_.events->emit(obs::Event("pretrain_round")
+                             .with("graphs", static_cast<int64_t>(graphs.size()))
+                             .with("mean_reward", mean_reward));
+  }
+  return mean_reward;
 }
 
 }  // namespace heterog::rl

@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "compile/compiler.h"
+#include "obs/event_log.h"
 #include "rl/eval_engine.h"
 #include "sim/simulator.h"
 
@@ -53,6 +54,21 @@ struct TrainConfig {
   /// Memoized evaluations kept in the engine's LRU cache (0 disables);
   /// re-sampled strategies skip compile+simulate entirely.
   size_t eval_cache_capacity = 4096;
+  /// Telemetry sink (non-owning; must outlive the Trainer). When set, every
+  /// search streams search_start / search_phase / search_episode /
+  /// search_end JSONL events (docs/observability.md). Write-only: attaching
+  /// a log never changes the search result — tests/obs_test.cpp pins
+  /// bit-identical results with events on and off.
+  obs::EventLog* events = nullptr;
+};
+
+/// Per-episode telemetry of one REINFORCE update (the search_episode event
+/// payload; all rewards unitless, entropy in nats).
+struct EpisodeStats {
+  double mean_reward = 0.0;  // mean reward over the episode's samples
+  double baseline = 0.0;     // moving-average baseline after the update
+  double entropy = 0.0;      // mean per-group policy entropy
+  int oom_samples = 0;       // samples whose plan overflowed device memory
 };
 
 /// Evaluation of one concrete strategy.
@@ -65,6 +81,9 @@ struct Evaluation {
 struct SearchResult {
   strategy::StrategyMap best_strategy;
   double best_time_ms = 0.0;
+  /// Reward of the incumbent under the trainer's reward model
+  /// (-sqrt(T seconds), x oom_penalty_factor when infeasible).
+  double best_reward = 0.0;
   bool best_feasible = false;
   int episodes_run = 0;
   int episode_of_best = 0;
@@ -122,8 +141,9 @@ class Trainer {
  private:
   double reward_from(double time_ms, bool oom) const;
   Evaluation to_evaluation(const sim::PlanEvaluation& plan) const;
-  void reinforce_step(agent::PolicyNetwork& policy, const agent::EncodedGraph& encoded,
-                      MovingAverage& baseline, Rng& rng, SearchResult* result);
+  EpisodeStats reinforce_step(agent::PolicyNetwork& policy,
+                              const agent::EncodedGraph& encoded,
+                              MovingAverage& baseline, Rng& rng, SearchResult* result);
 
   const profiler::CostProvider* costs_;
   TrainConfig config_;

@@ -16,9 +16,11 @@
 
 namespace heterog::sched {
 
-/// Upward ranks over the distributed graph. rank[i] >= duration[i] > 0 for
-/// every node with positive duration. `extra_edges` (from, to) augment the
-/// graph's edges for ranking only (they must not create a cycle).
+/// Upward ranks over the distributed graph, in milliseconds (the unit of
+/// node durations). rank[i] >= duration[i] > 0 for every node with positive
+/// duration, and max_i rank[i] is the schedule's critical-path length.
+/// `extra_edges` (from, to) augment the graph's edges for ranking only (they
+/// must not create a cycle). Pure function — safe to call concurrently.
 std::vector<double> compute_ranks(
     const compile::DistGraph& graph,
     const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges =
@@ -29,7 +31,8 @@ enum class OrderPolicy {
   kFifo,          // TensorFlow's default: ready order (paper Sec. 6.6 baseline)
 };
 
-/// Priorities realising the rank policy (higher runs first).
+/// Priorities realising the rank policy, in milliseconds of upward rank
+/// (higher runs first). Pure function — safe to call concurrently.
 ///
 /// Collectives all occupy the single NCCL channel and therefore serialise;
 /// plain upward ranks are blind to that, which defers gradient-producing ops

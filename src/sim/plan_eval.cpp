@@ -1,10 +1,53 @@
 #include "sim/plan_eval.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "compile/compiler.h"
 #include "graph/training.h"
+#include "sched/scheduler.h"
 
 namespace heterog::sim {
+
+namespace {
+
+std::string comm_resource_name(const compile::ResourceModel& resources, int r) {
+  const int devices = resources.device_count();
+  if (resources.is_link_resource(r)) {
+    const int pair = r - devices;
+    return "link G" + std::to_string(pair / devices) + "->G" +
+           std::to_string(pair % devices);
+  }
+  if (r == resources.nccl_resource()) return "nccl";
+  if (resources.is_nic_resource(r)) {
+    const int nic = r - resources.nccl_resource() - 1;
+    return "nic host" + std::to_string(nic / 2) +
+           (nic % 2 == 0 ? " egress" : " ingress");
+  }
+  return "resource " + std::to_string(r);
+}
+
+/// Per-device and per-comm-resource busy times plus the critical path of the
+/// single-iteration schedule (max upward rank == longest dependency chain,
+/// since transfers are explicit nodes and edges are free).
+void collect_utilization(const compile::DistGraph& graph, const SimResult& single,
+                         PlanEvaluation& eval) {
+  const compile::ResourceModel& resources = graph.resources();
+  eval.device_busy_ms.assign(static_cast<size_t>(resources.device_count()), 0.0);
+  for (int r = 0; r < static_cast<int>(single.resource_busy_ms.size()); ++r) {
+    const double busy = single.resource_busy_ms[static_cast<size_t>(r)];
+    if (resources.is_gpu_resource(r)) {
+      eval.device_busy_ms[static_cast<size_t>(r)] = busy;
+    } else if (busy > 0.0) {
+      eval.comm_busy.push_back({comm_resource_name(resources, r), busy});
+    }
+  }
+  const std::vector<double> ranks = sched::compute_ranks(graph);
+  eval.critical_path_ms =
+      ranks.empty() ? 0.0 : *std::max_element(ranks.begin(), ranks.end());
+}
+
+}  // namespace
 
 PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
                              const graph::GraphDef& training_graph,
@@ -57,6 +100,7 @@ PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
   eval.oom = single.oom;
   eval.peak_memory_bytes = single.peak_memory_bytes;
   eval.oom_devices = single.oom_devices;
+  if (options.collect_utilization) collect_utilization(compiled.graph, single, eval);
 
   if (options.unroll_iterations == 1) {
     eval.per_iteration_ms = single.makespan_ms;

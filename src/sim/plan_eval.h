@@ -18,6 +18,13 @@
 
 namespace heterog::sim {
 
+/// One named communication resource's busy time over a single iteration
+/// (links "link G0->G2", the NCCL channel "nccl", NICs "nic host0 egress").
+struct CommResourceBusy {
+  std::string resource;
+  double busy_ms = 0.0;
+};
+
 struct PlanEvaluation {
   double per_iteration_ms = 0.0;    // steady state
   double cold_iteration_ms = 0.0;   // single-iteration makespan
@@ -26,6 +33,13 @@ struct PlanEvaluation {
   bool oom = false;
   std::vector<int64_t> peak_memory_bytes;
   std::vector<cluster::DeviceId> oom_devices;
+
+  /// Filled only when PlanEvalOptions::collect_utilization is set (the
+  /// deployment path; off in the search hot loop so memoized cache entries
+  /// stay small). All figures are over the single cold iteration.
+  std::vector<double> device_busy_ms;        // per device id (ms)
+  std::vector<CommResourceBusy> comm_busy;   // comm resources with busy > 0
+  double critical_path_ms = 0.0;             // longest dependency chain (ms)
 };
 
 struct PlanEvalOptions {
@@ -35,6 +49,11 @@ struct PlanEvalOptions {
   /// reports the cold makespan as per-iteration time).
   int unroll_iterations = 2;
   double usable_memory_fraction = 0.92;
+  /// Also compute per-device / per-link busy times and the critical path
+  /// (PlanEvaluation::device_busy_ms et al.). Deliberately NOT part of
+  /// rl::EvalEngine's cache key: only the deployment path (which bypasses
+  /// the cache) turns it on.
+  bool collect_utilization = false;
 };
 
 /// Compiles `strategy` against `costs` and evaluates it.

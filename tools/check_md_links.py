@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Check intra-repository markdown links and anchors.
+
+Scans every *.md at the repo root and under docs/ for inline links
+[text](target) and verifies that
+
+  * relative file targets exist (resolved against the linking file);
+  * anchor targets (#fragment, alone or after a file path) match a heading
+    in the target file, using GitHub's slugification (lowercase, punctuation
+    stripped, spaces to hyphens, duplicate slugs suffixed -1, -2, ...).
+
+External links (http/https/mailto) are ignored. Exit status is non-zero when
+any link is broken; the CI docs job runs this on every push.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# Inline links, skipping images; [text](target "title") allowed.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (markup stripped first)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)                  # punctuation
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield line_no, match.group(1)
+
+
+def check_file(md: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
+    errors = []
+    for line_no, target in iter_links(md):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(REPO_ROOT)}:{line_no}: "
+                              f"broken link target {path_part!r}")
+                continue
+        else:
+            resolved = md.resolve()
+        if fragment:
+            if resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown files are not checked
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(resolved)
+            if fragment.lower() not in slug_cache[resolved]:
+                errors.append(f"{md.relative_to(REPO_ROOT)}:{line_no}: "
+                              f"no heading for anchor #{fragment} in "
+                              f"{resolved.relative_to(REPO_ROOT)}")
+    return errors
+
+
+def main() -> int:
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted((REPO_ROOT / "docs").glob("*.md"))
+    slug_cache: dict[Path, set[str]] = {}
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, slug_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

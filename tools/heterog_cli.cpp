@@ -3,29 +3,42 @@
 //   heterog_cli models
 //   heterog_cli clusters
 //   heterog_cli plan     --model vgg19 --batch 192 [--cluster 8gpu]
-//                        [--episodes 150] [--groups 48] [--out plan.txt]
-//                        [--threads N] [--eval-cache N]
+//                        [--layers L] [--episodes 150] [--groups 48]
+//                        [--out plan.txt] [--threads N] [--eval-cache N]
 //                        [--fault-plan faults.json] [--steps 20]
 //                        [--checkpoint-dir DIR] [--ckpt-every K]
+//                        [--metrics m.jsonl]
+//   heterog_cli search   ... (alias of plan)
 //   heterog_cli resume   --journal DIR/journal.heterog [--ckpt-every K]
+//                        [--metrics m.jsonl]
 //   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
 //                        (--plan plan.txt | --strategy ev-ar|ev-ps|cp-ar|cp-ps)
-//                        [--order rank|fifo] [--microbatches m]
-//                        [--trace out.json] [--timeline]
+//                        [--layers L] [--groups N] [--order rank|fifo]
+//                        [--microbatches m] [--trace out.json] [--timeline]
+//                        [--metrics m.jsonl]
 //   heterog_cli baselines --model vgg19 --batch 192 [--cluster 8gpu]
+//                        [--layers L] [--groups N]
+//   heterog_cli report   m.jsonl [more.jsonl ...] [--csv convergence.csv]
+//
+// `--metrics FILE` streams JSONL telemetry (docs/observability.md) that
+// `report` aggregates into a run report. Telemetry is write-only: results
+// are bit-identical with or without it.
 //
 // Exit codes: 0 success, 1 bad usage, 2 runtime failure. Every error path
 // exits nonzero; tools/CMakeLists.txt pins this with WILL_FAIL ctests.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/heterog.h"
 #include "faults/faults.h"
 #include "graph/pipeline.h"
 #include "models/models.h"
+#include "obs/report.h"
 #include "sim/trace.h"
 #include "strategy/serialize.h"
 
@@ -36,6 +49,7 @@ using namespace heterog;
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positionals;  // non-flag operands (report's files)
 
   bool has(const std::string& key) const { return flags.count(key) > 0; }
   std::string get(const std::string& key, const std::string& fallback = "") const {
@@ -54,7 +68,10 @@ std::optional<Args> parse(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
-    if (flag.rfind("--", 0) != 0) return std::nullopt;
+    if (flag.rfind("--", 0) != 0) {
+      args.positionals.push_back(flag);
+      continue;
+    }
     flag = flag.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.flags[flag] = argv[++i];
@@ -63,6 +80,22 @@ std::optional<Args> parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Opens the `--metrics` sink when requested; null without the flag.
+/// A path that cannot be opened is an environment error: surface it and
+/// fail (*failed = true) instead of silently dropping telemetry.
+std::unique_ptr<obs::EventLog> open_metrics(const Args& args, bool* failed) {
+  *failed = false;
+  if (!args.has("metrics")) return nullptr;
+  auto log = std::make_unique<obs::EventLog>(args.get("metrics"));
+  if (!log->ok()) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                 args.get("metrics").c_str());
+    *failed = true;
+    return nullptr;
+  }
+  return log;
 }
 
 struct ModelEntry {
@@ -98,19 +131,26 @@ std::optional<cluster::ClusterSpec> find_cluster(const std::string& name) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: heterog_cli <models|clusters|plan|resume|evaluate|baselines> "
-               "[flags]\n"
-               "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
-               "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
-               "            [--threads N] [--eval-cache N]\n"
-               "            [--fault-plan FILE] [--steps N]\n"
-               "            [--checkpoint-dir DIR] [--ckpt-every K]\n"
-               "  resume    --journal FILE [--ckpt-every K]\n"
-               "  evaluate  --model NAME --batch B (--plan FILE | --strategy ev-ar|...)\n"
-               "            [--order rank|fifo] [--microbatches M] [--trace FILE]\n"
-               "            [--timeline]\n"
-               "  baselines --model NAME --batch B [--cluster ...]\n");
+  std::fprintf(
+      stderr,
+      "usage: heterog_cli "
+      "<models|clusters|plan|search|resume|evaluate|baselines|report> [flags]\n"
+      "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
+      "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
+      "            [--threads N] [--eval-cache N]\n"
+      "            [--fault-plan FILE] [--steps N]\n"
+      "            [--checkpoint-dir DIR] [--ckpt-every K] [--metrics FILE]\n"
+      "  search    alias of plan\n"
+      "  resume    --journal FILE [--ckpt-every K] [--metrics FILE]\n"
+      "  evaluate  --model NAME --batch B [--cluster ...] [--layers L]\n"
+      "            (--plan FILE | --strategy ev-ar|ev-ps|cp-ar|cp-ps)\n"
+      "            [--groups N] [--order rank|fifo] [--microbatches M]\n"
+      "            [--trace FILE] [--timeline] [--metrics FILE]\n"
+      "  baselines --model NAME --batch B [--cluster ...] [--layers L] [--groups N]\n"
+      "  report    FILE.jsonl [MORE.jsonl ...] [--csv FILE]\n"
+      "\n"
+      "--metrics streams JSONL telemetry (docs/observability.md); `report`\n"
+      "renders it as a run report.\n");
   return 1;
 }
 
@@ -209,6 +249,14 @@ int cmd_plan(const Args& args) {
     fault_plan.validate(*cluster_spec);
   }
 
+  // Telemetry sink: the search, the deployed schedule and any run below all
+  // stream into one JSONL file (`heterog_cli report` aggregates it).
+  bool metrics_failed = false;
+  const std::unique_ptr<obs::EventLog> metrics = open_metrics(args, &metrics_failed);
+  if (metrics_failed) return 2;
+  config.train.events = metrics.get();
+  config.events = metrics.get();
+
   const auto runner = get_runner(
       [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
       config);
@@ -235,7 +283,8 @@ int cmd_plan(const Args& args) {
     std::printf("plan saved to %s\n", args.get("out").c_str());
   }
 
-  if (args.has("fault-plan") || copts.enabled()) {
+  if (args.has("fault-plan") || copts.enabled() ||
+      (metrics != nullptr && args.has("steps"))) {
     const int steps = args.get_int("steps", 20);
     if (!fault_plan.empty()) {
       std::printf("\ninjecting %zu fault event(s) over %d steps:\n",
@@ -250,6 +299,11 @@ int cmd_plan(const Args& args) {
       std::printf("journal: %s (every %d steps)\n", copts.journal_path().c_str(),
                   copts.every);
     }
+  }
+  if (metrics != nullptr) {
+    std::printf("metrics: %llu events written to %s\n",
+                static_cast<unsigned long long>(metrics->events_emitted()),
+                metrics->path().c_str());
   }
   return 0;
 }
@@ -285,11 +339,21 @@ int cmd_resume(const Args& args) {
   ckpt::CheckpointOptions copts;  // dir/cadence default to the journal's own
   copts.every = args.get_int("ckpt-every", 0);
 
+  bool metrics_failed = false;
+  const std::unique_ptr<obs::EventLog> metrics = open_metrics(args, &metrics_failed);
+  if (metrics_failed) return 2;
+
   std::printf("resuming %s: model=%s layers=%d batch=%g at step %d/%d\n", path.c_str(),
               model->name, layers, batch, journal.watermark, journal.total_steps);
   const auto stats = resume_run(
-      path, [&] { return models::build_forward(model->kind, layers, batch); }, copts);
+      path, [&] { return models::build_forward(model->kind, layers, batch); }, copts,
+      metrics.get());
   print_run_stats(stats, journal.total_steps - journal.watermark);
+  if (metrics != nullptr) {
+    std::printf("metrics: %llu events written to %s\n",
+                static_cast<unsigned long long>(metrics->events_emitted()),
+                metrics->path().c_str());
+  }
   return 0;
 }
 
@@ -353,9 +417,15 @@ int cmd_evaluate(const Args& args) {
     eval_graph = &piped.graph;
   }
 
+  bool metrics_failed = false;
+  const std::unique_ptr<obs::EventLog> metrics = open_metrics(args, &metrics_failed);
+  if (metrics_failed) return 2;
+
   sim::PlanEvalOptions options;
   if (args.get("order", "rank") == "fifo") options.policy = sched::OrderPolicy::kFifo;
+  options.collect_utilization = metrics != nullptr;
   const auto eval = sim::evaluate_plan(costs, *eval_graph, grouping, map, options);
+  emit_schedule_events(metrics.get(), eval, cluster_spec->device_count());
 
   std::printf("per-iteration: %.2f ms (cold %.2f ms)  oom=%s\n", eval.per_iteration_ms,
               eval.cold_iteration_ms, eval.oom ? "yes" : "no");
@@ -390,6 +460,11 @@ int cmd_evaluate(const Args& args) {
       std::printf("%s", sim::ascii_timeline(compiled.graph, result).c_str());
     }
   }
+  if (metrics != nullptr) {
+    std::printf("metrics: %llu events written to %s\n",
+                static_cast<unsigned long long>(metrics->events_emitted()),
+                metrics->path().c_str());
+  }
   return 0;
 }
 
@@ -418,18 +493,47 @@ int cmd_baselines(const Args& args) {
   return 0;
 }
 
+int cmd_report(const Args& args) {
+  if (args.positionals.empty()) return usage();
+
+  // read_events throws a typed EventLogError (caught in main, exit 2) on a
+  // missing file, a malformed line or an unsupported schema version.
+  std::vector<obs::ParsedEvent> events;
+  for (const auto& path : args.positionals) {
+    auto file_events = obs::read_events(path);
+    events.insert(events.end(), std::make_move_iterator(file_events.begin()),
+                  std::make_move_iterator(file_events.end()));
+  }
+
+  const obs::ReportSummary summary = obs::summarize_events(events);
+  std::printf("%s", obs::render_report(summary).c_str());
+
+  if (args.has("csv")) {
+    if (!obs::write_convergence_csv(args.get("csv"), events)) {
+      std::fprintf(stderr, "error: cannot write %s\n", args.get("csv").c_str());
+      return 2;
+    }
+    std::printf("convergence csv written to %s\n", args.get("csv").c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = parse(argc, argv);
   if (!args) return usage();
+  // Only `report` takes positional operands; a stray one anywhere else is a
+  // usage error, not a silently ignored token.
+  if (!args->positionals.empty() && args->command != "report") return usage();
   try {
     if (args->command == "models") return cmd_models();
     if (args->command == "clusters") return cmd_clusters();
-    if (args->command == "plan") return cmd_plan(*args);
+    if (args->command == "plan" || args->command == "search") return cmd_plan(*args);
     if (args->command == "resume") return cmd_resume(*args);
     if (args->command == "evaluate") return cmd_evaluate(*args);
     if (args->command == "baselines") return cmd_baselines(*args);
+    if (args->command == "report") return cmd_report(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
