@@ -1,0 +1,150 @@
+// Recovery bench: online health monitoring vs the PR-1 oracle path.
+//
+// Three fault mixes are driven through DistRunner twice — once with the
+// oracle recovery path (the runner is told the fault plan's verdicts) and
+// once with the online HealthMonitor (the runner sees only per-attempt
+// measurements). Reported per mix: detection latency in steps from fault
+// onset to the monitor's verdict, and the total-time overhead the
+// measurement-only path pays over the oracle (heartbeat timeouts spent
+// confirming failures; per-step times themselves have parity).
+//
+// deterministic_wall_times is on, so both columns are bit-stable run to run
+// and the overhead column isolates detection cost from replan wall time.
+#include "bench_util.h"
+
+#include "core/heterog.h"
+#include "faults/faults.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+namespace {
+
+constexpr int kSteps = 24;
+
+faults::FaultEvent device_failure(cluster::DeviceId device, int onset) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kDeviceFailure;
+  e.device = device;
+  e.onset_step = onset;
+  return e;
+}
+
+faults::FaultEvent straggler(cluster::DeviceId device, double slowdown, int onset,
+                             int recovery = -1) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kStraggler;
+  e.device = device;
+  e.slowdown = slowdown;
+  e.onset_step = onset;
+  e.recovery_step = recovery;
+  return e;
+}
+
+faults::FaultEvent transient(cluster::DeviceId device, int onset, int failed_attempts) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kTransient;
+  e.device = device;
+  e.onset_step = onset;
+  e.failed_attempts = failed_attempts;
+  return e;
+}
+
+faults::FaultEvent link_degradation(cluster::DeviceId a, cluster::DeviceId b,
+                                    double factor, int onset, int recovery) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kLinkDegradation;
+  e.device_a = a;
+  e.device_b = b;
+  e.bandwidth_factor = factor;
+  e.onset_step = onset;
+  e.recovery_step = recovery;
+  return e;
+}
+
+HeteroGConfig recovery_config(bool online) {
+  HeteroGConfig config;
+  config.search_with_rl = false;
+  config.train.episodes = 0;
+  config.agent.max_groups = max_groups();
+  config.fault_handling.deterministic_wall_times = true;
+  config.health.enabled = online;
+  return config;
+}
+
+RunStats run_mix(const faults::FaultPlan& plan, bool online) {
+  const DistRunner runner = get_runner(
+      [] { return models::build_forward(models::ModelKind::kMobileNetV2, 0, 96); },
+      cluster::make_fig3_testbed(), recovery_config(online));
+  return runner.run(kSteps, plan);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Recovery bench: oracle-free detection latency and overhead",
+      "DESIGN.md \"Online health & degraded modes\" — the online monitor "
+      "must reach the oracle's verdicts from measurements alone, paying "
+      "only heartbeat-timeout wall time for the privilege");
+
+  struct Mix {
+    const char* label;
+    faults::FaultPlan plan;
+  };
+  Mix mixes[3];
+  mixes[0].label = "fail-stop";
+  mixes[0].plan.events = {device_failure(1, 6)};
+  mixes[1].label = "stragglers";
+  mixes[1].plan.events = {straggler(0, 3.0, 5, 14), straggler(2, 2.5, 16)};
+  mixes[2].label = "mixed";
+  mixes[2].plan.events = {transient(2, 3, 2), straggler(0, 3.0, 8, 18),
+                          link_degradation(0, 3, 0.5, 4, 12),
+                          device_failure(1, 15)};
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  TextTable table({"Mix", "Oracle (ms)", "Online (ms)", "Overhead (ms / %)",
+                   "Detect (steps)", "Detections", "Quarantines"});
+  for (const Mix& mix : mixes) {
+    const RunStats oracle = run_mix(mix.plan, /*online=*/false);
+    const RunStats online = run_mix(mix.plan, /*online=*/true);
+
+    // Detection latency: steps from the first anomalous observation to the
+    // monitor's verdict, averaged over every detection of the mix.
+    double latency_sum = 0.0;
+    for (const auto& d : online.health.detections) {
+      latency_sum += static_cast<double>(d.confirmed_step - d.onset_step);
+    }
+    const size_t detections = online.health.detections.size();
+    const double latency_mean =
+        detections == 0 ? 0.0 : latency_sum / static_cast<double>(detections);
+
+    const double overhead_ms = online.total_ms - oracle.total_ms;
+    const double overhead_pct =
+        oracle.total_ms <= 0.0 ? 0.0 : 100.0 * overhead_ms / oracle.total_ms;
+
+    const std::string prefix = std::string("bench.recovery.") + mix.label;
+    metrics.set(prefix + ".oracle_total.ms", oracle.total_ms);
+    metrics.set(prefix + ".online_total.ms", online.total_ms);
+    metrics.set(prefix + ".overhead.ms", overhead_ms);
+    metrics.set(prefix + ".detection_overhead.ms", online.detection_overhead_ms);
+    metrics.set(prefix + ".detection_latency_mean.steps", latency_mean);
+    metrics.set(prefix + ".detections.count",
+                static_cast<double>(detections));
+    metrics.set(prefix + ".quarantines.count",
+                static_cast<double>(online.health.quarantines));
+    metrics.set(prefix + ".retries_charged.count",
+                static_cast<double>(online.health.retries_charged));
+
+    table.add_row({mix.label, fmt_double(oracle.total_ms, 2),
+                   fmt_double(online.total_ms, 2),
+                   fmt_double(overhead_ms, 2) + " / " +
+                       fmt_double(overhead_pct, 2) + "%",
+                   fmt_double(latency_mean, 1),
+                   std::to_string(detections),
+                   std::to_string(online.health.quarantines)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  write_bench_json("recovery");
+  return 0;
+}

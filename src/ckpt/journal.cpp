@@ -128,7 +128,8 @@ std::string to_text(const RunJournal& j) {
   os << "order-scheduling " << (j.use_order_scheduling ? 1 : 0) << "\n";
   os << "max-groups " << j.max_groups << "\n";
   os << "fault-handling " << j.fh_max_retries << " " << fmt(j.fh_retry_backoff_ms)
-     << " " << fmt(j.fh_max_backoff_ms) << " " << j.fh_replan_rl_episodes << "\n";
+     << " " << fmt(j.fh_max_backoff_ms) << " " << j.fh_replan_rl_episodes << " "
+     << (j.fh_deterministic_walls ? 1 : 0) << "\n";
 
   os << "cluster-begin\n";
   os << "switch " << fmt(j.cluster.switch_gbps()) << "\n";
@@ -160,6 +161,7 @@ std::string to_text(const RunJournal& j) {
        << fmt(r.pre_fault_iteration_ms) << " " << fmt(r.post_fault_iteration_ms) << " "
        << r.failed_devices.size();
     for (const auto d : r.failed_devices) os << " " << d;
+    os << " " << r.detection_attempts << " " << (r.degraded ? 1 : 0);
     os << "\n";
   }
 
@@ -183,6 +185,13 @@ std::string to_text(const RunJournal& j) {
   os << "fault-plan-lines " << count_lines(j.fault_plan_json) << "\n";
   os << j.fault_plan_json;
   if (!j.fault_plan_json.empty() && j.fault_plan_json.back() != '\n') os << "\n";
+  // Optional trailing block: only written when online health monitoring ran,
+  // so health-free journals stay byte-identical to the pre-health format.
+  if (!j.health_state.empty()) {
+    os << "health-lines " << count_lines(j.health_state) << "\n";
+    os << j.health_state;
+    if (j.health_state.back() != '\n') os << "\n";
+  }
 
   std::string body = os.str();
   body += "crc " + crc32_hex(crc32(body)) + "\n";
@@ -220,6 +229,8 @@ RunJournal parse_journal(const std::string& text) {
           j.fh_replan_rl_episodes)) {
       fail("malformed fault-handling line");
     }
+    int det_walls = 0;  // optional (absent in pre-health journals)
+    if (is >> det_walls) j.fh_deterministic_walls = det_walls != 0;
   }
 
   in.expect("cluster-begin");
@@ -304,6 +315,11 @@ RunJournal parse_journal(const std::string& text) {
       if (!(is >> d)) fail("malformed recovery line (device list)");
       r.failed_devices.push_back(d);
     }
+    // Optional online-detection fields (absent in pre-health journals).
+    if (is >> r.detection_attempts) {
+      int degraded = 0;
+      if (is >> degraded) r.degraded = degraded != 0;
+    }
     j.recoveries.push_back(std::move(r));
   }
 
@@ -328,6 +344,9 @@ RunJournal parse_journal(const std::string& text) {
   };
   j.plan_text = read_block("plan-lines");
   j.fault_plan_json = read_block("fault-plan-lines");
+  if (!in.done() && in.peek().rfind("health-lines ", 0) == 0) {
+    j.health_state = read_block("health-lines");
+  }
   if (!in.done()) fail("trailing garbage after fault plan block");
 
   // Internal consistency beyond per-field syntax.

@@ -53,6 +53,12 @@ struct RecoveryRecord {
   int surviving_devices = 0;
   bool post_plan_oom = false;
   bool escalated_transient = false;
+  /// Online-detection runs only: failed attempts spent confirming the
+  /// failure (0 on the oracle path, which detects by plan lookup).
+  int detection_attempts = 0;
+  /// The re-plan was degraded to the heuristic path (circuit breaker open or
+  /// re-plan deadline exceeded).
+  bool degraded = false;
 };
 
 struct RunJournal {
@@ -81,6 +87,11 @@ struct RunJournal {
   double fh_retry_backoff_ms = 50.0;
   double fh_max_backoff_ms = 2000.0;
   int fh_replan_rl_episodes = 0;
+  /// Wall-clock fields (replan_wall_ms, checkpoint wall_ms) are recorded as
+  /// zero, so identical executions produce byte-identical journals (the
+  /// chaos harness's determinism contract). Journalled so a resumed run
+  /// inherits the contract.
+  bool fh_deterministic_walls = false;
 
   /// Checkpoint cadence of the run that wrote this journal; a resume with no
   /// explicit cadence inherits it.
@@ -102,6 +113,12 @@ struct RunJournal {
 
   /// Fault plan JSON (faults::fault_plan_to_json); empty when none.
   std::string fault_plan_json;
+
+  /// Serialized health::HealthMonitor state at the watermark (empty when
+  /// online health monitoring is off). Resume replays observations from step
+  /// 0 and cross-checks the rebuilt monitor against this snapshot, proving
+  /// detection decisions are deterministic across a crash.
+  std::string health_state;
 };
 
 /// Serialises the journal (line-oriented text ending in a `crc` trailer).

@@ -167,6 +167,8 @@ ckpt::RecoveryRecord to_record(const RecoveryReport& report) {
   record.surviving_devices = report.surviving_devices;
   record.post_plan_oom = report.post_plan_oom;
   record.escalated_transient = report.escalated_transient;
+  record.detection_attempts = report.detection_attempts;
+  record.degraded = report.degraded;
   return record;
 }
 
@@ -267,6 +269,17 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
   stats.step_ms.reserve(static_cast<size_t>(steps - start_step));
 
   const FaultHandlingConfig& fh = config_.fault_handling;
+  const health::HealthPolicy& hp = config_.health;
+  // Online = reaction from measurements only (health monitor); off = the
+  // PR-1 oracle path that reads the injected plan directly.
+  const bool online = hp.enabled;
+  const bool det_walls = fh.deterministic_wall_times;
+
+  std::unique_ptr<health::HealthMonitor> monitor;
+  if (online) {
+    monitor = std::make_unique<health::HealthMonitor>(cluster_.device_count(), hp,
+                                                      config_.events);
+  }
 
   // Journal bookkeeping. The journal always describes the run from step 0:
   // a resumed run extends `prior`'s history, a fresh run starts its own, so
@@ -288,6 +301,7 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
       journal.fh_retry_backoff_ms = fh.retry_backoff_ms;
       journal.fh_max_backoff_ms = fh.max_backoff_ms;
       journal.fh_replan_rl_episodes = fh.replan_rl_episodes;
+      journal.fh_deterministic_walls = det_walls;
       journal.plan_text = strategy::to_text(strategy_, cluster_);
       journal.grouping_assignment = grouping_.assignment();
       if (!plan.empty()) journal.fault_plan_json = faults::fault_plan_to_json(plan);
@@ -307,13 +321,16 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
     journal.watermark = completed_steps;
     journal.transient_retries = prior_retries + stats.transient_retries;
     journal.retry_backoff_total_ms = prior_backoff + stats.retry_backoff_total_ms;
+    if (monitor) journal.health_state = monitor->serialize();
     const std::string path = copts.journal_path();
     const auto t0 = std::chrono::steady_clock::now();
     const bool saved = ckpt::save_journal(path, journal);
     if (log_events) {
-      const double wall_ms = std::chrono::duration<double, std::milli>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count();
+      const double wall_ms =
+          det_walls ? 0.0
+                    : std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
       events->emit(obs::Event("run_checkpoint")
                        .with("step", completed_steps)
                        .with("wall_ms", wall_ms)
@@ -338,10 +355,12 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
                      .with("checkpointing", ckpt_on));
   }
 
-  // Mutable execution state; replaced wholesale on every re-plan.
+  // Mutable execution state; replaced wholesale on every re-plan. The
+  // injector owns the fault plan and the fault-scaled simulations — the
+  // *injection* half of the pipeline. On the oracle path the loop below is
+  // allowed to query it (oracle_scaling / oracle_plan); on the online path
+  // the loop consumes only the health::Observations it hands out.
   cluster::ClusterSpec active_cluster = cluster_;
-  faults::FaultPlan active_plan = plan;
-  compile::DistGraph active_graph = compiled_->graph;
   double active_iter_ms = deployment_.per_iteration_ms;
   double active_cold_ms = deployment_.cold_iteration_ms;
 
@@ -349,12 +368,28 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
   sim_options.policy = config_.use_order_scheduling ? sched::OrderPolicy::kRankPriority
                                                     : sched::OrderPolicy::kFifo;
   sim_options.track_memory = false;
-  std::map<std::string, double> scaled_cache;
+  sim::FaultInjector injector(compiled_->graph, cluster_, plan, sim_options);
 
   int step = 0;
   int transients_done_through = -1;  // avoid double-charging retries when a
                                      // re-plan re-enters the same step
-  while (step < steps) {
+
+  // Resume determinism proof for online runs: once the replayed prefix
+  // reaches the watermark, the rebuilt monitor must match the journalled
+  // snapshot byte for byte.
+  bool health_checked = false;
+  const auto check_replayed_health = [&] {
+    if (!online || health_checked) return;
+    health_checked = true;
+    if (prior != nullptr && !prior->health_state.empty() &&
+        monitor->serialize() != prior->health_state) {
+      throw ckpt::JournalError(
+          "resume_run: replayed health monitor state diverges from the journal "
+          "snapshot — the journal was written by a different policy or code version");
+    }
+  };
+
+  while (!online && step < steps) {
     // Steps before start_step are replayed: state transitions (escalation,
     // re-planning, fault-plan remapping) are applied so execution state at
     // the watermark matches an uninterrupted run's, but nothing is charged
@@ -364,7 +399,7 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
     // Transient faults first: capped exponential backoff. A device still
     // failing at the retry cap is escalated to a permanent failure below.
     std::vector<cluster::DeviceId> escalated;
-    for (const auto& event : active_plan.events) {
+    for (const auto& event : injector.oracle_plan().events) {
       if (event.kind != faults::FaultKind::kTransient || event.onset_step != step ||
           step <= transients_done_through) {
         continue;
@@ -399,7 +434,7 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
     }
     transients_done_through = std::max(transients_done_through, step);
 
-    faults::FaultScaling scaling = faults::scaling_at(active_plan, active_cluster, step);
+    faults::FaultScaling scaling = injector.oracle_scaling(step);
     for (auto d : escalated) scaling.failed.push_back(d);
     std::sort(scaling.failed.begin(), scaling.failed.end());
     scaling.failed.erase(std::unique(scaling.failed.begin(), scaling.failed.end()),
@@ -422,8 +457,10 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
           make_plan(training_graph_, survivors, config_,
                     fh.replan_rl_episodes > 0, fh.replan_rl_episodes);
       const double wall_ms =
-          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-              .count();
+          det_walls ? 0.0
+                    : std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
 
       RecoveryReport report;
       report.fault_step = step;
@@ -461,13 +498,12 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
                    << survivors.device_count() << " survivors";
       }
 
-      active_plan = faults::remap_plan(
-          active_plan, survivor_id_map(active_cluster.device_count(), scaling.failed));
+      injector.apply_replan(replanned.compiled->graph, survivors,
+                            survivor_id_map(active_cluster.device_count(),
+                                            scaling.failed));
       active_cluster = std::move(survivors);
-      active_graph = replanned.compiled->graph;
       active_iter_ms = replanned.deployment.per_iteration_ms;
       active_cold_ms = replanned.deployment.cold_iteration_ms;
-      scaled_cache.clear();
       continue;  // re-execute this step under the new plan
     }
 
@@ -481,19 +517,11 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
       // Scale the steady-state time by the degraded/baseline makespan ratio
       // of a single iteration (the pipeline-overlap correction of
       // evaluate_plan carries over unchanged).
-      const std::string key = scaling.signature();
-      auto it = scaled_cache.find(key);
-      if (it == scaled_cache.end()) {
-        const compile::DistGraph scaled =
-            sim::apply_fault_scaling(active_graph, active_cluster, scaling);
-        it = scaled_cache
-                 .emplace(key, sim::Simulator(sim_options).run(scaled).makespan_ms)
-                 .first;
-      }
+      const double scaled_ms = injector.measure(scaling).makespan_ms;
       if (active_cold_ms > 0.0) {
-        step_time_ms = active_iter_ms * it->second / active_cold_ms;
+        step_time_ms = active_iter_ms * scaled_ms / active_cold_ms;
       } else {
-        step_time_ms = it->second;
+        step_time_ms = scaled_ms;
       }
     }
     stats.step_ms.push_back(step_time_ms);
@@ -509,7 +537,282 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
     if (ckpt_on && step % copts.every == 0 && step < steps) save_snapshot(step);
   }
 
-  stats.total_ms += stats.retry_backoff_total_ms;
+  // Online path: *reaction* from measurements only. This loop never reads
+  // the injected FaultPlan — the injector hands out one health::Observation
+  // per attempt and every decision below (retry, escalation, quarantine,
+  // re-plan, degradation) is the monitor's inference over those.
+  std::vector<uint8_t> straggler_handled(
+      static_cast<size_t>(active_cluster.device_count()), 0);
+  while (online && step < steps) {
+    const bool live = step >= start_step;
+    if (live) check_replayed_health();
+
+    // Attempt the step until it completes, a permanent failure is confirmed
+    // (phi accrual over missed heartbeats) or a persistently erroring device
+    // is escalated. Retry arithmetic mirrors the oracle path so per-step
+    // stats stay comparable — but the decisions come from observed error
+    // attributions, never the plan.
+    const bool transients_active = step > transients_done_through;
+    std::vector<int> error_count(static_cast<size_t>(active_cluster.device_count()),
+                                 0);
+    std::vector<double> next_backoff(
+        static_cast<size_t>(active_cluster.device_count()), fh.retry_backoff_ms);
+    health::Observation obs;
+    std::vector<cluster::DeviceId> confirmed;
+    int attempts_spent = 0;
+    bool escalated = false;
+    for (int attempt = 0;; ++attempt) {
+      check(attempt < 100000, "DistRunner: online recovery failed to terminate");
+      obs = injector.attempt_step(step, attempt, transients_active);
+      monitor->observe(obs, live);
+      if (!obs.completed && obs.error_device < 0) {
+        // Timed-out attempt: waiting out the heartbeat interval is detection
+        // overhead, and each timeout draws from the retry budget so
+        // detection terminates even when phi accrues slowly.
+        if (live) stats.detection_overhead_ms += hp.heartbeat_timeout_ms;
+        monitor->charge_retry();
+      }
+      confirmed = monitor->take_confirmed_failures();
+      attempts_spent = attempt + 1;
+      if (obs.completed || !confirmed.empty()) break;
+      if (obs.error_device >= 0) {
+        const int d = obs.error_device;
+        const int n = ++error_count[static_cast<size_t>(d)];
+        if (n > fh.max_retries || !monitor->charge_retry()) {
+          if (live) {
+            log_info() << "DistRunner: G" << d << " still erroring after " << (n - 1)
+                       << " retries at step " << step << " — escalating to failure";
+          }
+          monitor->force_failure(d, step, "error");
+          confirmed = monitor->take_confirmed_failures();
+          escalated = true;
+          break;
+        }
+        if (live) {
+          stats.transient_retries += 1;
+          stats.retry_backoff_total_ms += next_backoff[static_cast<size_t>(d)];
+          if (log_events) {
+            events->emit(obs::Event("run_retry")
+                             .with("step", step)
+                             .with("device", d)
+                             .with("attempts", n)
+                             .with("backoff_ms", next_backoff[static_cast<size_t>(d)]));
+          }
+        }
+        next_backoff[static_cast<size_t>(d)] =
+            std::min(next_backoff[static_cast<size_t>(d)] * 2.0, fh.max_backoff_ms);
+      }
+    }
+
+    bool charged = false;
+    if (obs.completed) {
+      transients_done_through = std::max(transients_done_through, step);
+      // Calibrate the measured makespan against the deployment's cold
+      // makespan: a clean step costs exactly active_iter_ms (measured/cold
+      // == 1) and a degraded step scales by the observed ratio — the same
+      // arithmetic as the oracle path, fed by measurement.
+      double step_time_ms = obs.makespan_ms;
+      if (active_cold_ms > 0.0) {
+        step_time_ms = active_iter_ms * obs.makespan_ms / active_cold_ms;
+      }
+      if (live) {
+        stats.step_ms.push_back(step_time_ms);
+        stats.total_ms += step_time_ms;
+        if (ckpt_on) journal.step_ms.push_back(step_time_ms);
+        if (log_events) {
+          events->emit(
+              obs::Event("run_step").with("step", step).with("step_ms", step_time_ms));
+        }
+      }
+      charged = true;
+    }
+
+    if (!confirmed.empty()) {
+      // Mandatory failure re-plan. The breaker / deadline can degrade it to
+      // the heuristic path but never suppress it — running without the
+      // failed devices is not optional.
+      if (static_cast<int>(confirmed.size()) >= active_cluster.device_count()) {
+        log_info() << "DistRunner: all devices failed at step " << step
+                   << "; cannot recover";
+        stats.completed = false;
+        break;
+      }
+      const bool breaker = monitor->breaker_open();
+      const bool want_rl = fh.replan_rl_episodes > 0;
+      const bool over_deadline =
+          want_rl && hp.replan_deadline_ms > 0.0 &&
+          fh.replan_rl_episodes * active_iter_ms > hp.replan_deadline_ms;
+      const bool degraded = want_rl && (breaker || over_deadline);
+      const bool use_rl = want_rl && !degraded;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      cluster::ClusterSpec survivors = active_cluster;
+      for (auto it = confirmed.rbegin(); it != confirmed.rend(); ++it) {
+        survivors = survivors.remove_device(*it);
+      }
+      const PlanResult replanned =
+          make_plan(training_graph_, survivors, config_, use_rl,
+                    use_rl ? fh.replan_rl_episodes : 0);
+      const double wall_ms =
+          det_walls ? 0.0
+                    : std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      monitor->record_replan(step, live);
+
+      RecoveryReport report;
+      report.fault_step = step;
+      report.failed_devices = confirmed;
+      report.steps_lost = charged ? 0 : 1;
+      report.replan_wall_ms = wall_ms;
+      report.pre_fault_iteration_ms = active_iter_ms;
+      report.post_fault_iteration_ms = replanned.deployment.per_iteration_ms;
+      report.surviving_devices = survivors.device_count();
+      report.post_plan_oom = replanned.deployment.oom;
+      report.escalated_transient = escalated;
+      report.detection_attempts = attempts_spent;
+      report.degraded = degraded;
+      stats.oom = stats.oom || replanned.deployment.oom;
+      if (live) {
+        stats.recoveries.push_back(report);
+        if (ckpt_on) journal.recoveries.push_back(to_record(report));
+        if (log_events) {
+          events->emit(obs::Event("run_recovery")
+                           .with("step", step)
+                           .with("failed_devices", static_cast<int>(confirmed.size()))
+                           .with("steps_lost", report.steps_lost)
+                           .with("replan_wall_ms", wall_ms)
+                           .with("pre_fault_iteration_ms",
+                                 report.pre_fault_iteration_ms)
+                           .with("post_fault_iteration_ms",
+                                 report.post_fault_iteration_ms)
+                           .with("surviving_devices", report.surviving_devices)
+                           .with("post_plan_oom", report.post_plan_oom)
+                           .with("escalated_transient", report.escalated_transient));
+          if (degraded) {
+            events->emit(obs::Event("degraded_replan")
+                             .with("step", step)
+                             .with("reason", breaker ? "breaker_open" : "deadline")
+                             .with("devices", static_cast<int>(confirmed.size()))
+                             .with("replan", true));
+          }
+        }
+        log_info() << "DistRunner: online detection confirmed failure of "
+                   << confirmed.size() << " device(s) at step " << step << " after "
+                   << attempts_spent << " attempt(s); plan " << active_iter_ms
+                   << " -> " << replanned.deployment.per_iteration_ms
+                   << " ms/iteration on " << survivors.device_count()
+                   << " survivors" << (degraded ? " (degraded re-plan)" : "");
+      }
+
+      const std::vector<int> id_map =
+          survivor_id_map(active_cluster.device_count(), confirmed);
+      injector.apply_replan(replanned.compiled->graph, survivors, id_map);
+      monitor->on_replan(id_map);
+      std::vector<uint8_t> handled_remapped(
+          static_cast<size_t>(survivors.device_count()), 0);
+      for (size_t d = 0; d < straggler_handled.size(); ++d) {
+        if (id_map[d] >= 0) {
+          handled_remapped[static_cast<size_t>(id_map[d])] = straggler_handled[d];
+        }
+      }
+      straggler_handled = std::move(handled_remapped);
+      active_cluster = std::move(survivors);
+      active_iter_ms = replanned.deployment.per_iteration_ms;
+      active_cold_ms = replanned.deployment.cold_iteration_ms;
+      if (charged) {
+        ++step;
+        if (live && ckpt_on && step % copts.every == 0 && step < steps) {
+          save_snapshot(step);
+        }
+      }
+      continue;  // failure mid-step: re-execute it under the new plan
+    }
+
+    // Straggler reaction: devices the monitor quarantined while observing
+    // this step. Each quarantine episode is handled once; a reinstated
+    // device becomes reactive again.
+    std::vector<int> quarantined_now;
+    for (int d = 0; d < active_cluster.device_count(); ++d) {
+      const health::DeviceState st = monitor->state(d);
+      if (st == health::DeviceState::kQuarantined &&
+          !straggler_handled[static_cast<size_t>(d)]) {
+        quarantined_now.push_back(d);
+        straggler_handled[static_cast<size_t>(d)] = 1;
+      } else if (st == health::DeviceState::kHealthy) {
+        straggler_handled[static_cast<size_t>(d)] = 0;
+      }
+    }
+    if (!quarantined_now.empty() && hp.replan_on_straggler) {
+      if (monitor->breaker_open()) {
+        // Breaker open: keep the current plan and absorb the slowdown
+        // (derate in place) instead of piling more re-plans on a run that is
+        // already thrashing.
+        if (live && log_events) {
+          events->emit(obs::Event("degraded_replan")
+                           .with("step", step)
+                           .with("reason", "derate_in_place")
+                           .with("devices",
+                                 static_cast<int>(quarantined_now.size()))
+                           .with("replan", false));
+        }
+      } else {
+        // Optimisation re-plan against the *believed* cluster: derate the
+        // quarantined devices by their measured slowdown estimates (all
+        // reaction-side knowledge) and choose a plan for that. The chosen
+        // strategy is then deployed on the real cluster — the injector keeps
+        // applying the true slowdown, so deploying on the derated spec would
+        // double-apply it.
+        faults::FaultScaling believed;
+        believed.step = step;
+        believed.compute_slowdown.assign(
+            static_cast<size_t>(active_cluster.device_count()), 1.0);
+        for (int d : quarantined_now) {
+          believed.compute_slowdown[static_cast<size_t>(d)] =
+              std::max(1.0, monitor->estimated_slowdown(d));
+        }
+        const cluster::ClusterSpec derated =
+            faults::degraded_cluster(active_cluster, believed);
+        const PlanResult choice = make_plan(training_graph_, derated, config_,
+                                            /*with_rl=*/false, 0);
+        const PlanResult redeployed =
+            deploy_fixed_plan(training_graph_, active_cluster, config_,
+                              choice.grouping, choice.strategy);
+        monitor->record_replan(step, live);
+        std::vector<int> identity(
+            static_cast<size_t>(active_cluster.device_count()));
+        std::iota(identity.begin(), identity.end(), 0);
+        injector.apply_replan(redeployed.compiled->graph, active_cluster, identity);
+        monitor->on_replan(identity);
+        stats.oom = stats.oom || redeployed.deployment.oom;
+        if (live) {
+          if (log_events) {
+            events->emit(obs::Event("degraded_replan")
+                             .with("step", step)
+                             .with("reason", "straggler_replan")
+                             .with("devices",
+                                   static_cast<int>(quarantined_now.size()))
+                             .with("replan", true));
+          }
+          log_info() << "DistRunner: re-planned around " << quarantined_now.size()
+                     << " quarantined straggler(s) at step " << step << "; plan "
+                     << active_iter_ms << " -> "
+                     << redeployed.deployment.per_iteration_ms << " ms/iteration";
+        }
+        active_iter_ms = redeployed.deployment.per_iteration_ms;
+        active_cold_ms = redeployed.deployment.cold_iteration_ms;
+      }
+    }
+
+    ++step;
+    if (live && ckpt_on && step % copts.every == 0 && step < steps) {
+      save_snapshot(step);
+    }
+  }
+  check_replayed_health();
+
+  stats.total_ms += stats.retry_backoff_total_ms + stats.detection_overhead_ms;
+  if (monitor) stats.health = monitor->summary();
   const int executed = static_cast<int>(stats.step_ms.size());
   stats.per_iteration_ms = executed > 0 ? stats.total_ms / executed : 0.0;
   save_snapshot(step);  // final snapshot: run end, or the step recovery died at
@@ -604,6 +907,18 @@ RunStats resume_run(const std::string& journal_path,
   config.fault_handling.retry_backoff_ms = journal.fh_retry_backoff_ms;
   config.fault_handling.max_backoff_ms = journal.fh_max_backoff_ms;
   config.fault_handling.replan_rl_episodes = journal.fh_replan_rl_episodes;
+  config.fault_handling.deterministic_wall_times = journal.fh_deterministic_walls;
+  // An online-monitored run journals its serialized monitor; the embedded
+  // policy re-enables monitoring on resume so the tail replays the same
+  // detection decisions (run_impl cross-checks the replayed state).
+  if (!journal.health_state.empty()) {
+    try {
+      config.health = health::HealthMonitor::deserialize(journal.health_state).policy();
+    } catch (const health::HealthError& e) {
+      throw ckpt::JournalError(
+          std::string("resume_run: embedded health state invalid: ") + e.what());
+    }
+  }
   config.events = events;  // schedule + run_* telemetry of the resumed tail
 
   // Re-hydrate the deployed plan. These artifacts live *inside* the

@@ -25,6 +25,7 @@
 #include "compile/compiler.h"
 #include "faults/faults.h"
 #include "graph/training.h"
+#include "health/health.h"
 #include "obs/event_log.h"
 #include "profiler/profiler.h"
 #include "rl/trainer.h"
@@ -47,10 +48,21 @@ struct FaultHandlingConfig {
   /// re-planning (fast; the common choice — a mid-run re-plan should not
   /// stall training on a long search).
   int replan_rl_episodes = 0;
+  /// Record wall-clock fields (replan_wall_ms, checkpoint wall_ms) as zero
+  /// so identical executions produce byte-identical journals and event logs
+  /// — the chaos harness's per-seed determinism contract. Off by default:
+  /// real runs want the real walls.
+  bool deterministic_wall_times = false;
 };
 
 struct HeteroGConfig {
   agent::AgentConfig agent;
+  /// Online health monitoring (DESIGN.md "Online health & degraded modes").
+  /// When `health.enabled`, fault-aware runs detect failures and stragglers
+  /// from measurements only — the recovery loop never reads the injected
+  /// FaultPlan (that stays inside sim::FaultInjector). Off = the PR-1 oracle
+  /// recovery path.
+  health::HealthPolicy health;
   /// Search configuration. `train.threads` fans strategy evaluation across a
   /// worker pool and `train.eval_cache_capacity` memoizes repeated plans —
   /// both change only wall-clock time, never the chosen plan (the search is
@@ -88,6 +100,13 @@ struct RecoveryReport {
   int surviving_devices = 0;
   bool post_plan_oom = false;
   bool escalated_transient = false;  // failure came from exhausted retries
+  /// Online detection only: failed attempts spent confirming this failure
+  /// before the re-plan (0 on the oracle path — there detection is a plan
+  /// lookup, not an inference).
+  int detection_attempts = 0;
+  /// The re-plan was degraded to the heuristic path because the circuit
+  /// breaker was open or the configured re-plan deadline was exceeded.
+  bool degraded = false;
 };
 
 struct RunStats {
@@ -106,6 +125,15 @@ struct RunStats {
   double retry_backoff_total_ms = 0.0;
   std::vector<RecoveryReport> recoveries;
   bool completed = true;
+
+  /// Online health monitoring only (HeteroGConfig::health.enabled): wall
+  /// time spent waiting out heartbeat timeouts while confirming failures
+  /// (included in total_ms but kept out of step_ms so per-step times stay
+  /// comparable to the oracle path), and the monitor's aggregate outcome.
+  /// On a resumed run the summary covers the whole run including the
+  /// replayed prefix (the monitor is rebuilt by replay).
+  double detection_overhead_ms = 0.0;
+  health::HealthSummary health;
 };
 
 /// A deployed distributed training model (Fig. 5's dist_runner).

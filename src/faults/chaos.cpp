@@ -1,0 +1,118 @@
+#include "faults/chaos.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace heterog::faults {
+
+void ChaosOptions::validate() const {
+  auto fail = [](const std::string& why) { throw FaultPlanError("chaos options: " + why); };
+  if (steps < 1) fail("steps must be >= 1");
+  if (device_count < 1) fail("device_count must be >= 1");
+  if (min_survivors < 1) fail("min_survivors must be >= 1");
+  if (max_failures < 0 || max_stragglers < 0 || max_link_degradations < 0 ||
+      max_transients < 0) {
+    fail("event caps must be >= 0");
+  }
+  if (!(min_slowdown > 1.0) || min_slowdown > max_slowdown) {
+    fail("slowdown range must satisfy 1 < min <= max");
+  }
+  if (!(min_bandwidth_factor > 0.0) || min_bandwidth_factor > max_bandwidth_factor ||
+      max_bandwidth_factor >= 1.0) {
+    fail("bandwidth factor range must satisfy 0 < min <= max < 1");
+  }
+  if (max_failed_attempts < 1) fail("max_failed_attempts must be >= 1");
+}
+
+FaultPlan make_chaos_plan(const ChaosOptions& opts) {
+  opts.validate();
+  Rng rng(opts.seed);
+  FaultPlan plan;
+
+  // Failures first: they constrain which devices other events may target
+  // (events on a dead device would be unreachable noise).
+  const int allowed_failures =
+      std::min(opts.max_failures, opts.device_count - opts.min_survivors);
+  std::set<int> failed;
+  if (allowed_failures > 0) {
+    const int n = rng.uniform_int(0, allowed_failures);
+    while (static_cast<int>(failed.size()) < n) {
+      failed.insert(rng.uniform_int(0, opts.device_count - 1));
+    }
+    for (const int d : failed) {
+      FaultEvent e;
+      e.kind = FaultKind::kDeviceFailure;
+      e.device = d;
+      // Onset after step 0 so there is always a healthy baseline window, and
+      // before the final step so the recovery actually runs.
+      e.onset_step = rng.uniform_int(1, std::max(1, opts.steps - 2));
+      plan.events.push_back(e);
+    }
+  }
+
+  auto pick_survivor = [&]() {
+    int d = rng.uniform_int(0, opts.device_count - 1);
+    while (failed.count(d) != 0) d = rng.uniform_int(0, opts.device_count - 1);
+    return d;
+  };
+
+  if (static_cast<int>(failed.size()) < opts.device_count) {
+    const int n_stragglers = rng.uniform_int(0, opts.max_stragglers);
+    for (int i = 0; i < n_stragglers; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kStraggler;
+      e.device = pick_survivor();
+      e.onset_step = rng.uniform_int(0, std::max(0, opts.steps - 2));
+      const int span = rng.uniform_int(2, std::max(2, opts.steps / 2));
+      e.recovery_step =
+          rng.uniform() < 0.3 ? -1 : std::min(opts.steps, e.onset_step + span);
+      e.slowdown = rng.uniform(opts.min_slowdown, opts.max_slowdown);
+      plan.events.push_back(e);
+    }
+
+    const int n_transients = rng.uniform_int(0, opts.max_transients);
+    for (int i = 0; i < n_transients; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kTransient;
+      e.device = pick_survivor();
+      e.onset_step = rng.uniform_int(0, opts.steps - 1);
+      e.failed_attempts = rng.uniform_int(1, opts.max_failed_attempts);
+      plan.events.push_back(e);
+    }
+  }
+
+  if (opts.device_count >= 2) {
+    const int n_links = rng.uniform_int(0, opts.max_link_degradations);
+    for (int i = 0; i < n_links; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kLinkDegradation;
+      e.device_a = rng.uniform_int(0, opts.device_count - 1);
+      e.device_b = rng.uniform_int(0, opts.device_count - 1);
+      while (e.device_b == e.device_a) {
+        e.device_b = rng.uniform_int(0, opts.device_count - 1);
+      }
+      e.onset_step = rng.uniform_int(0, std::max(0, opts.steps - 2));
+      const int span = rng.uniform_int(2, std::max(2, opts.steps / 2));
+      e.recovery_step =
+          rng.uniform() < 0.3 ? -1 : std::min(opts.steps, e.onset_step + span);
+      e.bandwidth_factor =
+          rng.uniform(opts.min_bandwidth_factor, opts.max_bandwidth_factor);
+      plan.events.push_back(e);
+    }
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     if (x.onset_step != y.onset_step) return x.onset_step < y.onset_step;
+                     if (x.kind != y.kind) {
+                       return static_cast<int>(x.kind) < static_cast<int>(y.kind);
+                     }
+                     if (x.device != y.device) return x.device < y.device;
+                     return x.device_a < y.device_a;
+                   });
+  return plan;
+}
+
+}  // namespace heterog::faults

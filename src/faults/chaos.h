@@ -1,0 +1,58 @@
+// Seed-driven chaos schedules (robustness extension; see DESIGN.md "Online
+// health & degraded modes").
+//
+// make_chaos_plan turns a (seed, run shape) pair into a randomized but fully
+// deterministic FaultPlan: same seed, same options -> byte-identical plan.
+// The chaos harness (tests/chaos_test.cpp, `heterog_cli run --chaos-seed`)
+// feeds these plans to the simulator-side injector and asserts the
+// measurement-only recovery loop survives them.
+//
+// Plans are generated injection-side on purpose: the health monitor never
+// sees them; only sim::FaultInjector does.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/faults.h"
+
+namespace heterog::faults {
+
+/// Shape of a randomized fault schedule. Defaults produce mixed schedules
+/// that stress every fault kind while always leaving the run survivable.
+struct ChaosOptions {
+  uint64_t seed = 0;
+  int steps = 20;        // run length the schedule is generated for
+  int device_count = 4;  // devices in the target cluster
+
+  /// Upper bound on events per kind (actual counts are drawn per seed).
+  int max_failures = 1;
+  int max_stragglers = 2;
+  int max_link_degradations = 2;
+  int max_transients = 3;
+
+  /// At least this many devices are never failed, so every schedule is
+  /// survivable by construction.
+  int min_survivors = 2;
+
+  /// Straggler slowdown is drawn from [min, max].
+  double min_slowdown = 1.8;
+  double max_slowdown = 4.0;
+  /// Link bandwidth factor is drawn from [min, max].
+  double min_bandwidth_factor = 0.15;
+  double max_bandwidth_factor = 0.6;
+  /// Transient events fail the first 1..max_failed_attempts tries.
+  int max_failed_attempts = 3;
+
+  /// Throws FaultPlanError when the shape is unsatisfiable (for example
+  /// min_survivors >= device_count with max_failures > 0 is fine — failures
+  /// are skipped — but device_count < 1 is not).
+  void validate() const;
+};
+
+/// Deterministically generates a randomized fault schedule for `opts`.
+/// Events are sorted by (onset_step, kind, device) so the plan text is
+/// stable, and the result validates against any cluster with
+/// `opts.device_count` devices.
+FaultPlan make_chaos_plan(const ChaosOptions& opts);
+
+}  // namespace heterog::faults

@@ -282,6 +282,19 @@ FaultPlan load_fault_plan(const std::string& path) {
   return parse_fault_plan_json(buffer.str());
 }
 
+namespace {
+
+/// %.17g round-trips doubles exactly; the default ostream precision (6
+/// significant digits) does not, and a resumed run re-parsing the journalled
+/// plan would simulate subtly different fault scalings than the original.
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
 std::string fault_plan_to_json(const FaultPlan& plan) {
   std::ostringstream os;
   os << "{\"faults\": [";
@@ -294,11 +307,11 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
         os << ", \"device\": " << e.device;
         break;
       case FaultKind::kStraggler:
-        os << ", \"device\": " << e.device << ", \"slowdown\": " << e.slowdown;
+        os << ", \"device\": " << e.device << ", \"slowdown\": " << json_number(e.slowdown);
         break;
       case FaultKind::kLinkDegradation:
         os << ", \"device_a\": " << e.device_a << ", \"device_b\": " << e.device_b
-           << ", \"bandwidth_factor\": " << e.bandwidth_factor;
+           << ", \"bandwidth_factor\": " << json_number(e.bandwidth_factor);
         break;
       case FaultKind::kTransient:
         os << ", \"device\": " << e.device

@@ -110,19 +110,48 @@ double FaultScaling::link_factor(const cluster::ClusterSpec& cluster,
   return factor;
 }
 
+namespace {
+
+[[noreturn]] void scaling_fail(const char* where, int step, const std::string& why) {
+  throw FaultPlanError(std::string(where) + ": " + why + " at step " +
+                       std::to_string(step));
+}
+
+}  // namespace
+
 std::string FaultScaling::signature() const {
   std::ostringstream os;
   for (size_t d = 0; d < compute_slowdown.size(); ++d) {
+    if (compute_slowdown[d] < 1.0) {
+      scaling_fail("FaultScaling::signature", step,
+                   "compute slowdown " + std::to_string(compute_slowdown[d]) +
+                       " < 1 on device " + std::to_string(d));
+    }
     if (compute_slowdown[d] > 1.0) os << "s" << d << ":" << compute_slowdown[d] << ";";
   }
-  for (const auto& l : links) os << "l" << l.a << "-" << l.b << ":" << l.factor << ";";
-  for (auto d : failed) os << "f" << d << ";";
+  for (const auto& l : links) {
+    if (l.factor <= 0.0 || l.factor >= 1.0) {
+      scaling_fail("FaultScaling::signature", step,
+                   "bandwidth factor " + std::to_string(l.factor) +
+                       " outside (0, 1) on link G" + std::to_string(l.a) + "<->G" +
+                       std::to_string(l.b));
+    }
+    os << "l" << l.a << "-" << l.b << ":" << l.factor << ";";
+  }
+  for (auto d : failed) {
+    if (d < 0) {
+      scaling_fail("FaultScaling::signature", step,
+                   "negative failed device id " + std::to_string(d));
+    }
+    os << "f" << d << ";";
+  }
   return os.str();
 }
 
 FaultScaling scaling_at(const FaultPlan& plan, const cluster::ClusterSpec& cluster,
                         int step) {
   FaultScaling out;
+  out.step = step;
   out.compute_slowdown.assign(static_cast<size_t>(cluster.device_count()), 1.0);
   for (const auto& e : plan.events) {
     if (!e.active_at(step)) continue;
@@ -172,16 +201,42 @@ FaultPlan remap_plan(const FaultPlan& plan, const std::vector<int>& new_id_of) {
 
 cluster::ClusterSpec degraded_cluster(const cluster::ClusterSpec& base,
                                       const FaultScaling& scaling) {
+  for (const auto d : scaling.failed) {
+    if (d < 0 || d >= base.device_count()) {
+      scaling_fail("degraded_cluster", scaling.step,
+                   "failed device " + std::to_string(d) + " out of range for a " +
+                       std::to_string(base.device_count()) + "-device cluster");
+    }
+  }
+  if (static_cast<int>(scaling.failed.size()) >= base.device_count()) {
+    throw cluster::ClusterSpecError(
+        "degraded_cluster: no device survives at step " +
+        std::to_string(scaling.step) + " (all " +
+        std::to_string(base.device_count()) + " devices failed)");
+  }
   std::vector<cluster::HostSpec> hosts = base.hosts();
   std::vector<cluster::DeviceSpec> devices = base.devices();
   for (auto& d : devices) {
     const auto idx = static_cast<size_t>(d.id);
-    if (idx < scaling.compute_slowdown.size() && scaling.compute_slowdown[idx] > 1.0) {
-      d.gflops_per_ms /= scaling.compute_slowdown[idx];
+    if (idx < scaling.compute_slowdown.size()) {
+      if (scaling.compute_slowdown[idx] < 1.0) {
+        scaling_fail("degraded_cluster", scaling.step,
+                     "compute slowdown " + std::to_string(scaling.compute_slowdown[idx]) +
+                         " < 1 on device " + std::to_string(d.id));
+      }
+      if (scaling.compute_slowdown[idx] > 1.0) {
+        d.gflops_per_ms /= scaling.compute_slowdown[idx];
+      }
     }
   }
   cluster::ClusterSpec out(std::move(hosts), std::move(devices), base.switch_gbps());
   for (const auto& l : scaling.links) {
+    if (l.a < 0 || l.a >= base.device_count() || l.b < 0 || l.b >= base.device_count()) {
+      scaling_fail("degraded_cluster", scaling.step,
+                   "degraded link G" + std::to_string(l.a) + "<->G" +
+                       std::to_string(l.b) + " references a device outside the " +
+                       std::to_string(base.device_count()) + "-device cluster");
+    }
     out = out.degrade_link(l.a, l.b, l.factor);
   }
   // Remove failed devices last (highest id first so lower ids stay stable

@@ -84,6 +84,11 @@ struct LinkDegradation {
 /// concrete cluster: per-device compute slowdown, degraded links and the set
 /// of failed devices.
 struct FaultScaling {
+  /// Step this scaling was resolved at (scaling_at sets it; -1 for
+  /// hand-built scalings). Diagnostic only: excluded from signature() so
+  /// identical fault sets at different steps still share one memo entry.
+  int step = -1;
+
   std::vector<double> compute_slowdown;  // per device, >= 1.0
   std::vector<LinkDegradation> links;
   std::vector<cluster::DeviceId> failed;  // sorted, unique
@@ -99,6 +104,9 @@ struct FaultScaling {
                      cluster::DeviceId y) const;
 
   /// Stable cache key for memoising simulations of identical fault sets.
+  /// Throws FaultPlanError (naming `step` and the offending device) on a
+  /// malformed scaling — a corrupt cache key would silently alias distinct
+  /// fault sets.
   std::string signature() const;
 };
 

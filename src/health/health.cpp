@@ -1,0 +1,481 @@
+#include "health/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace heterog::health {
+
+namespace {
+
+/// Round-trip double formatting shared by serialize()/deserialize(); matches
+/// the journal's convention so embedded state diffs cleanly.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void bad_state(const std::string& why) {
+  throw HealthError("health state: " + why);
+}
+
+template <typename T>
+T parse_num(std::istringstream& is, const char* what) {
+  T value{};
+  if (!(is >> value)) bad_state(std::string("malformed ") + what);
+  return value;
+}
+
+}  // namespace
+
+const char* device_state_name(DeviceState s) {
+  switch (s) {
+    case DeviceState::kHealthy:
+      return "healthy";
+    case DeviceState::kSuspect:
+      return "suspect";
+    case DeviceState::kQuarantined:
+      return "quarantined";
+    case DeviceState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void HealthPolicy::validate() const {
+  auto fail = [](const std::string& why) { throw HealthError("health policy: " + why); };
+  if (!(ewma_alpha > 0.0 && ewma_alpha <= 1.0)) fail("ewma_alpha must be in (0, 1]");
+  if (z_threshold <= 0.0) fail("z_threshold must be positive");
+  if (min_slowdown_ratio < 1.0) fail("min_slowdown_ratio must be >= 1");
+  if (hysteresis_steps < 1) fail("hysteresis_steps must be >= 1");
+  if (probation_steps < 1) fail("probation_steps must be >= 1");
+  if (warmup_steps < 1) fail("warmup_steps must be >= 1");
+  if (!(heartbeat_loss_probability > 0.0 && heartbeat_loss_probability < 1.0)) {
+    fail("heartbeat_loss_probability must be in (0, 1)");
+  }
+  if (phi_threshold <= 0.0) fail("phi_threshold must be positive");
+  if (heartbeat_timeout_ms < 0.0) fail("heartbeat_timeout_ms must be >= 0");
+}
+
+HealthMonitor::HealthMonitor(int device_count, HealthPolicy policy,
+                             obs::EventLog* events)
+    : policy_(policy), events_(events) {
+  if (device_count < 1) throw HealthError("HealthMonitor: device_count must be >= 1");
+  policy_.validate();
+  devices_.resize(static_cast<size_t>(device_count));
+}
+
+void HealthMonitor::emit_suspicion(int step, int device, const char* kind,
+                                   double score, int streak, bool emit) {
+  ++summary_.suspicion_events;
+  if (!emit || events_ == nullptr || !events_->ok()) return;
+  events_->emit(obs::Event("suspicion")
+                    .with("step", step)
+                    .with("device", device)
+                    .with("kind", kind)
+                    .with("score", score)
+                    .with("streak", streak));
+}
+
+void HealthMonitor::confirm_failure(int device, int step, const std::string& kind,
+                                    bool emit) {
+  DeviceStats& d = devices_[static_cast<size_t>(device)];
+  if (d.state == DeviceState::kFailed) return;
+  const int onset = d.anomaly_onset_step >= 0 ? d.anomaly_onset_step : step;
+  d.state = DeviceState::kFailed;
+  d.consecutive_slow = 0;
+  d.consecutive_normal = 0;
+  pending_failures_.push_back(device);
+  ++summary_.failures_confirmed;
+  summary_.detections.push_back({device, kind, onset, step});
+  if (emit && events_ != nullptr && events_->ok()) {
+    events_->emit(obs::Event("quarantine")
+                      .with("step", step)
+                      .with("device", device)
+                      .with("action", "fail")
+                      .with("kind", kind)
+                      .with("onset_step", onset)
+                      .with("phi", phi(device)));
+  }
+}
+
+void HealthMonitor::quarantine_device(int device, int step, bool emit) {
+  DeviceStats& d = devices_[static_cast<size_t>(device)];
+  d.state = DeviceState::kQuarantined;
+  d.consecutive_normal = 0;
+  ++summary_.quarantines;
+  const int onset = d.anomaly_onset_step >= 0 ? d.anomaly_onset_step : step;
+  summary_.detections.push_back({device, "straggler", onset, step});
+  if (emit && events_ != nullptr && events_->ok()) {
+    events_->emit(obs::Event("quarantine")
+                      .with("step", step)
+                      .with("device", device)
+                      .with("action", "enter")
+                      .with("kind", "straggler")
+                      .with("onset_step", onset)
+                      .with("slowdown", estimated_slowdown(device)));
+  }
+}
+
+void HealthMonitor::reinstate_device(int device, int step, bool emit) {
+  DeviceStats& d = devices_[static_cast<size_t>(device)];
+  d.state = DeviceState::kHealthy;
+  d.consecutive_slow = 0;
+  d.consecutive_normal = 0;
+  d.anomaly_onset_step = -1;
+  ++summary_.reinstatements;
+  if (emit && events_ != nullptr && events_->ok()) {
+    events_->emit(obs::Event("quarantine")
+                      .with("step", step)
+                      .with("device", device)
+                      .with("action", "reinstate")
+                      .with("kind", "straggler")
+                      .with("onset_step", step)
+                      .with("slowdown", 1.0));
+  }
+}
+
+void HealthMonitor::observe_step_time(const Observation& obs,
+                                      bool any_device_anomalous, bool emit) {
+  const double x = obs.makespan_ms;
+  if (step_samples_ >= policy_.warmup_steps && !any_device_anomalous) {
+    const double sd = std::sqrt(std::max(step_var_, 1e-12));
+    const double z = (x - step_mean_) / sd;
+    if (z > policy_.z_threshold &&
+        x > step_mean_ * policy_.min_slowdown_ratio) {
+      // Every device looks healthy but the step as a whole stalled: the
+      // anomaly lives on the communication path.
+      emit_suspicion(obs.step, -1, "comm", z, 1, emit);
+    }
+  }
+  const double a = policy_.ewma_alpha;
+  if (step_samples_ == 0) {
+    step_mean_ = x;
+    step_var_ = 0.0;
+  } else {
+    const double delta = x - step_mean_;
+    step_mean_ += a * delta;
+    step_var_ = (1.0 - a) * (step_var_ + a * delta * delta);
+  }
+  ++step_samples_;
+}
+
+void HealthMonitor::observe(const Observation& obs, bool emit) {
+  // Heartbeats first: a missed round accrues phi on the device whatever the
+  // attempt outcome was.
+  const size_t n = devices_.size();
+  for (size_t i = 0; i < n && i < obs.responded.size(); ++i) {
+    DeviceStats& d = devices_[i];
+    if (d.state == DeviceState::kFailed) continue;
+    if (!obs.responded[i]) {
+      if (d.consecutive_misses == 0) d.anomaly_onset_step = obs.step;
+      ++d.consecutive_misses;
+      const double score = phi(static_cast<int>(i));
+      emit_suspicion(obs.step, static_cast<int>(i), "timeout", score,
+                     d.consecutive_misses, emit);
+      const bool budget_out = retry_budget_exhausted();
+      if (score >= policy_.phi_threshold || budget_out) {
+        confirm_failure(static_cast<int>(i), obs.step, "failure", emit);
+      }
+    } else if (d.consecutive_misses > 0) {
+      d.consecutive_misses = 0;
+      if (d.state == DeviceState::kHealthy) d.anomaly_onset_step = -1;
+    }
+  }
+
+  // Error attribution: the worker that raised this attempt's exception.
+  if (obs.error_device >= 0 &&
+      static_cast<size_t>(obs.error_device) < n &&
+      devices_[static_cast<size_t>(obs.error_device)].state != DeviceState::kFailed) {
+    DeviceStats& d = devices_[static_cast<size_t>(obs.error_device)];
+    if (d.anomaly_onset_step < 0) d.anomaly_onset_step = obs.step;
+    emit_suspicion(obs.step, obs.error_device, "error", 1.0, obs.attempt + 1, emit);
+  }
+
+  if (!obs.completed) return;
+
+  // Timing statistics only advance on completed attempts.
+  bool any_anomalous = false;
+  for (size_t i = 0; i < n && i < obs.device_busy_ms.size(); ++i) {
+    DeviceStats& d = devices_[i];
+    if (d.state == DeviceState::kFailed) continue;
+    const double x = obs.device_busy_ms[i];
+    d.last_busy_ms = x;
+
+    bool anomalous = false;
+    if (d.samples >= policy_.warmup_steps) {
+      const double sd = std::sqrt(std::max(d.var, 1e-12));
+      const double z = (x - d.mean) / sd;
+      anomalous = z > policy_.z_threshold && x > d.mean * policy_.min_slowdown_ratio;
+      if (anomalous) any_anomalous = true;
+
+      if (d.state == DeviceState::kQuarantined) {
+        // Probation against the frozen healthy baseline.
+        if (!anomalous) {
+          ++d.consecutive_normal;
+          if (d.consecutive_normal >= policy_.probation_steps) {
+            reinstate_device(static_cast<int>(i), obs.step, emit);
+          }
+        } else {
+          d.consecutive_normal = 0;
+        }
+        continue;  // baseline stays frozen while quarantined
+      }
+
+      if (anomalous) {
+        if (d.consecutive_slow == 0) d.anomaly_onset_step = obs.step;
+        ++d.consecutive_slow;
+        d.state = DeviceState::kSuspect;
+        emit_suspicion(obs.step, static_cast<int>(i), "slow", z, d.consecutive_slow,
+                       emit);
+        if (d.consecutive_slow >= policy_.hysteresis_steps) {
+          quarantine_device(static_cast<int>(i), obs.step, emit);
+        }
+        continue;  // anomalous samples do not poison the baseline
+      }
+      if (d.state == DeviceState::kSuspect) {
+        d.state = DeviceState::kHealthy;
+        d.anomaly_onset_step = -1;
+      }
+      d.consecutive_slow = 0;
+    }
+
+    const double a = policy_.ewma_alpha;
+    if (d.samples == 0) {
+      d.mean = x;
+      d.var = 0.0;
+    } else {
+      const double delta = x - d.mean;
+      d.mean += a * delta;
+      d.var = (1.0 - a) * (d.var + a * delta * delta);
+    }
+    ++d.samples;
+  }
+
+  observe_step_time(obs, any_anomalous, emit);
+}
+
+std::vector<int> HealthMonitor::take_confirmed_failures() {
+  std::vector<int> out = std::move(pending_failures_);
+  pending_failures_.clear();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void HealthMonitor::force_failure(int device, int step, const std::string& kind) {
+  if (device < 0 || static_cast<size_t>(device) >= devices_.size()) return;
+  confirm_failure(device, step, kind, true);
+}
+
+DeviceState HealthMonitor::state(int device) const {
+  if (device < 0 || static_cast<size_t>(device) >= devices_.size()) {
+    throw HealthError("HealthMonitor::state: device out of range");
+  }
+  return devices_[static_cast<size_t>(device)].state;
+}
+
+double HealthMonitor::phi(int device) const {
+  if (device < 0 || static_cast<size_t>(device) >= devices_.size()) return 0.0;
+  const int misses = devices_[static_cast<size_t>(device)].consecutive_misses;
+  return static_cast<double>(misses) * -std::log10(policy_.heartbeat_loss_probability);
+}
+
+double HealthMonitor::estimated_slowdown(int device) const {
+  if (device < 0 || static_cast<size_t>(device) >= devices_.size()) return 1.0;
+  const DeviceStats& d = devices_[static_cast<size_t>(device)];
+  if (d.state != DeviceState::kQuarantined || d.mean <= 0.0) return 1.0;
+  return std::max(1.0, d.last_busy_ms / d.mean);
+}
+
+bool HealthMonitor::charge_retry() {
+  if (retry_budget_exhausted()) return false;
+  ++retries_charged_;
+  ++summary_.retries_charged;
+  if (retry_budget_exhausted()) summary_.retry_budget_exhausted = true;
+  return true;
+}
+
+bool HealthMonitor::retry_budget_exhausted() const {
+  return policy_.retry_budget > 0 && retries_charged_ >= policy_.retry_budget;
+}
+
+void HealthMonitor::record_replan(int step, bool emit) {
+  ++replans_;
+  if (breaker_open_ || policy_.max_replans <= 0 || replans_ < policy_.max_replans) {
+    return;
+  }
+  breaker_open_ = true;
+  summary_.breaker_opened = true;
+  if (emit && events_ != nullptr && events_->ok()) {
+    events_->emit(obs::Event("breaker_open")
+                      .with("step", step)
+                      .with("replans", replans_)
+                      .with("max_replans", policy_.max_replans));
+  }
+}
+
+bool HealthMonitor::breaker_open() const { return breaker_open_; }
+
+void HealthMonitor::on_replan(const std::vector<int>& new_id_of) {
+  std::vector<DeviceStats> remapped;
+  int survivors = 0;
+  for (const int id : new_id_of) survivors = std::max(survivors, id + 1);
+  remapped.resize(static_cast<size_t>(std::max(survivors, 1)));
+  for (size_t old_id = 0; old_id < devices_.size() && old_id < new_id_of.size();
+       ++old_id) {
+    const int new_id = new_id_of[old_id];
+    if (new_id < 0) continue;
+    remapped[static_cast<size_t>(new_id)] = devices_[old_id];
+  }
+  devices_ = std::move(remapped);
+  // The workload per device changes under the new plan; baselines re-learn.
+  for (DeviceStats& d : devices_) {
+    d.mean = 0.0;
+    d.var = 0.0;
+    d.samples = 0;
+    d.consecutive_slow = 0;
+    d.consecutive_normal = 0;
+    d.last_busy_ms = 0.0;
+    if (d.state == DeviceState::kSuspect) d.state = DeviceState::kHealthy;
+  }
+  step_mean_ = 0.0;
+  step_var_ = 0.0;
+  step_samples_ = 0;
+  pending_failures_.clear();
+}
+
+std::string HealthMonitor::serialize() const {
+  std::ostringstream os;
+  os << "health-v1\n";
+  os << "policy " << (policy_.enabled ? 1 : 0) << " " << fmt(policy_.ewma_alpha) << " "
+     << fmt(policy_.z_threshold) << " " << fmt(policy_.min_slowdown_ratio) << " "
+     << policy_.hysteresis_steps << " " << policy_.probation_steps << " "
+     << policy_.warmup_steps << " " << fmt(policy_.heartbeat_loss_probability) << " "
+     << fmt(policy_.phi_threshold) << " " << fmt(policy_.heartbeat_timeout_ms) << " "
+     << policy_.retry_budget << " " << policy_.max_replans << " "
+     << (policy_.replan_on_straggler ? 1 : 0) << " "
+     << fmt(policy_.replan_deadline_ms) << "\n";
+  os << "run " << retries_charged_ << " " << replans_ << " " << (breaker_open_ ? 1 : 0)
+     << " " << fmt(step_mean_) << " " << fmt(step_var_) << " " << step_samples_ << "\n";
+  os << "devices " << devices_.size() << "\n";
+  for (const DeviceStats& d : devices_) {
+    os << "device " << static_cast<int>(d.state) << " " << fmt(d.mean) << " "
+       << fmt(d.var) << " " << d.samples << " " << fmt(d.last_busy_ms) << " "
+       << d.consecutive_slow << " " << d.consecutive_normal << " "
+       << d.consecutive_misses << " " << d.anomaly_onset_step << "\n";
+  }
+  os << "pending " << pending_failures_.size();
+  for (const int p : pending_failures_) os << " " << p;
+  os << "\n";
+  return os.str();
+}
+
+HealthMonitor HealthMonitor::deserialize(const std::string& text,
+                                         obs::EventLog* events) {
+  std::istringstream in(text);
+  std::string line;
+  auto next_line = [&](const char* what) {
+    if (!std::getline(in, line)) bad_state(std::string("truncated before ") + what);
+    return line;
+  };
+  if (next_line("header") != "health-v1") bad_state("bad header");
+
+  HealthPolicy policy;
+  {
+    std::istringstream is(next_line("policy"));
+    std::string tag;
+    int enabled = 0, straggler = 0;
+    is >> tag;
+    if (tag != "policy") bad_state("expected policy line");
+    enabled = parse_num<int>(is, "policy");
+    policy.ewma_alpha = parse_num<double>(is, "policy");
+    policy.z_threshold = parse_num<double>(is, "policy");
+    policy.min_slowdown_ratio = parse_num<double>(is, "policy");
+    policy.hysteresis_steps = parse_num<int>(is, "policy");
+    policy.probation_steps = parse_num<int>(is, "policy");
+    policy.warmup_steps = parse_num<int>(is, "policy");
+    policy.heartbeat_loss_probability = parse_num<double>(is, "policy");
+    policy.phi_threshold = parse_num<double>(is, "policy");
+    policy.heartbeat_timeout_ms = parse_num<double>(is, "policy");
+    policy.retry_budget = parse_num<int>(is, "policy");
+    policy.max_replans = parse_num<int>(is, "policy");
+    straggler = parse_num<int>(is, "policy");
+    policy.replan_deadline_ms = parse_num<double>(is, "policy");
+    policy.enabled = enabled != 0;
+    policy.replan_on_straggler = straggler != 0;
+  }
+
+  int retries = 0, replans = 0, breaker = 0, step_samples = 0;
+  double step_mean = 0.0, step_var = 0.0;
+  {
+    std::istringstream is(next_line("run"));
+    std::string tag;
+    is >> tag;
+    if (tag != "run") bad_state("expected run line");
+    retries = parse_num<int>(is, "run");
+    replans = parse_num<int>(is, "run");
+    breaker = parse_num<int>(is, "run");
+    step_mean = parse_num<double>(is, "run");
+    step_var = parse_num<double>(is, "run");
+    step_samples = parse_num<int>(is, "run");
+  }
+
+  size_t n_devices = 0;
+  {
+    std::istringstream is(next_line("devices"));
+    std::string tag;
+    is >> tag;
+    if (tag != "devices") bad_state("expected devices line");
+    const long long n = parse_num<long long>(is, "devices");
+    if (n < 1 || n > 1'000'000) bad_state("device count out of range");
+    n_devices = static_cast<size_t>(n);
+  }
+
+  HealthMonitor monitor(static_cast<int>(n_devices), policy, events);
+  monitor.retries_charged_ = retries;
+  monitor.replans_ = replans;
+  monitor.breaker_open_ = breaker != 0;
+  monitor.step_mean_ = step_mean;
+  monitor.step_var_ = step_var;
+  monitor.step_samples_ = step_samples;
+  for (size_t i = 0; i < n_devices; ++i) {
+    std::istringstream is(next_line("device"));
+    std::string tag;
+    is >> tag;
+    if (tag != "device") bad_state("expected device line");
+    DeviceStats d;
+    const int state = parse_num<int>(is, "device state");
+    if (state < 0 || state > static_cast<int>(DeviceState::kFailed)) {
+      bad_state("device state out of range");
+    }
+    d.state = static_cast<DeviceState>(state);
+    d.mean = parse_num<double>(is, "device");
+    d.var = parse_num<double>(is, "device");
+    d.samples = parse_num<int>(is, "device");
+    d.last_busy_ms = parse_num<double>(is, "device");
+    d.consecutive_slow = parse_num<int>(is, "device");
+    d.consecutive_normal = parse_num<int>(is, "device");
+    d.consecutive_misses = parse_num<int>(is, "device");
+    d.anomaly_onset_step = parse_num<int>(is, "device");
+    monitor.devices_[i] = d;
+  }
+  {
+    std::istringstream is(next_line("pending"));
+    std::string tag;
+    is >> tag;
+    if (tag != "pending") bad_state("expected pending line");
+    const long long n = parse_num<long long>(is, "pending");
+    if (n < 0 || n > static_cast<long long>(n_devices)) {
+      bad_state("pending count out of range");
+    }
+    for (long long i = 0; i < n; ++i) {
+      monitor.pending_failures_.push_back(parse_num<int>(is, "pending device"));
+    }
+  }
+  return monitor;
+}
+
+}  // namespace heterog::health

@@ -60,6 +60,9 @@ const std::vector<std::string>& all_event_types() {
       // Deployed-schedule statistics (heterog::get_runner, heterog_cli
       // evaluate).
       "schedule", "device_utilization", "link_utilization",
+      // Online health monitoring (health::HealthMonitor, heterog::DistRunner
+      // degraded re-planning).
+      "suspicion", "quarantine", "breaker_open", "degraded_replan",
   };
   return types;
 }

@@ -122,4 +122,97 @@ FaultAwareRun simulate_with_faults(const compile::DistGraph& graph,
   return run;
 }
 
+FaultInjector::FaultInjector(compile::DistGraph graph, cluster::ClusterSpec cluster,
+                             faults::FaultPlan plan, SimOptions options)
+    : graph_(std::move(graph)),
+      cluster_(std::move(cluster)),
+      plan_(std::move(plan)),
+      options_(options) {
+  // Per-step timing only; memory tracking is a deployment-time concern.
+  options_.track_memory = false;
+  plan_.validate(cluster_);
+}
+
+const FaultInjector::StepMeasurement& FaultInjector::measure(
+    const faults::FaultScaling& scaling) {
+  const std::string key = scaling.signature();
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    const compile::DistGraph scaled =
+        scaling.any() ? apply_fault_scaling(graph_, cluster_, scaling) : graph_;
+    const SimResult result = Simulator(options_).run(scaled);
+    StepMeasurement m;
+    m.makespan_ms = result.makespan_ms;
+    m.device_busy_ms.assign(static_cast<size_t>(cluster_.device_count()), 0.0);
+    const compile::ResourceModel& resources = graph_.resources();
+    for (int r = 0; r < static_cast<int>(result.resource_busy_ms.size()); ++r) {
+      if (resources.is_gpu_resource(r) && r < cluster_.device_count()) {
+        m.device_busy_ms[static_cast<size_t>(r)] =
+            result.resource_busy_ms[static_cast<size_t>(r)];
+      }
+    }
+    it = memo_.emplace(key, std::move(m)).first;
+  }
+  return it->second;
+}
+
+health::Observation FaultInjector::attempt_step(int step, int attempt,
+                                                bool transients_active) {
+  const faults::FaultScaling scaling = faults::scaling_at(plan_, cluster_, step);
+
+  health::Observation obs;
+  obs.step = step;
+  obs.attempt = attempt;
+  obs.responded.assign(static_cast<size_t>(cluster_.device_count()), 1);
+  for (const auto d : scaling.failed) {
+    if (d >= 0 && static_cast<size_t>(d) < obs.responded.size()) {
+      obs.responded[static_cast<size_t>(d)] = 0;
+    }
+  }
+
+  // A failed device the plan depends on blocks the step entirely: the
+  // attempt times out with no error attribution.
+  for (const auto d : scaling.failed) {
+    if (plan_uses_device(graph_, d)) return obs;
+  }
+
+  // Transient hiccup: the first failed_attempts tries at the onset step
+  // abort with an exception attributed to the raising device (the lowest id
+  // when several are active, mirroring "first rank to throw wins").
+  if (transients_active) {
+    cluster::DeviceId error_device = -1;
+    for (const auto& event : plan_.events) {
+      if (event.kind != faults::FaultKind::kTransient || event.onset_step != step ||
+          event.failed_attempts <= attempt) {
+        continue;
+      }
+      if (error_device < 0 || event.device < error_device) error_device = event.device;
+    }
+    if (error_device >= 0) {
+      obs.error_device = error_device;
+      return obs;
+    }
+  }
+
+  const StepMeasurement& m = measure(scaling);
+  obs.completed = true;
+  obs.makespan_ms = m.makespan_ms;
+  obs.device_busy_ms = m.device_busy_ms;
+  return obs;
+}
+
+void FaultInjector::apply_replan(compile::DistGraph graph,
+                                 cluster::ClusterSpec cluster,
+                                 const std::vector<int>& new_id_of) {
+  plan_ = faults::remap_plan(plan_, new_id_of);
+  graph_ = std::move(graph);
+  cluster_ = std::move(cluster);
+  memo_.clear();
+  plan_.validate(cluster_);
+}
+
+faults::FaultScaling FaultInjector::oracle_scaling(int step) const {
+  return faults::scaling_at(plan_, cluster_, step);
+}
+
 }  // namespace heterog::sim

@@ -7,8 +7,11 @@
 // flagged inexecutable — the signal DistRunner's re-planning loop consumes.
 #pragma once
 
+#include <map>
+
 #include "compile/dist_graph.h"
 #include "faults/faults.h"
+#include "health/health.h"
 #include "sim/simulator.h"
 
 namespace heterog::sim {
@@ -45,5 +48,58 @@ FaultAwareRun simulate_with_faults(const compile::DistGraph& graph,
                                    const cluster::ClusterSpec& cluster,
                                    const faults::FaultPlan& plan, int steps,
                                    SimOptions options = SimOptions());
+
+/// The *injection* half of the fault pipeline (DESIGN.md "Online health &
+/// degraded modes"). The injector owns the FaultPlan and the fault-scaled
+/// simulations; the runner's reaction logic sees only the
+/// health::Observation values it hands out — per-attempt heartbeats, error
+/// attributions and (for completed attempts) the raw makespan and per-device
+/// busy times a real execution engine's telemetry would report. The oracle_*
+/// accessors exist solely for the legacy PR-1 recovery path and the runner's
+/// measurement-free replay bookkeeping; the online health path never calls
+/// them.
+class FaultInjector {
+ public:
+  /// Raw timing of one simulated iteration under a fixed fault set.
+  struct StepMeasurement {
+    double makespan_ms = 0.0;
+    std::vector<double> device_busy_ms;  // indexed by device id
+  };
+
+  FaultInjector(compile::DistGraph graph, cluster::ClusterSpec cluster,
+                faults::FaultPlan plan, SimOptions options);
+
+  /// One attempt of `step` (attempt 0 = first try). Outcome precedence:
+  /// a failed device the plan uses times the attempt out (no error
+  /// attribution — heartbeats are the only signal); otherwise a transient
+  /// event with failed_attempts > attempt aborts it with an attributed
+  /// error; otherwise it completes with measured timings.
+  /// `transients_active` = false suppresses transient errors (the runner
+  /// already retried through this step before a re-plan re-entered it).
+  health::Observation attempt_step(int step, int attempt,
+                                   bool transients_active = true);
+
+  /// Memoised simulation of the active graph under `scaling` (shared by the
+  /// oracle and online paths so their arithmetic is identical).
+  const StepMeasurement& measure(const faults::FaultScaling& scaling);
+
+  /// Swaps in the re-planned graph/cluster and rewrites the plan's device
+  /// references through `new_id_of` (faults::remap_plan semantics).
+  void apply_replan(compile::DistGraph graph, cluster::ClusterSpec cluster,
+                    const std::vector<int>& new_id_of);
+
+  /// Oracle accessors — PR-1 recovery path only.
+  faults::FaultScaling oracle_scaling(int step) const;
+  const faults::FaultPlan& oracle_plan() const { return plan_; }
+
+  int device_count() const { return cluster_.device_count(); }
+
+ private:
+  compile::DistGraph graph_;
+  cluster::ClusterSpec cluster_;
+  faults::FaultPlan plan_;
+  SimOptions options_;
+  std::map<std::string, StepMeasurement> memo_;  // keyed by scaling signature
+};
 
 }  // namespace heterog::sim

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/heterog.h"
 #include "faults/faults.h"
 #include "models/models.h"
@@ -234,6 +237,198 @@ TEST(FaultScaling, RemapDropsVanishedDevices) {
   ASSERT_EQ(remapped.events.size(), 2u);
   EXPECT_EQ(remapped.events[0].device, 2);  // straggler unchanged
   EXPECT_EQ(remapped.events[1].device, 4);  // failure of old 5 -> new 4
+}
+
+// remap_plan / JSON properties ----------------------------------------------
+
+FaultPlan random_plan(Rng& rng, int device_count) {
+  FaultPlan plan;
+  const int n = rng.uniform_int(1, 8);
+  for (int i = 0; i < n; ++i) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        plan.events.push_back(
+            device_failure(rng.uniform_int(0, device_count - 1), rng.uniform_int(0, 19)));
+        break;
+      case 1:
+        plan.events.push_back(straggler(rng.uniform_int(0, device_count - 1),
+                                        rng.uniform(1.5, 6.0), rng.uniform_int(0, 19),
+                                        rng.uniform_int(0, 1) ? rng.uniform_int(5, 25)
+                                                              : -1));
+        break;
+      case 2:
+        plan.events.push_back(transient(rng.uniform_int(0, device_count - 1),
+                                        rng.uniform_int(0, 19), rng.uniform_int(1, 4)));
+        break;
+      default: {
+        const int a = rng.uniform_int(0, device_count - 1);
+        int b = rng.uniform_int(0, device_count - 1);
+        if (b == a) b = (a + 1) % device_count;
+        plan.events.push_back(
+            link_degradation(a, b, rng.uniform(0.1, 0.9), rng.uniform_int(0, 19)));
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+TEST(FaultProperties, RemapDropsExactlyTheVanishedAndRewritesTheRest) {
+  // For 200 random (plan, removal set) pairs: every event whose device (or
+  // either link endpoint) was removed vanishes, every survivor is rewritten
+  // through the id map, and nothing else changes.
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE(trial);
+    const int devices = rng.uniform_int(2, 8);
+    const FaultPlan plan = random_plan(rng, devices);
+
+    std::vector<int> id_map(static_cast<size_t>(devices));
+    int next = 0;
+    int removed = 0;
+    for (int d = 0; d < devices; ++d) {
+      // Remove each device with probability ~1/3, but keep at least one.
+      const bool remove = rng.uniform() < (1.0 / 3.0) && removed < devices - 1;
+      id_map[static_cast<size_t>(d)] = remove ? -1 : next++;
+      removed += remove ? 1 : 0;
+    }
+
+    const FaultPlan remapped = faults::remap_plan(plan, id_map);
+
+    size_t expected = 0;
+    size_t cursor = 0;
+    for (const auto& e : plan.events) {
+      const bool survives =
+          e.kind == FaultKind::kLinkDegradation
+              ? id_map[static_cast<size_t>(e.device_a)] >= 0 &&
+                    id_map[static_cast<size_t>(e.device_b)] >= 0
+              : id_map[static_cast<size_t>(e.device)] >= 0;
+      if (!survives) continue;
+      ++expected;
+      ASSERT_LT(cursor, remapped.events.size());
+      const auto& r = remapped.events[cursor++];
+      EXPECT_EQ(r.kind, e.kind);
+      EXPECT_EQ(r.onset_step, e.onset_step);
+      EXPECT_EQ(r.recovery_step, e.recovery_step);
+      if (e.kind == FaultKind::kLinkDegradation) {
+        EXPECT_EQ(r.device_a, id_map[static_cast<size_t>(e.device_a)]);
+        EXPECT_EQ(r.device_b, id_map[static_cast<size_t>(e.device_b)]);
+        EXPECT_DOUBLE_EQ(r.bandwidth_factor, e.bandwidth_factor);
+      } else {
+        EXPECT_EQ(r.device, id_map[static_cast<size_t>(e.device)]);
+        EXPECT_DOUBLE_EQ(r.slowdown, e.slowdown);
+        EXPECT_EQ(r.failed_attempts, e.failed_attempts);
+      }
+    }
+    EXPECT_EQ(remapped.events.size(), expected);
+  }
+}
+
+TEST(FaultProperties, IdentityRemapIsANoOpAndJsonRoundTripIsStable) {
+  // Identity maps leave plans untouched, and JSON serialisation reaches a
+  // fixed point after one round trip (parse(to_json(p)) serialises to the
+  // same bytes again) — the journal relies on this for byte-identical
+  // re-saves.
+  Rng rng(977);
+  for (int trial = 0; trial < 100; ++trial) {
+    SCOPED_TRACE(trial);
+    const int devices = rng.uniform_int(2, 8);
+    const FaultPlan plan = random_plan(rng, devices);
+
+    std::vector<int> identity(static_cast<size_t>(devices));
+    for (int d = 0; d < devices; ++d) identity[static_cast<size_t>(d)] = d;
+    const FaultPlan same = faults::remap_plan(plan, identity);
+    ASSERT_EQ(same.events.size(), plan.events.size());
+
+    const std::string json = faults::fault_plan_to_json(plan);
+    const FaultPlan reparsed = faults::parse_fault_plan_json(json);
+    ASSERT_EQ(reparsed.events.size(), plan.events.size());
+    EXPECT_EQ(faults::fault_plan_to_json(reparsed), json);
+    EXPECT_EQ(faults::fault_plan_to_json(same), json);
+  }
+}
+
+// Error-path diagnostics: signature() and degraded_cluster must name the
+// step and the offending device so chaos-harness failures are debuggable ----
+
+TEST(FaultScalingErrors, SignatureNamesStepAndDeviceOnBadSlowdown) {
+  faults::FaultScaling scaling;
+  scaling.step = 7;
+  scaling.compute_slowdown = {1.0, 0.5, 1.0};
+  try {
+    scaling.signature();
+    FAIL() << "signature() accepted a slowdown < 1";
+  } catch (const faults::FaultPlanError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at step 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("device 1"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultScalingErrors, SignatureNamesLinkEndpointsOnBadFactor) {
+  faults::FaultScaling scaling;
+  scaling.step = 3;
+  scaling.links.push_back({0, 2, 1.5});
+  try {
+    scaling.signature();
+    FAIL() << "signature() accepted a bandwidth factor >= 1";
+  } catch (const faults::FaultPlanError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at step 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("G0<->G2"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultScalingErrors, SignatureRejectsNegativeFailedId) {
+  faults::FaultScaling scaling;
+  scaling.step = 11;
+  scaling.failed = {-2};
+  EXPECT_THROW(scaling.signature(), faults::FaultPlanError);
+}
+
+TEST(FaultScalingErrors, DegradedClusterNamesOutOfRangeFailedDevice) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  faults::FaultScaling scaling;
+  scaling.step = 5;
+  scaling.failed = {9};
+  try {
+    faults::degraded_cluster(cluster4, scaling);
+    FAIL() << "degraded_cluster accepted an out-of-range failed device";
+  } catch (const faults::FaultPlanError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at step 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("device 9"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultScalingErrors, DegradedClusterNamesStepWhenNoDeviceSurvives) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  faults::FaultScaling scaling;
+  scaling.step = 6;
+  scaling.failed = {0, 1, 2, 3};
+  try {
+    faults::degraded_cluster(cluster4, scaling);
+    FAIL() << "degraded_cluster accepted an all-failed scaling";
+  } catch (const cluster::ClusterSpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no device survives at step 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("all 4 devices failed"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultScalingErrors, DegradedClusterNamesBadLinkEndpoint) {
+  const auto cluster4 = cluster::make_fig3_testbed();
+  faults::FaultScaling scaling;
+  scaling.step = 2;
+  scaling.links.push_back({1, 7, 0.5});
+  try {
+    faults::degraded_cluster(cluster4, scaling);
+    FAIL() << "degraded_cluster accepted an out-of-range link endpoint";
+  } catch (const faults::FaultPlanError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at step 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("G1<->G7"), std::string::npos) << what;
+  }
 }
 
 // Fault-aware simulation ----------------------------------------------------

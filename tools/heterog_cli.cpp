@@ -9,6 +9,12 @@
 //                        [--checkpoint-dir DIR] [--ckpt-every K]
 //                        [--metrics m.jsonl]
 //   heterog_cli search   ... (alias of plan)
+//   heterog_cli run      --model vgg19 --batch 192 [--cluster 8gpu]
+//                        [--layers L] [--steps 20] [--groups 48]
+//                        [--fault-plan faults.json | --chaos-seed N]
+//                        [--health] [--detect-threshold X] [--retry-budget N]
+//                        [--checkpoint-dir DIR] [--ckpt-every K]
+//                        [--metrics m.jsonl]
 //   heterog_cli resume   --journal DIR/journal.heterog [--ckpt-every K]
 //                        [--metrics m.jsonl]
 //   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
@@ -27,6 +33,7 @@
 // Exit codes: 0 success, 1 bad usage, 2 runtime failure. Every error path
 // exits nonzero; tools/CMakeLists.txt pins this with WILL_FAIL ctests.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "core/heterog.h"
+#include "faults/chaos.h"
 #include "faults/faults.h"
 #include "graph/pipeline.h"
 #include "models/models.h"
@@ -134,13 +142,18 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: heterog_cli "
-      "<models|clusters|plan|search|resume|evaluate|baselines|report> [flags]\n"
+      "<models|clusters|plan|search|run|resume|evaluate|baselines|report> [flags]\n"
       "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
       "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
       "            [--threads N] [--eval-cache N]\n"
       "            [--fault-plan FILE] [--steps N]\n"
       "            [--checkpoint-dir DIR] [--ckpt-every K] [--metrics FILE]\n"
       "  search    alias of plan\n"
+      "  run       --model NAME --batch B [--cluster ...] [--layers L]\n"
+      "            [--steps N] [--groups N]\n"
+      "            [--fault-plan FILE | --chaos-seed N]\n"
+      "            [--health] [--detect-threshold X] [--retry-budget N]\n"
+      "            [--checkpoint-dir DIR] [--ckpt-every K] [--metrics FILE]\n"
       "  resume    --journal FILE [--ckpt-every K] [--metrics FILE]\n"
       "  evaluate  --model NAME --batch B [--cluster ...] [--layers L]\n"
       "            (--plan FILE | --strategy ev-ar|ev-ps|cp-ar|cp-ps)\n"
@@ -299,6 +312,153 @@ int cmd_plan(const Args& args) {
       std::printf("journal: %s (every %d steps)\n", copts.journal_path().c_str(),
                   copts.every);
     }
+  }
+  if (metrics != nullptr) {
+    std::printf("metrics: %llu events written to %s\n",
+                static_cast<unsigned long long>(metrics->events_emitted()),
+                metrics->path().c_str());
+  }
+  return 0;
+}
+
+void print_health_summary(const health::HealthSummary& h) {
+  std::printf(
+      "health: %d suspicion event(s), %d quarantine(s), %d reinstatement(s), "
+      "%d failure(s) confirmed, %d retr%s charged%s%s\n",
+      h.suspicion_events, h.quarantines, h.reinstatements, h.failures_confirmed,
+      h.retries_charged, h.retries_charged == 1 ? "y" : "ies",
+      h.retry_budget_exhausted ? ", retry budget exhausted" : "",
+      h.breaker_opened ? ", circuit breaker opened" : "");
+  for (const auto& d : h.detections) {
+    std::printf("  G%d %s: onset step %d, confirmed step %d (latency %d)\n", d.device,
+                d.kind.c_str(), d.onset_step, d.confirmed_step,
+                d.confirmed_step - d.onset_step);
+  }
+}
+
+/// `run`: execute a deployed plan under an injected fault schedule — from a
+/// file (--fault-plan) or generated by the seeded chaos harness
+/// (--chaos-seed) — optionally with online health monitoring (--health: the
+/// recovery loop sees measurements only, never the schedule). Searches with
+/// the fast heuristic path; `plan` is the subcommand for RL-quality plans.
+int cmd_run(const Args& args) {
+  const auto model = find_model(args.get("model"));
+  const double batch = std::atof(args.get("batch", "0").c_str());
+  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  if (!model || batch <= 0.0 || !cluster_spec) return usage();
+  const int layers = args.get_int("layers", model->default_layers);
+
+  const int steps = args.get_int("steps", 20);
+  if (steps <= 0) {
+    std::fprintf(stderr, "error: --steps needs a positive step count\n");
+    return 1;
+  }
+  if (args.has("fault-plan") && args.has("chaos-seed")) {
+    std::fprintf(stderr,
+                 "error: --fault-plan and --chaos-seed are exclusive (one fault "
+                 "schedule per run)\n");
+    return 1;
+  }
+
+  HeteroGConfig config;
+  config.search_with_rl = false;  // heuristic deployment: `run` is about faults
+  config.agent.max_groups = args.get_int("groups", 48);
+
+  // Online health monitoring knobs. --detect-threshold and --retry-budget
+  // tune the monitor, so they require --health.
+  config.health.enabled = args.has("health");
+  if ((args.has("detect-threshold") || args.has("retry-budget")) &&
+      !config.health.enabled) {
+    std::fprintf(stderr,
+                 "error: --detect-threshold/--retry-budget tune the health "
+                 "monitor; add --health\n");
+    return 1;
+  }
+  if (args.has("detect-threshold")) {
+    const double threshold = std::atof(args.get("detect-threshold").c_str());
+    if (threshold <= 0.0) {
+      std::fprintf(stderr, "error: --detect-threshold needs a positive score\n");
+      return 1;
+    }
+    config.health.z_threshold = threshold;
+    config.health.phi_threshold = threshold;
+  }
+  if (args.has("retry-budget")) {
+    const int budget = args.get_int("retry-budget", 0);
+    if (budget <= 0) {
+      std::fprintf(stderr, "error: --retry-budget needs a positive count\n");
+      return 1;
+    }
+    config.health.retry_budget = budget;
+  }
+
+  ckpt::CheckpointOptions copts;
+  copts.dir = args.get("checkpoint-dir");
+  copts.every = args.get_int("ckpt-every", 5);
+  if ((args.has("checkpoint-dir") && copts.dir.empty()) || copts.every <= 0) {
+    std::fprintf(stderr, "error: --checkpoint-dir needs a path and --ckpt-every "
+                         "a positive step count\n");
+    return 1;
+  }
+  copts.meta = {{"model", model->name},
+                {"layers", std::to_string(layers)},
+                {"batch", args.get("batch")},
+                {"cluster", args.get("cluster", "8gpu")}};
+
+  faults::FaultPlan fault_plan;
+  if (args.has("fault-plan")) {
+    fault_plan = faults::load_fault_plan(args.get("fault-plan"));
+    fault_plan.validate(*cluster_spec);
+  } else if (args.has("chaos-seed")) {
+    faults::ChaosOptions chaos;
+    chaos.seed = static_cast<uint64_t>(
+        std::strtoull(args.get("chaos-seed").c_str(), nullptr, 10));
+    chaos.steps = steps;
+    chaos.device_count = cluster_spec->device_count();
+    fault_plan = faults::make_chaos_plan(chaos);
+    // Chaos runs are for reproduction: zero the wall-clock journal fields so
+    // the same seed yields byte-identical journals and event logs.
+    config.fault_handling.deterministic_wall_times = true;
+  }
+
+  bool metrics_failed = false;
+  const std::unique_ptr<obs::EventLog> metrics = open_metrics(args, &metrics_failed);
+  if (metrics_failed) return 2;
+  config.events = metrics.get();
+
+  const auto runner = get_runner(
+      [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
+      config);
+  std::printf("model=%s layers=%d batch=%g cluster=%s health=%s\n", model->name,
+              layers, batch, args.get("cluster", "8gpu").c_str(),
+              config.health.enabled ? "on" : "off");
+  std::printf("plan: %.1f ms / iteration, feasible=%s\n", runner.per_iteration_ms(),
+              runner.feasible() ? "yes" : "no");
+  if (!fault_plan.empty()) {
+    if (args.has("chaos-seed")) {
+      std::printf("chaos seed %s -> %zu fault event(s) over %d steps:\n",
+                  args.get("chaos-seed").c_str(), fault_plan.events.size(), steps);
+    } else {
+      std::printf("injecting %zu fault event(s) over %d steps:\n",
+                  fault_plan.events.size(), steps);
+    }
+    for (const auto& event : fault_plan.events) {
+      std::printf("  %s\n", event.describe().c_str());
+    }
+  }
+
+  const auto stats = runner.run(steps, fault_plan, copts);
+  print_run_stats(stats, steps);
+  if (config.health.enabled) {
+    print_health_summary(stats.health);
+    if (stats.detection_overhead_ms > 0.0) {
+      std::printf("detection overhead: %.0f ms of heartbeat timeouts\n",
+                  stats.detection_overhead_ms);
+    }
+  }
+  if (copts.enabled()) {
+    std::printf("journal: %s (every %d steps)\n", copts.journal_path().c_str(),
+                copts.every);
   }
   if (metrics != nullptr) {
     std::printf("metrics: %llu events written to %s\n",
@@ -530,6 +690,7 @@ int main(int argc, char** argv) {
     if (args->command == "models") return cmd_models();
     if (args->command == "clusters") return cmd_clusters();
     if (args->command == "plan" || args->command == "search") return cmd_plan(*args);
+    if (args->command == "run") return cmd_run(*args);
     if (args->command == "resume") return cmd_resume(*args);
     if (args->command == "evaluate") return cmd_evaluate(*args);
     if (args->command == "baselines") return cmd_baselines(*args);
