@@ -10,9 +10,15 @@
 //
 // deterministic_wall_times is on, so both columns are bit-stable run to run
 // and the overhead column isolates detection cost from replan wall time.
+//
+// Extra knob: HETEROG_CHAOS_SEED adds a fourth, seed-generated chaos mix
+// (faults::make_chaos_plan) on top of the three hand-written ones. The seed
+// and the full scenario shape land in the HETEROG_BENCH_JSON "config" block
+// so any perf trajectory is attributable to a reproducible schedule.
 #include "bench_util.h"
 
 #include "core/heterog.h"
+#include "faults/chaos.h"
 #include "faults/faults.h"
 
 using namespace heterog;
@@ -89,10 +95,10 @@ int main() {
       "only heartbeat-timeout wall time for the privilege");
 
   struct Mix {
-    const char* label;
+    std::string label;
     faults::FaultPlan plan;
   };
-  Mix mixes[3];
+  std::vector<Mix> mixes(3);
   mixes[0].label = "fail-stop";
   mixes[0].plan.events = {device_failure(1, 6)};
   mixes[1].label = "stragglers";
@@ -101,6 +107,20 @@ int main() {
   mixes[2].plan.events = {transient(2, 3, 2), straggler(0, 3.0, 8, 18),
                           link_degradation(0, 3, 0.5, 4, 12),
                           device_failure(1, 15)};
+
+  // HETEROG_CHAOS_SEED adds a seed-generated schedule as a fourth mix; the
+  // same seed always reproduces the same schedule (chaos.h pins this).
+  const int chaos_seed = env_int("HETEROG_CHAOS_SEED", -1);
+  if (chaos_seed >= 0) {
+    faults::ChaosOptions chaos;
+    chaos.seed = static_cast<uint64_t>(chaos_seed);
+    chaos.steps = kSteps;
+    chaos.device_count = cluster::make_fig3_testbed().device_count();
+    Mix chaos_mix;
+    chaos_mix.label = "chaos(seed=" + std::to_string(chaos_seed) + ")";
+    chaos_mix.plan = faults::make_chaos_plan(chaos);
+    mixes.push_back(std::move(chaos_mix));
+  }
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   TextTable table({"Mix", "Oracle (ms)", "Online (ms)", "Overhead (ms / %)",
@@ -145,6 +165,22 @@ int main() {
                    std::to_string(online.health.quarantines)});
   }
   std::printf("%s\n", table.render().c_str());
-  write_bench_json("recovery");
+
+  BenchConfig config;
+  config.emplace_back("steps", std::to_string(kSteps));
+  config.emplace_back("max_groups", std::to_string(max_groups()));
+  config.emplace_back("deterministic_wall_times", "true");
+  config.emplace_back("chaos_seed", chaos_seed >= 0 ? std::to_string(chaos_seed)
+                                                    : std::string("null"));
+  std::string scenario = "[";
+  for (size_t i = 0; i < mixes.size(); ++i) {
+    if (i != 0) scenario += ",";
+    scenario += config_str(mixes[i].label + ":" +
+                           std::to_string(mixes[i].plan.events.size()) +
+                           " events");
+  }
+  scenario += "]";
+  config.emplace_back("scenarios", scenario);
+  write_bench_json("recovery", config);
   return 0;
 }

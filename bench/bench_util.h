@@ -25,6 +25,8 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "agent/policy.h"
 #include "baselines/baselines.h"
@@ -164,12 +166,31 @@ inline HeteroGPlan heterog_plan(const BenchRig& rig, const models::Benchmark& be
   return plan;
 }
 
+/// Reproducibility knobs of one bench invocation, written verbatim into the
+/// JSON dump as `"config":{...}`. Values are raw JSON fragments: numbers via
+/// std::to_string, strings via config_str. Order is preserved.
+using BenchConfig = std::vector<std::pair<std::string, std::string>>;
+
+/// Quotes (and escapes) a string for use as a BenchConfig value.
+inline std::string config_str(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 /// Dumps the global metrics registry as one JSON object
-/// ({"bench":NAME,"metrics":{counters,gauges,histograms}}) to the path in
-/// HETEROG_BENCH_JSON; no-op when the variable is unset. Call at the end of
-/// each bench main so the BENCH output carries utilization and convergence
-/// columns machine-readably.
-inline void write_bench_json(const char* bench_name) {
+/// ({"bench":NAME,"config":{...},"metrics":{counters,gauges,histograms}}) to
+/// the path in HETEROG_BENCH_JSON; no-op when the variable is unset. Call at
+/// the end of each bench main so the BENCH output carries utilization and
+/// convergence columns machine-readably, and pass the scenario knobs (chaos
+/// seed, cache/store configuration) so a perf trajectory is attributable to
+/// a reproducible configuration.
+inline void write_bench_json(const char* bench_name,
+                             const BenchConfig& config = {}) {
   const char* path = std::getenv("HETEROG_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::FILE* file = std::fopen(path, "w");
@@ -177,9 +198,16 @@ inline void write_bench_json(const char* bench_name) {
     std::fprintf(stderr, "bench: cannot write %s\n", path);
     return;
   }
-  const std::string json =
-      std::string("{\"bench\":\"") + bench_name +
-      "\",\"metrics\":" + obs::MetricsRegistry::global().snapshot().to_json() + "}\n";
+  std::string json = std::string("{\"bench\":\"") + bench_name + "\"";
+  json += ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) json += ",";
+    first = false;
+    json += config_str(key) + ":" + value;
+  }
+  json += "}";
+  json += ",\"metrics\":" + obs::MetricsRegistry::global().snapshot().to_json() + "}\n";
   std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   std::printf("bench metrics json written to %s\n", path);

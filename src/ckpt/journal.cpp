@@ -7,6 +7,7 @@
 
 #include "common/atomic_file.h"
 #include "common/crc32.h"
+#include "common/record_io.h"
 
 namespace heterog::ckpt {
 
@@ -96,24 +97,12 @@ bool parse_bool(const std::string& text, const std::string& what) {
 }
 
 /// Splits off and string-verifies the final "crc <hex>" line; returns the
-/// checksummed body. Mirrors the v2 plan trailer protocol.
+/// checksummed body. The trailer protocol itself (shared with the plan/eval
+/// store) lives in common/record_io.
 std::string verify_crc_trailer(const std::string& text) {
-  // Strict framing: to_text always ends in a newline, so a journal that
-  // doesn't has lost at least its final byte.
-  if (text.empty() || text.back() != '\n') fail("journal does not end in a newline");
-  std::string trimmed = text;
-  trimmed.pop_back();
-  const size_t nl = trimmed.find_last_of('\n');
-  const std::string last = nl == std::string::npos ? trimmed : trimmed.substr(nl + 1);
-  if (last.rfind("crc ", 0) != 0) fail("missing crc trailer line");
-  if (nl == std::string::npos) fail("journal is only a crc line");
-  const std::string body = text.substr(0, nl + 1);
-  const std::string expected = crc32_hex(crc32(body));
-  if (last.substr(4) != expected) {
-    fail("checksum mismatch (stored \"" + last.substr(4) + "\", computed \"" +
-         expected + "\") — the journal is corrupt or was torn mid-write");
-  }
-  return body;
+  CrcTrailerResult r = strip_crc_trailer(text);
+  if (!r.ok) fail("journal " + r.error);
+  return std::move(r.body);
 }
 
 }  // namespace
@@ -193,9 +182,7 @@ std::string to_text(const RunJournal& j) {
     if (j.health_state.back() != '\n') os << "\n";
   }
 
-  std::string body = os.str();
-  body += "crc " + crc32_hex(crc32(body)) + "\n";
-  return body;
+  return with_crc_trailer(os.str());
 }
 
 RunJournal parse_journal(const std::string& text) {

@@ -2,25 +2,59 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace heterog {
 
-bool write_file_atomic(const std::string& path, std::string_view content) {
+namespace {
+
+void set_error(std::string* error, const char* step, int err) {
+  if (error == nullptr) return;
+  *error = std::string(step) + " failed: " + std::strerror(err) + " (errno " +
+           std::to_string(err) + ")";
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       std::string* error) {
+  if (error != nullptr) error->clear();
   // PID-qualified temp name: concurrent writers to the same path race only
   // at the final rename, where last-rename-wins still leaves a complete file.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return false;
+  if (!f) {
+    set_error(error, "open temp file", errno);
+    return false;
+  }
 
-  bool ok = content.empty() ||
-            std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  ok = ok && std::fflush(f) == 0;
-  ok = ok && ::fsync(::fileno(f)) == 0;  // data durable before the rename
-  ok = (std::fclose(f) == 0) && ok;
-  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
-  if (!ok) {
-    std::remove(tmp.c_str());
+  // Record the *first* failing step and its errno — the later fclose would
+  // otherwise clobber the interesting errno with its own.
+  const char* failed_step = nullptr;
+  int failed_errno = 0;
+  const auto step = [&](bool ok, const char* name) {
+    if (!ok && failed_step == nullptr) {
+      failed_step = name;
+      failed_errno = errno;
+    }
+  };
+
+  step(content.empty() ||
+           std::fwrite(content.data(), 1, content.size(), f) == content.size(),
+       "write");
+  if (failed_step == nullptr) step(std::fflush(f) == 0, "flush");
+  if (failed_step == nullptr) {
+    step(::fsync(::fileno(f)) == 0, "fsync");  // data durable before the rename
+  }
+  step(std::fclose(f) == 0, "close");
+  if (failed_step == nullptr) {
+    step(std::rename(tmp.c_str(), path.c_str()) == 0, "rename");
+  }
+  if (failed_step != nullptr) {
+    std::remove(tmp.c_str());  // never leave *.tmp litter behind a failed save
+    set_error(error, failed_step, failed_errno);
     return false;
   }
 

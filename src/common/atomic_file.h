@@ -14,8 +14,17 @@ namespace heterog {
 
 /// Atomically replaces `path` with `content`. The temporary file is created
 /// in the same directory (rename must not cross filesystems). Returns false
-/// — leaving any existing file at `path` untouched — on any failure:
-/// unwritable directory, short write, failed flush/fsync or failed rename.
-bool write_file_atomic(const std::string& path, std::string_view content);
+/// — leaving any existing file at `path` untouched and the temporary file
+/// unlinked — on any failure: unwritable directory, short write, failed
+/// flush/fsync or failed rename. When `error` is non-null it receives the
+/// failed step and its errno context (e.g. "fsync failed: No space left on
+/// device (errno 28)"); cleared to empty on success.
+///
+/// A SIGKILL *during* the write can still orphan the PID-qualified
+/// "<path>.tmp.<pid>" file — nothing in-process can prevent that — so
+/// long-lived directories owned by a component (e.g. store::PlanStore)
+/// sweep stale temp files from dead processes at open.
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       std::string* error = nullptr);
 
 }  // namespace heterog

@@ -1,0 +1,135 @@
+#include "common/record_io.h"
+
+#include <cstdio>
+
+#include "common/crc32.h"
+
+namespace heterog {
+
+namespace {
+
+constexpr std::string_view kRecPrefix = "rec ";
+
+/// Parses a bounded non-negative decimal from [begin, end); returns false on
+/// empty input, non-digits, or a value above `max` (overflow-safe).
+bool parse_bounded(std::string_view text, size_t max, size_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+    if (value > max) return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string frame_record(std::string_view payload) {
+  std::string out = "rec ";
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += crc32_hex(crc32(payload));
+  out += '\n';
+  out.append(payload.data(), payload.size());
+  out += '\n';
+  return out;
+}
+
+ScannedRecord RecordScanner::next() {
+  ScannedRecord rec;
+  if (pos_ >= data_.size()) {
+    rec.status = ScannedRecord::Status::kEnd;
+    return rec;
+  }
+  const size_t start = pos_;
+  rec.offset = start;
+
+  // On any framing failure, skip to the next "\nrec " boundary (or the end)
+  // so one damaged record never swallows its intact successors.
+  const auto corrupt = [&](const char* why) {
+    const size_t next_frame = data_.find("\nrec ", start);
+    const size_t resume = next_frame == std::string_view::npos
+                              ? data_.size()
+                              : next_frame + 1;  // past the '\n'
+    pos_ = resume > start ? resume : data_.size();
+    rec.status = ScannedRecord::Status::kCorrupt;
+    rec.length = pos_ - start;
+    rec.reason = why;
+    return rec;
+  };
+
+  if (data_.substr(start, kRecPrefix.size()) != kRecPrefix) {
+    return corrupt("missing \"rec\" frame header");
+  }
+  const size_t header_end = data_.find('\n', start);
+  if (header_end == std::string_view::npos) {
+    return corrupt("truncated frame header");
+  }
+  const std::string_view header =
+      data_.substr(start + kRecPrefix.size(), header_end - start - kRecPrefix.size());
+  const size_t space = header.find(' ');
+  if (space == std::string_view::npos) {
+    return corrupt("frame header missing checksum");
+  }
+  size_t len = 0;
+  if (!parse_bounded(header.substr(0, space), max_payload_, &len)) {
+    return corrupt("bad or oversized payload length");
+  }
+  const std::string_view stored_crc = header.substr(space + 1);
+  const size_t payload_start = header_end + 1;
+  if (payload_start + len + 1 > data_.size()) {
+    return corrupt("truncated payload");
+  }
+  if (data_[payload_start + len] != '\n') {
+    return corrupt("missing record terminator");
+  }
+  const std::string_view payload = data_.substr(payload_start, len);
+  // String comparison, mirroring the journal trailer: a flip inside the
+  // stored checksum itself is still a mismatch.
+  if (stored_crc != crc32_hex(crc32(payload))) {
+    return corrupt("payload checksum mismatch");
+  }
+  pos_ = payload_start + len + 1;
+  rec.status = ScannedRecord::Status::kOk;
+  rec.payload = payload;
+  rec.length = pos_ - start;
+  return rec;
+}
+
+std::string with_crc_trailer(std::string body) {
+  body += "crc " + crc32_hex(crc32(body)) + "\n";
+  return body;
+}
+
+CrcTrailerResult strip_crc_trailer(const std::string& text) {
+  CrcTrailerResult r;
+  const auto fail = [&](std::string why) {
+    r.ok = false;
+    r.error = std::move(why);
+    return r;
+  };
+  // Strict framing: writers always end in a newline, so a document that
+  // doesn't has lost at least its final byte.
+  if (text.empty() || text.back() != '\n') {
+    return fail("does not end in a newline");
+  }
+  std::string trimmed = text;
+  trimmed.pop_back();
+  const size_t nl = trimmed.find_last_of('\n');
+  const std::string last = nl == std::string::npos ? trimmed : trimmed.substr(nl + 1);
+  if (last.rfind("crc ", 0) != 0) return fail("missing crc trailer line");
+  if (nl == std::string::npos) return fail("document is only a crc line");
+  std::string body = text.substr(0, nl + 1);
+  const std::string expected = crc32_hex(crc32(body));
+  if (last.substr(4) != expected) {
+    return fail("checksum mismatch (stored \"" + last.substr(4) + "\", computed \"" +
+                expected + "\") — the document is corrupt or was torn mid-write");
+  }
+  r.ok = true;
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace heterog

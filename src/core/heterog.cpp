@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/hash.h"
 #include "common/log.h"
 #include "sim/fault_sim.h"
 #include "strategy/serialize.h"
@@ -46,6 +47,19 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
 
   rl::TrainConfig train_config = config.train;
   train_config.episodes = rl_episodes;
+  if (config.plan_store != nullptr) {
+    // The engine's plan_key deliberately omits cluster / cost-model identity
+    // (its LRU is scoped per Trainer); the durable store is not, so salt its
+    // keys with exactly that identity. Covers mid-run re-plans too: a
+    // survivor cluster fingerprints differently, so its entries are disjoint.
+    train_config.plan_store = config.plan_store;
+    train_config.plan_store_context =
+        Hash64()
+            .mix(cluster::cluster_fingerprint(cluster))
+            .mix(config.profiler_seed)
+            .mix_string("profiled-cost-model-v1")
+            .digest();
+  }
   rl::Trainer trainer(*plan.cost_model, train_config);
   if (with_rl && train_config.episodes > 0) {
     agent::PolicyNetwork policy(cluster.device_count(), config.agent);
@@ -73,6 +87,8 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
     }
     best.eval_cache_hits = trainer.eval_engine().stats().hits;
     best.eval_cache_misses = trainer.eval_engine().stats().misses;
+    best.eval_store_hits = trainer.eval_engine().stats().store_hits;
+    best.eval_store_misses = trainer.eval_engine().stats().store_misses;
     if (config.train.events != nullptr && config.train.events->ok()) {
       const double wall_ms = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - t0)
@@ -867,7 +883,8 @@ DistRunner get_runner(const std::function<graph::GraphDef()>& model_func,
 
 RunStats resume_run(const std::string& journal_path,
                     const std::function<graph::GraphDef()>& model_func,
-                    const ckpt::CheckpointOptions& ckpt, obs::EventLog* events) {
+                    const ckpt::CheckpointOptions& ckpt, obs::EventLog* events,
+                    store::PlanStore* plan_store) {
   check(static_cast<bool>(model_func), "resume_run: model_func is empty");
 
   const ckpt::RunJournal journal = ckpt::load_journal(journal_path);
@@ -920,6 +937,7 @@ RunStats resume_run(const std::string& journal_path,
     }
   }
   config.events = events;  // schedule + run_* telemetry of the resumed tail
+  config.plan_store = plan_store;  // durable eval cache for mid-run re-plans
 
   // Re-hydrate the deployed plan. These artifacts live *inside* the
   // CRC-valid journal, so a failure here is journal corruption, not a

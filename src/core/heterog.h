@@ -85,6 +85,13 @@ struct HeteroGConfig {
   /// train.events as well to also capture the strategy search. Write-only:
   /// results are bit-identical with or without a sink.
   obs::EventLog* events = nullptr;
+  /// Durable cross-run evaluation cache (non-owning; must outlive every
+  /// plan/re-plan — docs/persistence.md). get_runner and every mid-run
+  /// re-plan consult it read-through/write-behind, keyed with a context hash
+  /// of (cluster fingerprint, profiler seed) so entries never leak across
+  /// clusters or seeds. Null disables persistence; results are bit-identical
+  /// with the store hot, cold, corrupted, or absent.
+  store::PlanStore* plan_store = nullptr;
 };
 
 /// What one recovery from a permanent device failure cost.
@@ -181,7 +188,8 @@ class DistRunner {
                                const cluster::ClusterSpec&, const HeteroGConfig&);
   friend RunStats resume_run(const std::string&,
                              const std::function<graph::GraphDef()>&,
-                             const ckpt::CheckpointOptions&, obs::EventLog*);
+                             const ckpt::CheckpointOptions&, obs::EventLog*,
+                             store::PlanStore*);
 
   /// Shared engine behind every run() overload and resume_run. Steps in
   /// [0, start_step) are *replayed*: every state transition (transient
@@ -246,9 +254,13 @@ void emit_schedule_events(obs::EventLog* events, const sim::PlanEvaluation& eval
 ///
 /// `events` (non-owning, optional) streams the resumed tail's schedule and
 /// run_* telemetry, exactly as HeteroGConfig::events does for a fresh run.
+/// `plan_store` (non-owning, optional) attaches the durable evaluation cache
+/// to any mid-run re-planning the resumed tail performs, exactly as
+/// HeteroGConfig::plan_store does for a fresh run.
 RunStats resume_run(const std::string& journal_path,
                     const std::function<graph::GraphDef()>& model_func,
                     const ckpt::CheckpointOptions& ckpt = {},
-                    obs::EventLog* events = nullptr);
+                    obs::EventLog* events = nullptr,
+                    store::PlanStore* plan_store = nullptr);
 
 }  // namespace heterog

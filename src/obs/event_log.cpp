@@ -63,6 +63,8 @@ const std::vector<std::string>& all_event_types() {
       // Online health monitoring (health::HealthMonitor, heterog::DistRunner
       // degraded re-planning).
       "suspicion", "quarantine", "breaker_open", "degraded_replan",
+      // Persistent plan/eval store (store::PlanStore).
+      "store_open", "store_quarantine",
   };
   return types;
 }

@@ -43,26 +43,53 @@ uint64_t EvalEngine::plan_key(const graph::GraphDef& graph,
   return h.digest();
 }
 
-bool EvalEngine::lookup(uint64_t key, sim::PlanEvaluation* out) {
+uint64_t EvalEngine::store_key(uint64_t key) const {
+  return Hash64().mix(options_.store_context).mix(key).digest();
+}
+
+bool EvalEngine::lookup_lru(uint64_t key, sim::PlanEvaluation* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!cache_enabled()) {
-    ++stats_.misses;  // misses still count full evaluations
-    return false;
-  }
+  if (!cache_enabled()) return false;
   const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return false;
-  }
+  if (it == index_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
   *out = it->second->second;
   return true;
 }
 
-void EvalEngine::insert(uint64_t key, const sim::PlanEvaluation& eval) {
+bool EvalEngine::lookup(uint64_t key, sim::PlanEvaluation* out) {
+  if (lookup_lru(key, out)) return true;
+  // LRU miss: consult the durable cross-run tier (own mutex; never held
+  // together with mu_). A store hit promotes into the LRU so repeats stay
+  // in-process.
+  if (options_.plan_store != nullptr &&
+      options_.plan_store->lookup(store_key(key), out)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    ++stats_.store_hits;
+    if (cache_enabled()) insert_lru_locked(key, *out);
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.plan_store != nullptr) ++stats_.store_misses;
+  ++stats_.misses;  // misses count full evaluations (cache on or off)
+  return false;
+}
+
+void EvalEngine::insert(uint64_t key, const sim::PlanEvaluation& eval,
+                        bool from_store) {
+  // Write-behind into the durable tier (its own lock; cheap append
+  // buffering). Entries read *from* the store are not echoed back.
+  if (!from_store && options_.plan_store != nullptr) {
+    options_.plan_store->put(store_key(key), eval);
+  }
   if (!cache_enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
+  insert_lru_locked(key, eval);
+}
+
+void EvalEngine::insert_lru_locked(uint64_t key, const sim::PlanEvaluation& eval) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Another worker computed the same key concurrently; results are
@@ -88,7 +115,7 @@ sim::PlanEvaluation EvalEngine::evaluate(const graph::GraphDef& graph,
   if (lookup(key, &cached)) return cached;
   sim::PlanEvaluation eval =
       sim::evaluate_plan(*costs_, graph, grouping, strategy, options);
-  insert(key, eval);
+  insert(key, eval, /*from_store=*/false);
   return eval;
 }
 
@@ -113,7 +140,8 @@ void EvalEngine::parallel_for(size_t n, const std::function<void(size_t)>& body)
 
 void EvalEngine::poison(uint64_t key, const sim::PlanEvaluation& eval) {
   check(cache_enabled(), "EvalEngine::poison: cache is disabled");
-  insert(key, eval);
+  // LRU tier only: a poisoned test entry must never become durable.
+  insert(key, eval, /*from_store=*/true);
 }
 
 EvalEngineStats EvalEngine::stats() const {

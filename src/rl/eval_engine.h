@@ -21,6 +21,14 @@
 // cluster + cost model): Trainer owns an engine per instance, and a cluster
 // change means a new CostProvider, a new Trainer, and hence a fresh cache —
 // stale cross-cluster hits are impossible by construction.
+//
+// An optional store::PlanStore adds a durable cross-run tier behind the LRU
+// (read-through on miss, write-behind on every full evaluation). Because
+// plan_key deliberately omits cluster / cost-model identity (the LRU is
+// scoped by construction, above), store keys mix in `store_context` — a
+// caller-supplied hash of exactly that identity (heterog::make_plan derives
+// it from the cluster fingerprint + profiler seed) — so persisted entries
+// can never leak across clusters or cost models.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +41,7 @@
 #include "common/thread_pool.h"
 #include "profiler/cost_provider.h"
 #include "sim/plan_eval.h"
+#include "store/plan_store.h"
 #include "strategy/strategy.h"
 
 namespace heterog::rl {
@@ -42,12 +51,22 @@ struct EvalEngineOptions {
   int threads = 1;
   /// Maximum memoized evaluations (LRU-evicted beyond); 0 disables caching.
   size_t cache_capacity = 4096;
+  /// Durable cross-run cache tier (non-owning; must outlive the engine).
+  /// Consulted on LRU miss; every full evaluation is written behind. Null
+  /// disables the tier — behaviour is then bit-for-bit the pre-store engine.
+  store::PlanStore* plan_store = nullptr;
+  /// Salt mixed into every store key, carrying the cost-model identity that
+  /// plan_key omits (see the header comment). Callers wiring a store MUST
+  /// set this to a hash of the cluster + cost-model configuration.
+  uint64_t store_context = 0;
 };
 
 struct EvalEngineStats {
-  uint64_t hits = 0;
+  uint64_t hits = 0;      // answered without compile+simulate (either tier)
   uint64_t misses = 0;    // == full compile+simulate evaluations
   uint64_t evictions = 0;
+  uint64_t store_hits = 0;    // subset of hits answered by the durable store
+  uint64_t store_misses = 0;  // store probes that fell through to evaluation
 };
 
 class EvalEngine {
@@ -93,10 +112,17 @@ class EvalEngine {
 
   int threads() const { return options_.threads; }
   bool cache_enabled() const { return options_.cache_capacity > 0; }
+  store::PlanStore* plan_store() const { return options_.plan_store; }
+
+  /// The durable-tier key for a plan_key: store_context mixed in so entries
+  /// from different clusters / cost models can never collide meaningfully.
+  uint64_t store_key(uint64_t key) const;
 
  private:
   bool lookup(uint64_t key, sim::PlanEvaluation* out);
-  void insert(uint64_t key, const sim::PlanEvaluation& eval);
+  bool lookup_lru(uint64_t key, sim::PlanEvaluation* out);
+  void insert(uint64_t key, const sim::PlanEvaluation& eval, bool from_store);
+  void insert_lru_locked(uint64_t key, const sim::PlanEvaluation& eval);
 
   const profiler::CostProvider* costs_;
   EvalEngineOptions options_;

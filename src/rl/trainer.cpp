@@ -33,6 +33,8 @@ Trainer::Trainer(const profiler::CostProvider& costs, TrainConfig config)
   EvalEngineOptions engine_options;
   engine_options.threads = config_.threads;
   engine_options.cache_capacity = config_.eval_cache_capacity;
+  engine_options.plan_store = config_.plan_store;
+  engine_options.store_context = config_.plan_store_context;
   engine_ = std::make_unique<EvalEngine>(costs, engine_options);
 }
 
@@ -615,6 +617,8 @@ SearchResult Trainer::search(agent::PolicyNetwork& policy,
   const EvalEngineStats stats_after = engine_->stats();
   result.eval_cache_hits = stats_after.hits - stats_before.hits;
   result.eval_cache_misses = stats_after.misses - stats_before.misses;
+  result.eval_store_hits = stats_after.store_hits - stats_before.store_hits;
+  result.eval_store_misses = stats_after.store_misses - stats_before.store_misses;
   result.best_reward = reward_from(result.best_time_ms, !result.best_feasible);
 
   if (events != nullptr) {

@@ -54,6 +54,13 @@ struct TrainConfig {
   /// Memoized evaluations kept in the engine's LRU cache (0 disables);
   /// re-sampled strategies skip compile+simulate entirely.
   size_t eval_cache_capacity = 4096;
+  /// Durable cross-run evaluation cache (non-owning; must outlive the
+  /// Trainer). Null disables the tier. When set, plan_store_context MUST
+  /// carry the cluster/cost-model identity hash (heterog::make_plan derives
+  /// it from the cluster fingerprint + profiler seed) — see
+  /// rl::EvalEngineOptions::store_context.
+  store::PlanStore* plan_store = nullptr;
+  uint64_t plan_store_context = 0;
   /// Telemetry sink (non-owning; must outlive the Trainer). When set, every
   /// search streams search_start / search_phase / search_episode /
   /// search_end JSONL events (docs/observability.md). Write-only: attaching
@@ -92,6 +99,10 @@ struct SearchResult {
   /// without compile+simulate; misses = full evaluations performed).
   uint64_t eval_cache_hits = 0;
   uint64_t eval_cache_misses = 0;
+  /// Durable-store traffic (zero unless TrainConfig::plan_store is set):
+  /// store hits are cross-run cache hits — evaluations answered from disk.
+  uint64_t eval_store_hits = 0;
+  uint64_t eval_store_misses = 0;
 };
 
 class Trainer {

@@ -1,0 +1,486 @@
+#include "store/plan_store.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/record_io.h"
+
+namespace heterog::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kHeaderMagic = "heterog-store v";
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips doubles exactly
+  return buf;
+}
+
+std::string hex16(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex16(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Vector lengths inside a record are bounded so a corrupt count that
+/// happens to pass the CRC of a truncated frame can never drive a gigantic
+/// reserve() (mirrors ckpt::parse_count).
+constexpr long long kMaxVectorLen = 1'000'000;
+
+[[noreturn]] void env_fail(const std::string& what, int err) {
+  throw StoreError(StoreError::Kind::kEnvironment,
+                   what + ": " + std::strerror(err) + " (errno " +
+                       std::to_string(err) + ")");
+}
+
+/// Appends `data` to `path` with one fsync. Best effort: a failure (disk
+/// full, fs gone read-only) is reported by return value; the store treats it
+/// as lost durability, never as a fatal error — the next open simply sees a
+/// shorter journal.
+bool append_durable(const std::string& path, std::string_view data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  size_t written = 0;
+  bool ok = true;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool parse_header(std::string_view payload, int* version, int* generation) {
+  if (payload.substr(0, kHeaderMagic.size()) != kHeaderMagic) return false;
+  std::istringstream is(std::string(payload.substr(kHeaderMagic.size())));
+  std::string gen_word;
+  long long v = -1, gen = -1;
+  if (!(is >> v >> gen_word >> gen) || gen_word != "gen") return false;
+  if (v < 0 || v > 1'000'000 || gen < 0 || gen > kMaxVectorLen) return false;
+  std::string extra;
+  if (is >> extra) return false;
+  *version = static_cast<int>(v);
+  *generation = static_cast<int>(gen);
+  return true;
+}
+
+}  // namespace
+
+std::string PlanStore::header_payload(int generation) const {
+  return std::string(kHeaderMagic) + std::to_string(kFormatVersion) + " gen " +
+         std::to_string(generation);
+}
+
+std::string PlanStore::encode_eval(uint64_t key, const sim::PlanEvaluation& eval) {
+  std::string out = "eval ";
+  out += hex16(key);
+  out += ' ';
+  out += fmt(eval.per_iteration_ms);
+  out += ' ';
+  out += fmt(eval.cold_iteration_ms);
+  out += ' ';
+  out += fmt(eval.computation_ms);
+  out += ' ';
+  out += fmt(eval.communication_ms);
+  out += ' ';
+  out += eval.oom ? '1' : '0';
+  out += " peaks " + std::to_string(eval.peak_memory_bytes.size());
+  for (const int64_t b : eval.peak_memory_bytes) out += ' ' + std::to_string(b);
+  out += " oomdevs " + std::to_string(eval.oom_devices.size());
+  for (const auto d : eval.oom_devices) out += ' ' + std::to_string(d);
+  return out;
+}
+
+bool PlanStore::decode_eval(std::string_view payload, uint64_t* key,
+                            sim::PlanEvaluation* eval) {
+  std::istringstream is{std::string(payload)};
+  std::string word;
+  if (!(is >> word) || word != "eval") return false;
+  if (!(is >> word) || !parse_hex16(word, key)) return false;
+  sim::PlanEvaluation e;
+  int oom = -1;
+  if (!(is >> e.per_iteration_ms >> e.cold_iteration_ms >> e.computation_ms >>
+        e.communication_ms >> oom)) {
+    return false;
+  }
+  if (oom != 0 && oom != 1) return false;
+  e.oom = oom == 1;
+  long long n = -1;
+  if (!(is >> word >> n) || word != "peaks" || n < 0 || n > kMaxVectorLen) return false;
+  e.peak_memory_bytes.reserve(static_cast<size_t>(n));
+  for (long long i = 0; i < n; ++i) {
+    int64_t b = 0;
+    if (!(is >> b)) return false;
+    e.peak_memory_bytes.push_back(b);
+  }
+  if (!(is >> word >> n) || word != "oomdevs" || n < 0 || n > kMaxVectorLen) {
+    return false;
+  }
+  e.oom_devices.reserve(static_cast<size_t>(n));
+  for (long long i = 0; i < n; ++i) {
+    cluster::DeviceId d = -1;
+    if (!(is >> d)) return false;
+    e.oom_devices.push_back(d);
+  }
+  if (is >> word) return false;  // trailing garbage
+  *eval = std::move(e);
+  return true;
+}
+
+PlanStore::PlanStore(PlanStoreOptions options) : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    throw StoreError(StoreError::Kind::kEnvironment, "no directory given");
+  }
+  if (options_.flush_every == 0) options_.flush_every = 1;
+
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    throw StoreError(StoreError::Kind::kEnvironment,
+                     "cannot create directory " + options_.dir + ": " + ec.message());
+  }
+  if (!fs::is_directory(options_.dir, ec)) {
+    throw StoreError(StoreError::Kind::kEnvironment,
+                     options_.dir + " is not a directory");
+  }
+
+  if (!options_.read_only) {
+    acquire_lock();
+    try {
+      sweep_stale_tmp_files();
+      open_scan();
+    } catch (...) {
+      release_lock();
+      throw;
+    }
+  } else {
+    open_scan();
+  }
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->add("store.opens.count");
+    options_.metrics->add("store.loaded.count", stats_.records_loaded);
+  }
+  if (options_.events != nullptr) {
+    options_.events->emit(obs::Event("store_open")
+                              .with("path", options_.dir)
+                              .with("records", stats_.records_loaded)
+                              .with("quarantined", stats_.records_quarantined)
+                              .with("generation", stats_.generation)
+                              .with("healed", stats_.healed)
+                              .with("read_only", options_.read_only));
+  }
+}
+
+PlanStore::~PlanStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+  }
+  release_lock();
+}
+
+void PlanStore::acquire_lock() {
+  const std::string path = lock_path();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      const std::string line = "pid " + std::to_string(::getpid()) + "\n";
+      (void)!::write(fd, line.data(), line.size());
+      ::fsync(fd);
+      ::close(fd);
+      lock_held_ = true;
+      return;
+    }
+    if (errno != EEXIST) env_fail("cannot create lock file " + path, errno);
+
+    // Somebody holds (or held) the lock — stale-lock takeover iff the
+    // recorded pid no longer exists.
+    long long pid = -1;
+    {
+      std::ifstream in(path);
+      std::string word;
+      if (in && in >> word && word == "pid") in >> pid;
+    }
+    const bool alive = pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                                   errno == EPERM);
+    if (alive) {
+      throw StoreError(StoreError::Kind::kLocked,
+                       options_.dir + " is locked by live pid " + std::to_string(pid));
+    }
+    std::remove(path.c_str());  // dead (or unreadable) owner: take over
+  }
+  throw StoreError(StoreError::Kind::kEnvironment,
+                   "could not acquire lock " + path + " (takeover loop exhausted)");
+}
+
+void PlanStore::release_lock() {
+  if (!lock_held_) return;
+  std::remove(lock_path().c_str());
+  lock_held_ = false;
+}
+
+void PlanStore::sweep_stale_tmp_files() {
+  // SIGKILL mid-save orphans "<file>.tmp.<pid>" temporaries that
+  // write_file_atomic could not clean up; remove the ones whose writer is
+  // dead so litter never accumulates.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const size_t tag = name.find(".tmp.");
+    if (tag == std::string::npos) continue;
+    const std::string pid_text = name.substr(tag + 5);
+    char* end = nullptr;
+    const long long pid = std::strtoll(pid_text.c_str(), &end, 10);
+    const bool numeric = end != nullptr && *end == '\0' && !pid_text.empty();
+    const bool alive =
+        numeric && pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM);
+    if (!alive) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+void PlanStore::quarantine(std::string_view raw, size_t offset,
+                           const std::string& reason) {
+  ++stats_.records_quarantined;
+  count("store.quarantined.count");
+  if (!options_.read_only) {
+    std::string payload = "quarantined offset " + std::to_string(offset) +
+                          " bytes " + std::to_string(raw.size()) + " reason " +
+                          reason + "\n";
+    payload.append(raw.data(), raw.size());
+    (void)append_durable(quarantine_path(), frame_record(payload));
+  }
+  if (options_.events != nullptr) {
+    options_.events->emit(obs::Event("store_quarantine")
+                              .with("path", options_.dir)
+                              .with("offset", static_cast<uint64_t>(offset))
+                              .with("bytes", static_cast<uint64_t>(raw.size()))
+                              .with("reason", reason));
+  }
+}
+
+void PlanStore::open_scan() {
+  stats_.generation = 1;
+  std::string data;
+  {
+    std::ifstream in(journal_path(), std::ios::binary);
+    if (!in) {
+      // Fresh store: publish an empty generation-1 journal so every later
+      // append lands behind a valid header.
+      if (!options_.read_only) {
+        std::string error;
+        if (!write_file_atomic(journal_path(), frame_record(header_payload(1)),
+                               &error)) {
+          throw StoreError(StoreError::Kind::kEnvironment,
+                           "cannot write journal " + journal_path() + ": " + error);
+        }
+      }
+      return;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    data = buffer.str();
+  }
+
+  RecordScanner scanner(data);
+  bool damaged = false;
+  bool version_skew = false;
+  bool saw_header = false;
+  for (ScannedRecord rec = scanner.next(); rec.status != ScannedRecord::Status::kEnd;
+       rec = scanner.next()) {
+    const std::string_view raw = std::string_view(data).substr(rec.offset, rec.length);
+    if (rec.status == ScannedRecord::Status::kCorrupt) {
+      damaged = true;
+      quarantine(raw, rec.offset, rec.reason);
+      continue;
+    }
+    if (!saw_header) {
+      saw_header = true;
+      int version = 0, generation = 0;
+      if (!parse_header(rec.payload, &version, &generation)) {
+        // The first record must be the generation header; anything else
+        // means we cannot trust the journal's claimed schema.
+        damaged = version_skew = true;
+        quarantine(raw, rec.offset, "missing or malformed generation header");
+      } else if (version != kFormatVersion) {
+        // A journal from a newer (or unknown) format version: do not guess
+        // at its payload schema — quarantine wholesale and rebuild empty.
+        damaged = version_skew = true;
+        quarantine(raw, rec.offset,
+                   "version skew (journal v" + std::to_string(version) +
+                       ", this build reads v" + std::to_string(kFormatVersion) + ")");
+      } else {
+        stats_.generation = generation;
+      }
+      continue;
+    }
+    if (version_skew) {
+      quarantine(raw, rec.offset, "record under version-skewed header");
+      continue;
+    }
+    uint64_t key = 0;
+    sim::PlanEvaluation eval;
+    if (!decode_eval(rec.payload, &key, &eval)) {
+      damaged = true;
+      quarantine(raw, rec.offset, "undecodable eval payload");
+      continue;
+    }
+    map_[key] = std::move(eval);  // duplicates: last write wins
+  }
+  if (!saw_header && !data.empty()) damaged = true;  // pure-garbage journal
+  stats_.records_loaded = map_.size();
+
+  if (damaged && !options_.read_only) {
+    // Self-heal: rewrite the surviving records as one clean generation. The
+    // quarantine sidecar keeps the damaged bytes for forensics.
+    compact_locked();
+    stats_.healed = true;
+  }
+}
+
+bool PlanStore::lookup(uint64_t key, sim::PlanEvaluation* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    count("store.misses.count");
+    return false;
+  }
+  ++stats_.hits;
+  count("store.hits.count");
+  *out = it->second;
+  return true;
+}
+
+void PlanStore::put(uint64_t key, const sim::PlanEvaluation& eval) {
+  if (options_.read_only) return;
+  // Utilization-annotated evaluations come from the deployment path, whose
+  // extra fields the on-disk record deliberately does not carry (they are
+  // never needed by the search hot loop). Persisting a stripped copy would
+  // break the "store round-trips exactly what it returns" contract, so skip.
+  if (!eval.device_busy_ms.empty() || !eval.comm_busy.empty() ||
+      eval.critical_path_ms != 0.0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = eval;
+  ++stats_.puts;
+  count("store.puts.count");
+  pending_ += frame_record(encode_eval(key, eval));
+  ++pending_records_;
+  if (pending_records_ >= options_.flush_every) flush_locked();
+}
+
+void PlanStore::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void PlanStore::flush_locked() {
+  if (pending_.empty() || options_.read_only) return;
+  // Best effort: if the append fails (disk full, fs read-only) the records
+  // stay memory-resident for this run and the next open sees the shorter —
+  // still valid — journal. Durability degrades; correctness does not.
+  (void)append_durable(journal_path(), pending_);
+  pending_.clear();
+  pending_records_ = 0;
+  ++stats_.appends_flushed;
+}
+
+void PlanStore::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.read_only) return;
+  compact_locked();
+}
+
+void PlanStore::compact_locked() {
+  // Deterministic record order (sorted by key) so identical contents always
+  // produce byte-identical journals, whatever insertion order built them.
+  std::vector<uint64_t> keys;
+  keys.reserve(map_.size());
+  for (const auto& [key, eval] : map_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  std::string body = frame_record(header_payload(stats_.generation + 1));
+  for (const uint64_t key : keys) {
+    body += frame_record(encode_eval(key, map_.at(key)));
+  }
+  // Atomic replace: a SIGKILL at any instant leaves either the previous
+  // journal or this complete new generation — never a hybrid.
+  std::string error;
+  if (write_file_atomic(journal_path(), body, &error)) {
+    ++stats_.generation;
+    ++stats_.compactions;
+    count("store.compactions.count");
+    pending_.clear();  // buffered records are part of map_, hence of `body`
+    pending_records_ = 0;
+  }
+  // On failure the old journal (plus any already-appended batches) stands;
+  // pending_ is kept for the next append attempt.
+}
+
+PlanStoreStats PlanStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::string PlanStore::journal_path() const {
+  return (fs::path(options_.dir) / "evals.journal").string();
+}
+
+std::string PlanStore::quarantine_path() const {
+  return (fs::path(options_.dir) / "quarantine.log").string();
+}
+
+std::string PlanStore::lock_path() const {
+  return (fs::path(options_.dir) / "store.lock").string();
+}
+
+void PlanStore::count(const char* metric, uint64_t delta) {
+  if (options_.metrics != nullptr) options_.metrics->add(metric, delta);
+}
+
+}  // namespace heterog::store

@@ -18,8 +18,11 @@
 
 #include "ckpt/journal.h"
 #include "cluster/cluster.h"
+#include "common/record_io.h"
 #include "common/rng.h"
 #include "faults/faults.h"
+#include "sim/plan_eval.h"
+#include "store/plan_store.h"
 #include "strategy/serialize.h"
 #include "strategy/strategy.h"
 
@@ -196,6 +199,89 @@ TEST(Fuzz, JournalParseNeverCrashes) {
   }
 }
 
+std::string valid_store_journal() {
+  std::string journal = frame_record("heterog-store v1 gen 1");
+  for (uint64_t i = 1; i <= 6; ++i) {
+    sim::PlanEvaluation eval;
+    eval.per_iteration_ms = 1.5 * static_cast<double>(i);
+    eval.cold_iteration_ms = 2.0;
+    eval.oom = i % 2 == 0;
+    eval.peak_memory_bytes = {static_cast<int64_t>(i) << 20, 1 << 10};
+    if (eval.oom) eval.oom_devices = {static_cast<cluster::DeviceId>(i % 4)};
+    journal += frame_record(store::PlanStore::encode_eval(i * 77, eval));
+  }
+  return journal;
+}
+
+TEST(Fuzz, StoreRecordScannerNeverCrashes) {
+  // The scanner must classify every mutation as kOk/kCorrupt/kEnd — it never
+  // throws, and a corrupt frame's extent always advances the scan (no hangs).
+  Rng rng(0xF006);
+  const std::string seed = valid_store_journal();
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string input = mutate(rng, seed);
+    RecordScanner scanner(input);
+    size_t consumed = 0;
+    for (int guard = 0; guard < 10'000; ++guard) {
+      const ScannedRecord rec = scanner.next();
+      if (rec.status == ScannedRecord::Status::kEnd) break;
+      ASSERT_GT(rec.length, 0u) << "scanner failed to advance";
+      ASSERT_LE(rec.offset + rec.length, input.size());
+      consumed = rec.offset + rec.length;
+    }
+    ASSERT_LE(consumed, input.size());
+  }
+}
+
+TEST(Fuzz, StoreEvalDecodeNeverThrows) {
+  // decode_eval's contract is bool, never an exception — whatever bytes come
+  // out of a CRC-validated frame that was crafted rather than written by us.
+  Rng rng(0xF007);
+  sim::PlanEvaluation eval;
+  eval.per_iteration_ms = 3.25;
+  eval.peak_memory_bytes = {123, 456};
+  const std::string seed = store::PlanStore::encode_eval(0xDEADBEEF, eval);
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string input = mutate(rng, seed);
+    uint64_t key = 0;
+    sim::PlanEvaluation out;
+    try {
+      (void)store::PlanStore::decode_eval(input, &key, &out);
+    } catch (const std::exception& e) {
+      FAIL() << "decode_eval threw " << typeid(e).name() << ": " << e.what();
+    }
+  }
+}
+
+TEST(Fuzz, StoreOpenOnMutatedJournalNeverCrashes) {
+  // Untrusted journal bytes into a full PlanStore open: corruption of any
+  // kind must be healed or quarantined, never escape as a crash or an
+  // untyped exception. (StoreError is allowed — a mutation cannot create an
+  // environment problem here, but the type contract is what's under test.)
+  Rng rng(0xF008);
+  const std::string seed = valid_store_journal();
+  const fs::path dir =
+      fs::temp_directory_path() / ("heterog_fuzz_store_" + std::to_string(::getpid()));
+  for (int i = 0; i < 96; ++i) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string input = mutate(rng, seed);
+    std::ofstream((dir / "evals.journal").string(), std::ios::binary) << input;
+    try {
+      store::PlanStoreOptions options;
+      options.dir = dir.string();
+      store::PlanStore store(options);  // the property: opening never crashes
+    } catch (const store::StoreError&) {
+      // The one acceptable failure mode.
+    } catch (const std::exception& e) {
+      FAIL() << "PlanStore open escaped with untyped " << typeid(e).name() << ": "
+             << e.what() << "\ninput (" << input.size() << " bytes)";
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
 TEST(Fuzz, ValidSeedsStillParse) {
   // Sanity for the corpus itself — a fuzzer over rejected-by-construction
   // seeds would prove nothing.
@@ -204,6 +290,20 @@ TEST(Fuzz, ValidSeedsStillParse) {
   EXPECT_NO_THROW((void)strategy::parse_plan(valid_plan_v2(), cluster));
   EXPECT_NO_THROW((void)faults::parse_fault_plan_json(valid_fault_json()));
   EXPECT_NO_THROW((void)ckpt::parse_journal(valid_journal()));
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("heterog_fuzz_seed_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream((dir / "evals.journal").string(), std::ios::binary)
+      << valid_store_journal();
+  store::PlanStoreOptions options;
+  options.dir = dir.string();
+  store::PlanStore store(options);
+  EXPECT_EQ(store.size(), 6u);  // every seeded record survives a clean open
+  EXPECT_EQ(store.stats().records_quarantined, 0u);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

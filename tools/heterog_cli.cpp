@@ -7,16 +7,16 @@
 //                        [--out plan.txt] [--threads N] [--eval-cache N]
 //                        [--fault-plan faults.json] [--steps 20]
 //                        [--checkpoint-dir DIR] [--ckpt-every K]
-//                        [--metrics m.jsonl]
+//                        [--metrics m.jsonl] [--plan-store DIR]
 //   heterog_cli search   ... (alias of plan)
 //   heterog_cli run      --model vgg19 --batch 192 [--cluster 8gpu]
 //                        [--layers L] [--steps 20] [--groups 48]
 //                        [--fault-plan faults.json | --chaos-seed N]
 //                        [--health] [--detect-threshold X] [--retry-budget N]
 //                        [--checkpoint-dir DIR] [--ckpt-every K]
-//                        [--metrics m.jsonl]
+//                        [--metrics m.jsonl] [--plan-store DIR]
 //   heterog_cli resume   --journal DIR/journal.heterog [--ckpt-every K]
-//                        [--metrics m.jsonl]
+//                        [--metrics m.jsonl] [--plan-store DIR]
 //   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
 //                        (--plan plan.txt | --strategy ev-ar|ev-ps|cp-ar|cp-ps)
 //                        [--layers L] [--groups N] [--order rank|fifo]
@@ -30,8 +30,14 @@
 // `report` aggregates into a run report. Telemetry is write-only: results
 // are bit-identical with or without it.
 //
-// Exit codes: 0 success, 1 bad usage, 2 runtime failure. Every error path
-// exits nonzero; tools/CMakeLists.txt pins this with WILL_FAIL ctests.
+// `--plan-store DIR` attaches the durable cross-run evaluation cache
+// (docs/persistence.md): searches read evaluations written by earlier
+// invocations and persist their own. Results are bit-identical with the
+// store hot, cold, corrupted, or absent.
+//
+// Exit codes: 0 success, 1 bad usage, 2 runtime failure, 3 unusable
+// --plan-store directory, 4 --plan-store held by a live writer. Every error
+// path exits nonzero; tools/CMakeLists.txt pins the codes with ctests.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +54,7 @@
 #include "models/models.h"
 #include "obs/report.h"
 #include "sim/trace.h"
+#include "store/plan_store.h"
 #include "strategy/serialize.h"
 
 namespace {
@@ -88,6 +95,45 @@ std::optional<Args> parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+// --plan-store failures get exit codes of their own so scripts (and the
+// ctests in tools/CMakeLists.txt) can tell an unusable directory from a
+// legitimately held lock.
+constexpr int kExitStoreEnv = 3;
+constexpr int kExitStoreLocked = 4;
+
+/// Opens the `--plan-store` directory when requested; *out stays null
+/// without the flag. Returns false (a usage error) when the flag carries no
+/// path. An unusable directory or live lock throws store::StoreError, which
+/// main() maps to kExitStoreEnv / kExitStoreLocked.
+bool open_plan_store(const Args& args, obs::EventLog* events,
+                     std::unique_ptr<store::PlanStore>* out) {
+  out->reset();
+  if (!args.has("plan-store")) return true;
+  const std::string dir = args.get("plan-store");
+  if (dir.empty() || dir == "1") {  // bare flag: parse() fills "1"
+    std::fprintf(stderr, "error: --plan-store needs a directory path\n");
+    return false;
+  }
+  store::PlanStoreOptions opts;
+  opts.dir = dir;
+  opts.events = events;
+  *out = std::make_unique<store::PlanStore>(opts);
+  return true;
+}
+
+void print_store_stats(const store::PlanStore& plan_store) {
+  const store::PlanStoreStats s = plan_store.stats();
+  std::string suffix = s.healed ? ", healed on open" : "";
+  if (s.records_quarantined > 0) {
+    suffix += " (" + std::to_string(s.records_quarantined) + " record(s) quarantined)";
+  }
+  std::printf("plan store: %s — %llu cross-run hit(s) / %llu miss(es), "
+              "%zu record(s), generation %d%s\n",
+              plan_store.dir().c_str(), static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses), plan_store.size(),
+              s.generation, suffix.c_str());
 }
 
 /// Opens the `--metrics` sink when requested; null without the flag.
@@ -148,13 +194,16 @@ int usage() {
       "            [--threads N] [--eval-cache N]\n"
       "            [--fault-plan FILE] [--steps N]\n"
       "            [--checkpoint-dir DIR] [--ckpt-every K] [--metrics FILE]\n"
+      "            [--plan-store DIR]\n"
       "  search    alias of plan\n"
       "  run       --model NAME --batch B [--cluster ...] [--layers L]\n"
       "            [--steps N] [--groups N]\n"
       "            [--fault-plan FILE | --chaos-seed N]\n"
       "            [--health] [--detect-threshold X] [--retry-budget N]\n"
       "            [--checkpoint-dir DIR] [--ckpt-every K] [--metrics FILE]\n"
+      "            [--plan-store DIR]\n"
       "  resume    --journal FILE [--ckpt-every K] [--metrics FILE]\n"
+      "            [--plan-store DIR]\n"
       "  evaluate  --model NAME --batch B [--cluster ...] [--layers L]\n"
       "            (--plan FILE | --strategy ev-ar|ev-ps|cp-ar|cp-ps)\n"
       "            [--groups N] [--order rank|fifo] [--microbatches M]\n"
@@ -163,7 +212,8 @@ int usage() {
       "  report    FILE.jsonl [MORE.jsonl ...] [--csv FILE]\n"
       "\n"
       "--metrics streams JSONL telemetry (docs/observability.md); `report`\n"
-      "renders it as a run report.\n");
+      "renders it as a run report. --plan-store persists evaluated plans\n"
+      "across invocations (docs/persistence.md).\n");
   return 1;
 }
 
@@ -270,6 +320,12 @@ int cmd_plan(const Args& args) {
   config.train.events = metrics.get();
   config.events = metrics.get();
 
+  // Durable cross-run evaluation cache; opened (and self-healed) before the
+  // possibly minutes-long search so an unusable directory fails fast.
+  std::unique_ptr<store::PlanStore> plan_store;
+  if (!open_plan_store(args, metrics.get(), &plan_store)) return 1;
+  config.plan_store = plan_store.get();
+
   const auto runner = get_runner(
       [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
       config);
@@ -286,6 +342,7 @@ int cmd_plan(const Args& args) {
                 static_cast<unsigned long long>(search.eval_cache_misses),
                 config.train.threads, config.train.threads == 1 ? "" : "s");
   }
+  if (plan_store != nullptr) print_store_stats(*plan_store);
   print_breakdown(runner.breakdown());
 
   if (args.has("out")) {
@@ -426,6 +483,10 @@ int cmd_run(const Args& args) {
   if (metrics_failed) return 2;
   config.events = metrics.get();
 
+  std::unique_ptr<store::PlanStore> plan_store;
+  if (!open_plan_store(args, metrics.get(), &plan_store)) return 1;
+  config.plan_store = plan_store.get();
+
   const auto runner = get_runner(
       [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
       config);
@@ -449,6 +510,7 @@ int cmd_run(const Args& args) {
 
   const auto stats = runner.run(steps, fault_plan, copts);
   print_run_stats(stats, steps);
+  if (plan_store != nullptr) print_store_stats(*plan_store);
   if (config.health.enabled) {
     print_health_summary(stats.health);
     if (stats.detection_overhead_ms > 0.0) {
@@ -503,12 +565,16 @@ int cmd_resume(const Args& args) {
   const std::unique_ptr<obs::EventLog> metrics = open_metrics(args, &metrics_failed);
   if (metrics_failed) return 2;
 
+  std::unique_ptr<store::PlanStore> plan_store;
+  if (!open_plan_store(args, metrics.get(), &plan_store)) return 1;
+
   std::printf("resuming %s: model=%s layers=%d batch=%g at step %d/%d\n", path.c_str(),
               model->name, layers, batch, journal.watermark, journal.total_steps);
   const auto stats = resume_run(
       path, [&] { return models::build_forward(model->kind, layers, batch); }, copts,
-      metrics.get());
+      metrics.get(), plan_store.get());
   print_run_stats(stats, journal.total_steps - journal.watermark);
+  if (plan_store != nullptr) print_store_stats(*plan_store);
   if (metrics != nullptr) {
     std::printf("metrics: %llu events written to %s\n",
                 static_cast<unsigned long long>(metrics->events_emitted()),
@@ -695,6 +761,10 @@ int main(int argc, char** argv) {
     if (args->command == "evaluate") return cmd_evaluate(*args);
     if (args->command == "baselines") return cmd_baselines(*args);
     if (args->command == "report") return cmd_report(*args);
+  } catch (const store::StoreError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return e.kind() == store::StoreError::Kind::kLocked ? kExitStoreLocked
+                                                        : kExitStoreEnv;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
