@@ -389,6 +389,19 @@ ClusterSpec make_motivation_cluster() {
   return ClusterSpec(std::move(hosts), std::move(devices), 100.0);
 }
 
+std::optional<ClusterSpec> cluster_from_name(const std::string& name) {
+  if (name == "8gpu") return make_paper_testbed_8gpu();
+  if (name == "12gpu") return make_paper_testbed_12gpu();
+  if (name == "fig3") return make_fig3_testbed();
+  if (name == "homog8") return make_homogeneous(8, GpuModel::kGtx1080Ti, 2);
+  return std::nullopt;
+}
+
+const std::vector<std::string>& known_cluster_names() {
+  static const std::vector<std::string> names = {"8gpu", "12gpu", "fig3", "homog8"};
+  return names;
+}
+
 ClusterSpec scale_network_bandwidth(const ClusterSpec& base, double factor) {
   check(factor > 0.0, "scale_network_bandwidth: factor must be positive");
   std::vector<HostSpec> hosts = base.hosts();

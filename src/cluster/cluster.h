@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -144,6 +145,14 @@ double gbps_to_bytes_per_ms(double gbps);
 uint32_t cluster_fingerprint(const ClusterSpec& cluster);
 
 /// Builders -------------------------------------------------------------
+
+/// Named testbed lookup shared by heterog_cli and the plan server: "8gpu",
+/// "12gpu", "fig3", "homog8". nullopt for an unknown name (callers turn that
+/// into their own usage error / typed rejection).
+std::optional<ClusterSpec> cluster_from_name(const std::string& name);
+
+/// The names cluster_from_name accepts, for usage text and docs.
+const std::vector<std::string>& known_cluster_names();
 
 /// The paper's 8-GPU configuration: G0,G1 = V100; G2..G5 = 1080Ti; G6,G7 =
 /// P100 (Table 2 header).

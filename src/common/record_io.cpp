@@ -1,5 +1,6 @@
 #include "common/record_io.h"
 
+#include <cstdint>
 #include <cstdio>
 
 #include "common/crc32.h"
@@ -25,6 +26,51 @@ bool parse_bounded(std::string_view text, size_t max, size_t* out) {
 }
 
 }  // namespace
+
+FrameHeaderStatus parse_frame_header(std::string_view line, size_t max_payload,
+                                     size_t min_payload, FrameHeader* out) {
+  if (line.substr(0, kRecPrefix.size()) != kRecPrefix) {
+    return FrameHeaderStatus::kBadMagic;
+  }
+  const std::string_view fields = line.substr(kRecPrefix.size());
+  const size_t space = fields.find(' ');
+  if (space == std::string_view::npos) return FrameHeaderStatus::kMissingCrc;
+  size_t len = 0;
+  if (!parse_bounded(fields.substr(0, space), SIZE_MAX / 16, &len)) {
+    return FrameHeaderStatus::kBadLength;
+  }
+  // Cap checks come after syntactic validity but before anything is
+  // allocated: the declared length is attacker-controlled.
+  if (len > max_payload) return FrameHeaderStatus::kOversized;
+  if (len < min_payload) return FrameHeaderStatus::kZeroLength;
+  const std::string_view crc = fields.substr(space + 1);
+  if (crc.size() != 8) return FrameHeaderStatus::kBadCrcField;
+  for (const char c : crc) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return FrameHeaderStatus::kBadCrcField;
+  }
+  out->payload_len = len;
+  out->crc_hex.assign(crc.data(), crc.size());
+  return FrameHeaderStatus::kOk;
+}
+
+const char* frame_header_status_name(FrameHeaderStatus status) {
+  switch (status) {
+    case FrameHeaderStatus::kOk: return "ok";
+    case FrameHeaderStatus::kBadMagic: return "missing \"rec\" frame header";
+    case FrameHeaderStatus::kMissingCrc: return "frame header missing checksum";
+    case FrameHeaderStatus::kBadLength: return "bad or overflowing payload length";
+    case FrameHeaderStatus::kZeroLength: return "zero-length payload";
+    case FrameHeaderStatus::kOversized: return "oversized payload length";
+    case FrameHeaderStatus::kBadCrcField: return "malformed checksum field";
+  }
+  return "unknown";
+}
+
+bool verify_frame_payload(const FrameHeader& header, std::string_view payload) {
+  return payload.size() == header.payload_len &&
+         header.crc_hex == crc32_hex(crc32(payload));
+}
 
 std::string frame_record(std::string_view payload) {
   std::string out = "rec ";
@@ -60,24 +106,20 @@ ScannedRecord RecordScanner::next() {
     return rec;
   };
 
-  if (data_.substr(start, kRecPrefix.size()) != kRecPrefix) {
-    return corrupt("missing \"rec\" frame header");
-  }
   const size_t header_end = data_.find('\n', start);
   if (header_end == std::string_view::npos) {
     return corrupt("truncated frame header");
   }
-  const std::string_view header =
-      data_.substr(start + kRecPrefix.size(), header_end - start - kRecPrefix.size());
-  const size_t space = header.find(' ');
-  if (space == std::string_view::npos) {
-    return corrupt("frame header missing checksum");
+  // Shared typed header parse (also the server's socket-read path): the
+  // declared length is validated against the cap before the payload is even
+  // located. Journals may legitimately carry empty payloads (min 0).
+  FrameHeader header;
+  const FrameHeaderStatus status = parse_frame_header(
+      data_.substr(start, header_end - start), max_payload_, 0, &header);
+  if (status != FrameHeaderStatus::kOk) {
+    return corrupt(frame_header_status_name(status));
   }
-  size_t len = 0;
-  if (!parse_bounded(header.substr(0, space), max_payload_, &len)) {
-    return corrupt("bad or oversized payload length");
-  }
-  const std::string_view stored_crc = header.substr(space + 1);
+  const size_t len = header.payload_len;
   const size_t payload_start = header_end + 1;
   if (payload_start + len + 1 > data_.size()) {
     return corrupt("truncated payload");
@@ -88,7 +130,7 @@ ScannedRecord RecordScanner::next() {
   const std::string_view payload = data_.substr(payload_start, len);
   // String comparison, mirroring the journal trailer: a flip inside the
   // stored checksum itself is still a mismatch.
-  if (stored_crc != crc32_hex(crc32(payload))) {
+  if (!verify_frame_payload(header, payload)) {
     return corrupt("payload checksum mismatch");
   }
   pos_ = payload_start + len + 1;

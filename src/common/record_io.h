@@ -33,6 +33,48 @@ inline constexpr size_t kMaxRecordPayload = 16u << 20;  // 16 MiB
 /// Frames `payload` as one record: "rec <len> <crc32-hex>\n<payload>\n".
 std::string frame_record(std::string_view payload);
 
+/// Longest header line ("rec <len> <crc>\n") a well-formed frame can carry:
+/// 4 + 20 digits + 1 + 8 hex + newline, rounded up. Streaming readers (the
+/// plan server) stop reading an unterminated header at this bound so a
+/// client feeding an endless first line cannot grow a buffer.
+inline constexpr size_t kMaxFrameHeaderBytes = 40;
+
+/// Why a frame header was rejected. The distinctions matter to the server's
+/// rejection taxonomy: an oversized *declared* length is refused before any
+/// payload allocation, which is the whole point of parsing the header on its
+/// own.
+enum class FrameHeaderStatus {
+  kOk,
+  kBadMagic,     // line does not start with "rec "
+  kMissingCrc,   // no space-separated checksum field
+  kBadLength,    // length field empty, non-numeric, or > 20 digits (overflow)
+  kZeroLength,   // declared length 0 where the caller requires a payload
+  kOversized,    // declared length exceeds the caller's cap
+  kBadCrcField,  // checksum field is not 8 hex digits
+};
+
+struct FrameHeader {
+  size_t payload_len = 0;
+  std::string crc_hex;  // exactly 8 lowercase hex digits when kOk
+};
+
+/// Parses one "rec <len> <crc32-hex>" header line (no trailing newline).
+/// Rejects a declared length above `max_payload` or below `min_payload`
+/// BEFORE the caller allocates anything — the hardening contract for reads
+/// from untrusted sockets. Overflow-safe: a 30-digit length is kBadLength,
+/// never a wrapped size_t. Never throws.
+FrameHeaderStatus parse_frame_header(std::string_view line, size_t max_payload,
+                                     size_t min_payload, FrameHeader* out);
+
+/// Human-readable reason for each non-kOk status (stable strings; the server
+/// embeds them in typed rejection replies and the scanner in quarantine
+/// reasons).
+const char* frame_header_status_name(FrameHeaderStatus status);
+
+/// True iff `payload` matches the header's stored checksum (string-compared,
+/// so a flip inside the stored checksum itself is still a mismatch).
+bool verify_frame_payload(const FrameHeader& header, std::string_view payload);
+
 struct ScannedRecord {
   enum class Status {
     kOk,       // payload points into the scanned buffer

@@ -1,0 +1,45 @@
+#include "common/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace heterog {
+
+namespace {
+
+// A lock-free std::atomic is both async-signal-safe (the handler may store
+// to it) and thread-safe (the serve loop polls it from a worker thread,
+// while tests set it from another) — volatile sig_atomic_t only gives the
+// former.
+std::atomic<int> g_shutdown_flag{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+extern "C" void on_shutdown_signal(int) {
+  g_shutdown_flag.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocking read/accept should return EINTR so the poll
+  // point is reached promptly instead of after the next client byte.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_shutdown_flag.load(std::memory_order_relaxed) != 0;
+}
+
+void request_shutdown() { g_shutdown_flag.store(1, std::memory_order_relaxed); }
+
+void reset_shutdown_for_tests() {
+  g_shutdown_flag.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace heterog

@@ -1,0 +1,36 @@
+// Cooperative process shutdown for long-running entry points.
+//
+// install_shutdown_handlers() routes SIGTERM and SIGINT into a process-wide
+// flag instead of the default die-mid-write behaviour. Long loops (the CLI's
+// run/resume step loop, the plan server's accept loop) poll
+// shutdown_requested() at safe points and wind down cleanly: checkpoints and
+// journals get a final snapshot, the plan store's write-behind buffer is
+// flushed, sockets are drained, and the process exits through destructors
+// rather than through signal-default termination.
+//
+// The handler itself only stores into a sig_atomic_t (async-signal-safe); a
+// second delivery of the same signal keeps the flag set, so an impatient
+// double Ctrl-C still exits at the next poll point, never mid-write. Nothing
+// here installs anything at static-init time: a process that never calls
+// install_shutdown_handlers() keeps default signal behaviour, so library
+// users and the existing tests see no change.
+#pragma once
+
+namespace heterog {
+
+/// Installs SIGTERM + SIGINT handlers that set the shutdown flag. Idempotent;
+/// call once near the top of main() before entering a long-running loop.
+void install_shutdown_handlers();
+
+/// True once SIGTERM or SIGINT was delivered after
+/// install_shutdown_handlers() (or after request_shutdown()).
+bool shutdown_requested();
+
+/// Sets the flag programmatically — the in-process equivalent of a signal,
+/// used by tests and by servers that want stop() to share the drain path.
+void request_shutdown();
+
+/// Clears the flag (tests that exercise the drain path repeatedly).
+void reset_shutdown_for_tests();
+
+}  // namespace heterog

@@ -3,12 +3,15 @@
 #include <atomic>
 #include <exception>
 
+#include "common/check.h"
+
 namespace heterog {
 
-ThreadPool::ThreadPool(int threads) {
-  if (threads <= 1) return;
-  workers_.reserve(static_cast<size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
+ThreadPool::ThreadPool(int threads, Mode mode) {
+  if (mode == Mode::kInlineWhenSingle && threads <= 1) return;
+  const int spawn = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -34,6 +37,16 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  check(!workers_.empty(),
+        "ThreadPool::submit needs real workers (construct with Mode::kAlwaysSpawn)");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  work_ready_.notify_one();
 }
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& body) {

@@ -26,10 +26,17 @@ namespace heterog {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers. `threads <= 1` spawns none: parallel_for then
-  /// runs inline on the caller, so a serial pool is zero-overhead and the
-  /// call sites need no special casing.
-  explicit ThreadPool(int threads);
+  /// Whether a single-thread pool runs work inline on the caller (the
+  /// parallel_for fan-out shape, zero-overhead when serial) or still spawns
+  /// a real worker (the submit() shape: a server's accept loop must never
+  /// execute a request inline, or one slow request stalls all admission).
+  enum class Mode { kInlineWhenSingle, kAlwaysSpawn };
+
+  /// Spawns `threads` workers. In kInlineWhenSingle mode (the default)
+  /// `threads <= 1` spawns none: parallel_for then runs inline on the
+  /// caller, so a serial pool is zero-overhead and the call sites need no
+  /// special casing. kAlwaysSpawn spawns max(1, threads) real workers.
+  explicit ThreadPool(int threads, Mode mode = Mode::kInlineWhenSingle);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -43,6 +50,16 @@ class ThreadPool {
   /// called from inside a pool task (the caller blocks; nested batches could
   /// starve the workers they wait on).
   void parallel_for(size_t n, const std::function<void(size_t)>& body);
+
+  /// Enqueues one fire-and-forget task for the workers (the plan server's
+  /// per-request dispatch). Requires a pool with real workers (size() > 0 —
+  /// construct with Mode::kAlwaysSpawn); throws CheckError on an inline
+  /// pool, because "submit" on a worker-less pool could only run the task on
+  /// the caller, which is exactly what submitters exist to avoid. The task
+  /// must not throw: there is no barrier to rethrow on, so an escaped
+  /// exception would terminate the worker. Completion (and any back-pressure
+  /// accounting) is the caller's to synchronise.
+  void submit(std::function<void()> task);
 
  private:
   void worker_loop();

@@ -10,6 +10,7 @@
 #include "common/crc32.h"
 #include "common/hash.h"
 #include "common/log.h"
+#include "common/shutdown.h"
 #include "sim/fault_sim.h"
 #include "strategy/serialize.h"
 
@@ -405,12 +406,26 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
     }
   };
 
+  // Cooperative shutdown (SIGTERM/SIGINT routed through common/shutdown):
+  // stop at the next *live* step boundary — never mid-step, never during
+  // replay — so the final save_snapshot below leaves a resumable journal and
+  // the store/event-log flush in the caller runs through destructors.
+  const auto shutdown_poll = [&](bool live) {
+    if (!live || !shutdown_requested()) return false;
+    stats.interrupted = true;
+    stats.completed = false;
+    log_info() << "DistRunner: shutdown requested — stopping at step " << step
+               << " with state flushed";
+    return true;
+  };
+
   while (!online && step < steps) {
     // Steps before start_step are replayed: state transitions (escalation,
     // re-planning, fault-plan remapping) are applied so execution state at
     // the watermark matches an uninterrupted run's, but nothing is charged
     // to stats — those steps completed before the crash.
     const bool live = step >= start_step;
+    if (shutdown_poll(live)) break;
 
     // Transient faults first: capped exponential backoff. A device still
     // failing at the retry cap is escalated to a permanent failure below.
@@ -561,6 +576,7 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
       static_cast<size_t>(active_cluster.device_count()), 0);
   while (online && step < steps) {
     const bool live = step >= start_step;
+    if (shutdown_poll(live)) break;
     if (live) check_replayed_health();
 
     // Attempt the step until it completes, a permanent failure is confirmed
@@ -840,7 +856,8 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
                      .with("transient_retries", stats.transient_retries)
                      .with("retry_backoff_ms", stats.retry_backoff_total_ms)
                      .with("recoveries", static_cast<int>(stats.recoveries.size()))
-                     .with("completed", stats.completed));
+                     .with("completed", stats.completed)
+                     .with("interrupted", stats.interrupted));
   }
   return stats;
 }

@@ -133,6 +133,14 @@ struct RunStats {
   std::vector<RecoveryReport> recoveries;
   bool completed = true;
 
+  /// The run stopped early at a step boundary because a cooperative shutdown
+  /// was requested (common/shutdown: SIGTERM/SIGINT routed through
+  /// install_shutdown_handlers, or request_shutdown). A final checkpoint
+  /// snapshot was written first when checkpointing is on, so the run is
+  /// resumable; `completed` is false. Never set in processes that don't
+  /// install the handlers.
+  bool interrupted = false;
+
   /// Online health monitoring only (HeteroGConfig::health.enabled): wall
   /// time spent waiting out heartbeat timeouts while confirming failures
   /// (included in total_ms but kept out of step_ms so per-step times stay

@@ -392,6 +392,47 @@ const char* model_kind_name(ModelKind kind) {
   return "Unknown";
 }
 
+namespace {
+
+struct NamedModel {
+  const char* name;
+  ModelKind kind;
+  int default_layers;
+};
+
+constexpr NamedModel kNamedModels[] = {
+    {"vgg19", ModelKind::kVgg19, 0},
+    {"resnet200", ModelKind::kResNet200, 0},
+    {"inception_v3", ModelKind::kInceptionV3, 0},
+    {"mobilenet_v2", ModelKind::kMobileNetV2, 0},
+    {"nasnet", ModelKind::kNasNet, 0},
+    {"transformer", ModelKind::kTransformer, 6},
+    {"bert", ModelKind::kBertLarge, 24},
+    {"xlnet", ModelKind::kXlnetLarge, 24},
+};
+
+}  // namespace
+
+bool parse_model_name(const std::string& name, ModelKind* kind, int* default_layers) {
+  for (const auto& m : kNamedModels) {
+    if (name == m.name) {
+      *kind = m.kind;
+      *default_layers = m.default_layers;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string>& known_model_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& m : kNamedModels) out.emplace_back(m.name);
+    return out;
+  }();
+  return names;
+}
+
 graph::GraphDef build_forward(ModelKind kind, int layers, double batch) {
   check(batch > 0.0, "build_forward: batch must be positive");
   switch (kind) {

@@ -27,6 +27,15 @@ enum class ModelKind {
 
 const char* model_kind_name(ModelKind kind);
 
+/// CLI/RPC model-name lookup shared by heterog_cli and the plan server:
+/// "vgg19", "resnet200", "inception_v3", "mobilenet_v2", "nasnet",
+/// "transformer", "bert", "xlnet". On a match fills `kind` and the family's
+/// default layer depth (0 for the CNNs); returns false for unknown names.
+bool parse_model_name(const std::string& name, ModelKind* kind, int* default_layers);
+
+/// The names parse_model_name accepts, for usage text and docs.
+const std::vector<std::string>& known_model_names();
+
 /// Builds the forward graph. `layers` selects depth for the NLP families
 /// (Transformer / BERT / XLNet number of encoder layers); it is ignored for
 /// the CNNs (pass 0).

@@ -65,6 +65,10 @@ const std::vector<std::string>& all_event_types() {
       "suspicion", "quarantine", "breaker_open", "degraded_replan",
       // Persistent plan/eval store (store::PlanStore).
       "store_open", "store_quarantine",
+      // Plan server (server::PlanServer): lifecycle, per-request outcomes,
+      // typed rejections, deadline degradation and graceful drain.
+      "server_start", "server_request", "server_reject", "server_degraded",
+      "server_drain",
   };
   return types;
 }

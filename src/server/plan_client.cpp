@@ -1,0 +1,135 @@
+#include "server/plan_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/record_io.h"
+
+namespace heterog::server {
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) + ")";
+}
+
+}  // namespace
+
+int PlanClient::connect_fd(std::string* error) const {
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      *error = "unix socket path too long: " + options_.unix_path;
+      return -1;
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = "socket(AF_UNIX): " + errno_text(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = "connect " + options_.unix_path + ": " + errno_text(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  if (options_.tcp_port < 0 || options_.tcp_port > 65535) {
+    *error = "no connect target (set unix_path or tcp_port)";
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket(AF_INET): " + errno_text(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect 127.0.0.1:" + std::to_string(options_.tcp_port) + ": " +
+             errno_text(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool PlanClient::framed_exchange(const std::string& wire, PlanReply* reply,
+                                 std::string* transport_error) {
+  const int fd = connect_fd(transport_error);
+  if (fd < 0) return false;
+
+  // A failed write is NOT fatal yet: the server rejects overloaded or
+  // draining connections by replying and closing without ever reading the
+  // request, which can reset our in-flight send. The typed rejection is
+  // still sitting in the receive buffer — read it before giving up.
+  const bool sent = write_raw(fd, wire);
+  if (sent) ::shutdown(fd, SHUT_WR);  // request fully sent; server reads EOF
+
+  std::string payload;
+  std::string frame_error;
+  const FrameReadStatus status =
+      read_frame(fd, kMaxReplyPayload, options_.timeout_ms, &payload, &frame_error);
+  ::close(fd);
+
+  switch (status) {
+    case FrameReadStatus::kOk:
+      break;
+    case FrameReadStatus::kEof:
+      *transport_error = sent ? "server closed the connection without a reply"
+                              : "short write to server and no reply";
+      return false;
+    case FrameReadStatus::kTimeout:
+      *transport_error = "timed out waiting for the reply";
+      return false;
+    case FrameReadStatus::kMalformed:
+      *transport_error = "malformed reply frame: " + frame_error;
+      return false;
+    case FrameReadStatus::kOversized:
+      *transport_error = "oversized reply frame";
+      return false;
+    case FrameReadStatus::kIoError:
+      *transport_error = "read error: " + frame_error;
+      return false;
+  }
+
+  std::string decode_error;
+  if (!decode_reply(payload, reply, &decode_error)) {
+    *transport_error = "unparseable reply payload: " + decode_error;
+    return false;
+  }
+  return true;
+}
+
+bool PlanClient::exchange(const PlanRequest& request, PlanReply* reply,
+                          std::string* transport_error) {
+  return framed_exchange(frame_record(encode_request(request)), reply,
+                         transport_error);
+}
+
+bool PlanClient::raw_exchange(std::string_view bytes, PlanReply* reply,
+                              std::string* transport_error) {
+  return framed_exchange(std::string(bytes), reply, transport_error);
+}
+
+bool PlanClient::fire_and_close(std::string_view bytes) {
+  std::string error;
+  const int fd = connect_fd(&error);
+  if (fd < 0) return false;
+  write_raw(fd, bytes);  // best effort; partial is the point
+  ::close(fd);
+  return true;
+}
+
+}  // namespace heterog::server

@@ -1,0 +1,58 @@
+// Minimal blocking client for the plan server (docs/server.md).
+//
+// One connection per exchange — the server's unit of admission is the
+// connection, so a client that wants N answers opens N sockets (cheap on
+// localhost, and it keeps the protocol trivially restartable: there is no
+// connection state to resynchronise after either side dies).
+//
+// raw_exchange / fire_and_close exist for the test suite and the chaos
+// harness: they ship arbitrary bytes (malformed frames, oversized headers,
+// half a frame followed by a hangup) so the server's rejection taxonomy can
+// be exercised from outside the process.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace heterog::server {
+
+struct ClientOptions {
+  /// Connect target: unix_path when non-empty, else 127.0.0.1:tcp_port.
+  std::string unix_path;
+  int tcp_port = -1;
+  /// Budget for reading the reply frame (planning a cold request takes real
+  /// work; keep this comfortably above the server's expected latency).
+  int timeout_ms = 60000;
+};
+
+class PlanClient {
+ public:
+  explicit PlanClient(ClientOptions options) : options_(std::move(options)) {}
+
+  /// Sends `request`, waits for the framed reply. True when a reply frame
+  /// arrived and parsed (whatever its status — rejected/error replies are
+  /// successful exchanges); false with *transport_error set on connect/read
+  /// failures, timeouts, or an unparseable reply.
+  bool exchange(const PlanRequest& request, PlanReply* reply,
+                std::string* transport_error);
+
+  /// Ships `bytes` verbatim, then reads one framed reply like exchange().
+  /// The chaos harness's malformed-request path.
+  bool raw_exchange(std::string_view bytes, PlanReply* reply,
+                    std::string* transport_error);
+
+  /// Connects, writes `bytes` (possibly a partial frame), hangs up without
+  /// reading — the disconnect-injection path. False if the connect failed.
+  bool fire_and_close(std::string_view bytes);
+
+ private:
+  int connect_fd(std::string* error) const;
+  bool framed_exchange(const std::string& wire, PlanReply* reply,
+                       std::string* transport_error);
+
+  ClientOptions options_;
+};
+
+}  // namespace heterog::server

@@ -1,0 +1,467 @@
+#include "server/plan_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "common/log.h"
+#include "common/shutdown.h"
+#include "core/heterog.h"
+#include "models/models.h"
+#include "strategy/serialize.h"
+
+namespace heterog::server {
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) + ")";
+}
+
+int bind_unix_listener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ServerError("unix socket path too long (" + std::to_string(path.size()) +
+                      " bytes, limit " + std::to_string(sizeof(addr.sun_path) - 1) +
+                      "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ServerError("socket(AF_UNIX): " + errno_text(errno));
+  ::unlink(path.c_str());  // a previous instance's leftover path
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ServerError("bind " + path + ": " + errno_text(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw ServerError("listen " + path + ": " + errno_text(err));
+  }
+  return fd;
+}
+
+int bind_tcp_listener(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ServerError("socket(AF_INET): " + errno_text(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local service, never 0.0.0.0
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ServerError("bind 127.0.0.1:" + std::to_string(port) + ": " + errno_text(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ServerError("listen 127.0.0.1:" + std::to_string(port) + ": " +
+                      errno_text(err));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ServerError("getsockname: " + errno_text(err));
+  }
+  *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  return fd;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   since)
+      .count();
+}
+
+}  // namespace
+
+void ServerOptions::validate() const {
+  if (unix_path.empty() && tcp_port < 0) {
+    throw ServerError("no listener configured (set unix_path and/or tcp_port)");
+  }
+  if (tcp_port > 65535) {
+    throw ServerError("tcp_port out of range: " + std::to_string(tcp_port));
+  }
+  if (threads < 1) {
+    throw ServerError("threads must be >= 1, got " + std::to_string(threads));
+  }
+  if (read_timeout_ms <= 0) {
+    throw ServerError("read_timeout_ms must be > 0, got " +
+                      std::to_string(read_timeout_ms));
+  }
+  if (!(episode_cost_ms > 0.0)) {
+    throw ServerError("episode_cost_ms must be > 0");
+  }
+}
+
+PlanServer::PlanServer(ServerOptions options) : options_(std::move(options)) {
+  options_.validate();
+  if (!options_.store_dir.empty()) {
+    store::PlanStoreOptions sopts;
+    sopts.dir = options_.store_dir;
+    sopts.events = options_.events;
+    sopts.metrics = options_.metrics;
+    store_ = std::make_unique<store::PlanStore>(sopts);  // StoreError propagates
+  }
+  // Bind before spawning workers so a bind failure leaves nothing to unwind.
+  if (!options_.unix_path.empty()) unix_fd_ = bind_unix_listener(options_.unix_path);
+  if (options_.tcp_port >= 0) tcp_fd_ = bind_tcp_listener(options_.tcp_port, &bound_tcp_port_);
+  pool_ = std::make_unique<ThreadPool>(options_.threads, ThreadPool::Mode::kAlwaysSpawn);
+}
+
+PlanServer::~PlanServer() {
+  request_stop();
+  // The pool joins its workers first (declaration order), so no handler can
+  // touch the store or sockets after this point.
+  pool_.reset();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void PlanServer::request_stop() { stop_requested_.store(true); }
+
+ServerStats PlanServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats copy = stats_;
+  copy.draining = draining_.load();
+  return copy;
+}
+
+void PlanServer::count_metric(const char* name, uint64_t delta) {
+  if (options_.metrics != nullptr) options_.metrics->add(name, delta);
+}
+
+void PlanServer::observe_latency(double ms) {
+  if (options_.metrics != nullptr) options_.metrics->observe("server.latency.ms", ms);
+}
+
+void PlanServer::run() {
+  if (options_.events != nullptr) {
+    options_.events->emit(obs::Event("server_start")
+                              .with("unix_path", options_.unix_path)
+                              .with("tcp_port", bound_tcp_port_)
+                              .with("threads", options_.threads)
+                              .with("queue_capacity",
+                                    static_cast<uint64_t>(options_.queue_capacity))
+                              .with("store", options_.store_dir));
+  }
+
+  pollfd fds[2];
+  nfds_t nfds = 0;
+  if (unix_fd_ >= 0) fds[nfds++] = {unix_fd_, POLLIN, 0};
+  if (tcp_fd_ >= 0) fds[nfds++] = {tcp_fd_, POLLIN, 0};
+
+  const size_t admit_cap =
+      static_cast<size_t>(options_.threads) + options_.queue_capacity;
+
+  while (!stop_requested_.load() && !shutdown_requested()) {
+    for (nfds_t i = 0; i < nfds; ++i) fds[i].revents = 0;
+    const int ready = ::poll(fds, nfds, 100);  // 100 ms stop-flag tick
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal landed; loop re-checks the flags
+      log_error() << "plan server: poll: " << errno_text(errno);
+      break;
+    }
+    if (ready == 0) continue;
+
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;  // raced close or transient; poll again
+
+      bool admit = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.accepted;
+        if (stats_.in_flight < admit_cap) {
+          ++stats_.in_flight;
+          admit = true;
+        } else {
+          ++stats_.rejected;
+          ++stats_.rejected_queue_full;
+        }
+      }
+      if (!admit) {
+        count_metric("server.rejects.count");
+        send_rejection(client, RejectReason::kQueueFull);
+        ::close(client);
+        continue;
+      }
+      pool_->submit([this, client] {
+        handle_connection(client);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --stats_.in_flight;
+        }
+        idle_.notify_all();
+      });
+    }
+  }
+
+  // Graceful drain: stop admitting, answer stragglers that already connected
+  // with a typed `draining` rejection, then finish the in-flight work.
+  draining_.store(true);
+  for (nfds_t i = 0; i < nfds; ++i) {
+    for (;;) {
+      pollfd probe = {fds[i].fd, POLLIN, 0};
+      if (::poll(&probe, 1, 0) <= 0 || (probe.revents & POLLIN) == 0) break;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.accepted;
+        ++stats_.rejected;
+        ++stats_.rejected_draining;
+      }
+      count_metric("server.rejects.count");
+      send_rejection(client, RejectReason::kDraining);
+      ::close(client);
+    }
+    ::close(fds[i].fd);
+  }
+  if (unix_fd_ >= 0) {
+    ::unlink(options_.unix_path.c_str());
+    unix_fd_ = -1;
+  }
+  tcp_fd_ = -1;
+
+  uint64_t drained_in_flight = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_in_flight = stats_.in_flight;
+    idle_.wait(lock, [this] { return stats_.in_flight == 0; });
+  }
+  if (store_ != nullptr) store_->flush();
+
+  const ServerStats final = stats();
+  if (options_.events != nullptr) {
+    options_.events->emit(obs::Event("server_drain")
+                              .with("in_flight_at_drain", drained_in_flight)
+                              .with("replies_ok", final.replies_ok)
+                              .with("replies_error", final.replies_error)
+                              .with("rejected", final.rejected)
+                              .with("degraded", final.degraded)
+                              .with("disconnects", final.disconnects));
+    options_.events->flush();
+  }
+  log_info() << "plan server: drained (" << final.replies_ok << " ok, "
+             << final.replies_error << " error, " << final.rejected << " rejected, "
+             << final.degraded << " degraded)";
+}
+
+void PlanServer::send_rejection(int fd, RejectReason reason) {
+  PlanReply reply;
+  reply.status = PlanReply::Status::kRejected;
+  reply.reject_reason = reason;
+  write_frame(fd, encode_reply(reply));  // best effort: peer may be gone
+  // Drain whatever request bytes arrived without blocking: closing with
+  // unread data pending resets a TCP connection, which can destroy the
+  // rejection reply before the client reads it. Bounded so a firehose
+  // client cannot pin the accept loop here.
+  char sink[4096];
+  for (size_t drained = 0; drained < (64u << 10);) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+    if (n <= 0) break;
+    drained += static_cast<size_t>(n);
+  }
+  if (options_.events != nullptr) {
+    options_.events->emit(
+        obs::Event("server_reject").with("reason", reject_reason_name(reason)));
+  }
+}
+
+void PlanServer::handle_connection(int fd) {
+  const auto started = std::chrono::steady_clock::now();
+  std::string payload;
+  std::string frame_error;
+  const FrameReadStatus read_status = read_frame(
+      fd, kMaxRequestPayload, options_.read_timeout_ms, &payload, &frame_error);
+
+  auto finish = [&](void) { ::close(fd); };
+
+  switch (read_status) {
+    case FrameReadStatus::kOk:
+      break;
+    case FrameReadStatus::kEof:
+    case FrameReadStatus::kIoError: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disconnects;
+      count_metric("server.disconnects.count");
+      finish();
+      return;
+    }
+    case FrameReadStatus::kTimeout: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected;
+        ++stats_.rejected_slow_client;
+      }
+      count_metric("server.rejects.count");
+      send_rejection(fd, RejectReason::kSlowClient);
+      finish();
+      return;
+    }
+    case FrameReadStatus::kOversized: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected;
+        ++stats_.rejected_oversized;
+      }
+      count_metric("server.rejects.count");
+      send_rejection(fd, RejectReason::kOversizedFrame);
+      finish();
+      return;
+    }
+    case FrameReadStatus::kMalformed: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected;
+        ++stats_.rejected_malformed;
+      }
+      count_metric("server.rejects.count");
+      send_rejection(fd, RejectReason::kMalformedFrame);
+      finish();
+      return;
+    }
+  }
+
+  count_metric("server.requests.count");
+
+  PlanRequest request;
+  PlanReply reply;
+  std::string decode_error;
+  bool degraded = false;
+  if (!decode_request(payload, &request, &decode_error)) {
+    reply.status = PlanReply::Status::kError;
+    reply.error = decode_error;
+  } else {
+    reply = plan_request(request, &degraded);
+  }
+
+  const double latency = elapsed_ms(started);
+  observe_latency(latency);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reply.status == PlanReply::Status::kOk) {
+      ++stats_.replies_ok;
+      if (degraded) ++stats_.degraded;
+    } else {
+      ++stats_.replies_error;
+    }
+  }
+  if (reply.status != PlanReply::Status::kOk) count_metric("server.errors.count");
+  if (degraded) count_metric("server.degraded.count");
+
+  // Crash consistency: flush the store's write-behind buffer before the
+  // client can observe the reply — any answer a client ever saw is durable,
+  // so a kill -9 at any later instant re-answers the repeat from disk.
+  if (store_ != nullptr) store_->flush();
+
+  if (!write_frame(fd, encode_reply(reply))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disconnects;
+    count_metric("server.disconnects.count");
+  }
+
+  if (options_.events != nullptr) {
+    options_.events->emit(
+        obs::Event("server_request")
+            .with("model", request.model)
+            .with("cluster", request.cluster)
+            .with("batch", request.batch)
+            .with("episodes", request.episodes)
+            .with("status", reply.status == PlanReply::Status::kOk ? "ok" : "error")
+            .with("degraded", degraded)
+            .with("latency_ms", latency));
+  }
+  finish();
+}
+
+PlanReply PlanServer::plan_request(const PlanRequest& request, bool* degraded_out) {
+  PlanReply reply;
+  *degraded_out = false;
+
+  models::ModelKind kind;
+  int default_layers = 0;
+  if (!models::parse_model_name(request.model, &kind, &default_layers)) {
+    reply.status = PlanReply::Status::kError;
+    reply.error = "unknown model '" + request.model + "'";
+    return reply;
+  }
+  const int layers = request.layers < 0 ? default_layers : request.layers;
+
+  const auto cluster = cluster::cluster_from_name(request.cluster);
+  if (!cluster.has_value()) {
+    reply.status = PlanReply::Status::kError;
+    reply.error = "unknown cluster '" + request.cluster + "'";
+    return reply;
+  }
+
+  // Deadline admission, on the *modelled* search cost (episodes x the
+  // configured per-episode cost) — never the wall clock, so the decision and
+  // the resulting plan are bit-reproducible. Same idiom as
+  // health::HealthPolicy::replan_deadline_ms in the mid-run re-plan path.
+  bool degraded = false;
+  if (request.episodes > 0 && request.deadline_ms >= 0.0) {
+    const double modelled_ms =
+        static_cast<double>(request.episodes) * options_.episode_cost_ms;
+    if (modelled_ms > request.deadline_ms) degraded = true;
+  }
+
+  HeteroGConfig config;
+  config.profiler_seed = request.seed;
+  config.search_with_rl = request.episodes > 0 && !degraded;
+  if (request.episodes > 0) config.train.episodes = request.episodes;
+  // One planner thread per request: concurrency comes from the server's own
+  // worker pool; nested fan-out would oversubscribe it.
+  config.train.threads = 1;
+  config.plan_store = store_.get();
+
+  if (degraded && options_.events != nullptr) {
+    options_.events->emit(obs::Event("server_degraded")
+                              .with("model", request.model)
+                              .with("cluster", request.cluster)
+                              .with("episodes", request.episodes)
+                              .with("deadline_ms", request.deadline_ms)
+                              .with("episode_cost_ms", options_.episode_cost_ms));
+  }
+
+  try {
+    const auto runner = get_runner(
+        [&] { return models::build_forward(kind, layers, request.batch); }, *cluster,
+        config);
+    reply.status = PlanReply::Status::kOk;
+    reply.degraded = degraded;
+    reply.feasible = runner.feasible();
+    reply.per_iteration_ms = runner.per_iteration_ms();
+    reply.plan_text = strategy::to_text(runner.strategy(), runner.cluster());
+    *degraded_out = degraded;
+  } catch (const std::exception& e) {
+    reply.status = PlanReply::Status::kError;
+    reply.error = std::string("planner failure: ") + e.what();
+  }
+  return reply;
+}
+
+}  // namespace heterog::server

@@ -1,0 +1,167 @@
+// Planner-as-a-service: a hardened, multi-tenant plan daemon
+// (docs/server.md).
+//
+// PlanServer turns the one-shot heterog::get_runner pipeline into a
+// long-running service: it listens on a Unix and/or TCP socket, admits
+// framed PlanRequests (server/protocol), fans them across a
+// common/ThreadPool of planner workers, and answers repeats read-through
+// from a persistent store::PlanStore so a restarted server re-answers a
+// repeated request bit-identically — and fast — from disk.
+//
+// The robustness core, each piece pinned by tests/server_test.cpp and
+// hammered by bench/bench_plan_server:
+//
+//   * bounded admission — at most queue_capacity + threads requests are in
+//     flight; the next connection gets an immediate typed `queue_full`
+//     rejection instead of an unbounded backlog.
+//   * typed rejection, never a crash — malformed frames, oversized declared
+//     lengths (refused before any allocation), slow clients and mid-frame
+//     disconnects each map to a RejectReason or a counted close; hostile
+//     bytes cannot take the daemon down.
+//   * per-request deadlines with graceful degradation — when the modelled
+//     cost of the requested RL search (episodes x episode_cost_ms, the same
+//     deterministic modelled-cost decision as
+//     health::HealthPolicy::replan_deadline_ms) exceeds the request's
+//     deadline, the server degrades to the heuristic planner and answers
+//     with degraded=1 instead of blowing the budget or refusing.
+//   * graceful drain — request_stop() (or SIGTERM/SIGINT via
+//     common/shutdown) stops admission, answers stragglers with a typed
+//     `draining` rejection, finishes every in-flight request, flushes the
+//     store's write-behind buffer, and emits a `server_drain` event.
+//   * crash consistency — the store is flushed after every put, so kill -9
+//     at any instant leaves at most a torn tail record that the next open
+//     self-heals (store::PlanStore); a restarted server serves the same
+//     bytes for the same request.
+//
+// Telemetry: server.* metrics (requests, rejects by reason, degraded count,
+// latency histogram) through obs::MetricsRegistry and
+// server_start/request/reject/degraded/drain events through obs::EventLog —
+// write-only, results are bit-identical with or without sinks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "server/protocol.h"
+#include "store/plan_store.h"
+
+namespace heterog::server {
+
+/// Environment failures only (bad options, socket bind/listen errors).
+/// Store problems keep their own store::StoreError type so callers can keep
+/// the established exit-code mapping.
+class ServerError : public std::runtime_error {
+ public:
+  explicit ServerError(const std::string& what)
+      : std::runtime_error("plan server: " + what) {}
+};
+
+struct ServerOptions {
+  /// Unix-domain listening socket path (empty = no Unix listener). The path
+  /// is unlinked on bind and on clean shutdown.
+  std::string unix_path;
+  /// TCP listener on 127.0.0.1 (-1 = none; 0 = ephemeral, read the bound
+  /// port back via PlanServer::tcp_port()).
+  int tcp_port = -1;
+  /// Planner worker threads (>= 1). Workers are real threads even for 1
+  /// (ThreadPool::Mode::kAlwaysSpawn): the accept loop never plans inline.
+  int threads = 4;
+  /// Admission bound: requests queued beyond the workers. A connection
+  /// arriving with queue_capacity + threads requests in flight is rejected
+  /// `queue_full`.
+  size_t queue_capacity = 16;
+  /// Total budget for reading one request frame (slow-client bound).
+  int read_timeout_ms = 5000;
+  /// Deterministic model of one RL episode's search cost, for the deadline
+  /// admission decision (never measured, so the degrade decision — and the
+  /// reply — is bit-reproducible).
+  double episode_cost_ms = 5.0;
+  /// Durable plan/eval store directory (empty = no persistence). Opened for
+  /// writing at construction: an unusable directory or live writer raises
+  /// store::StoreError before the server starts.
+  std::string store_dir;
+  /// Telemetry sinks, optional and non-owning (write-only).
+  obs::EventLog* events = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Throws ServerError when no listener is configured or a knob is out of
+  /// range.
+  void validate() const;
+};
+
+struct ServerStats {
+  uint64_t accepted = 0;        // connections accepted
+  uint64_t replies_ok = 0;      // status ok replies (incl. degraded)
+  uint64_t replies_error = 0;   // status error replies
+  uint64_t rejected = 0;        // typed rejections, all reasons
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_malformed = 0;
+  uint64_t rejected_oversized = 0;
+  uint64_t rejected_draining = 0;
+  uint64_t rejected_slow_client = 0;
+  uint64_t degraded = 0;        // deadline-degraded ok replies
+  uint64_t disconnects = 0;     // peer vanished before a full frame/reply
+  uint64_t in_flight = 0;       // currently admitted requests
+  bool draining = false;
+};
+
+class PlanServer {
+ public:
+  /// Binds the listeners and opens the store. Throws ServerError on socket
+  /// problems and store::StoreError on store problems; after the
+  /// constructor returns, the sockets accept connections (they queue until
+  /// run() starts dispatching).
+  explicit PlanServer(ServerOptions options);
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+  ~PlanServer();
+
+  /// Serves until request_stop() or a process-wide shutdown request
+  /// (common/shutdown). Returns after the graceful drain completes: no new
+  /// admissions, in-flight requests answered, store flushed.
+  void run();
+
+  /// Initiates graceful drain from any thread. Safe to call repeatedly.
+  void request_stop();
+
+  /// The actual TCP port (useful with tcp_port = 0), -1 when no TCP
+  /// listener.
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  ServerStats stats() const;
+
+  /// The store the server answers repeats from; null without store_dir.
+  store::PlanStore* plan_store() { return store_.get(); }
+
+ private:
+  void handle_connection(int fd);
+  PlanReply plan_request(const PlanRequest& request, bool* degraded_out);
+  void send_rejection(int fd, RejectReason reason);
+  void count_metric(const char* name, uint64_t delta = 1);
+  void observe_latency(double ms);
+
+  ServerOptions options_;
+  std::unique_ptr<store::PlanStore> store_;
+  std::unique_ptr<ThreadPool> pool_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_;  // signalled when in_flight reaches 0
+  ServerStats stats_;
+};
+
+}  // namespace heterog::server

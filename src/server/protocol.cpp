@@ -1,0 +1,409 @@
+#include "server/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/record_io.h"
+
+namespace heterog::server {
+
+namespace {
+
+constexpr std::string_view kRequestMagic = "heterog-rpc v1 request";
+constexpr std::string_view kReplyMagic = "heterog-rpc v1 reply";
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips doubles exactly
+  return buf;
+}
+
+/// Strict full-consumption numeric parses: "12x" or "" is malformed, not 12.
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty() || text.size() >= 63) return false;
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(std::string_view text, long long min, long long max, long long* out) {
+  if (text.empty() || text.size() >= 63) return false;
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE || end != buf + text.size() || v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() >= 63) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  const unsigned long long v = std::strtoull(buf, nullptr, 10);
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Splits a payload into lines (newline-terminated or final fragment).
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool fail(std::string* error, std::string why) {
+  *error = std::move(why);
+  return false;
+}
+
+/// "key value" split at the first space; value may contain spaces.
+bool split_kv(std::string_view line, std::string_view* key, std::string_view* value) {
+  const size_t space = line.find(' ');
+  if (space == std::string_view::npos || space == 0) return false;
+  *key = line.substr(0, space);
+  *value = line.substr(space + 1);
+  return true;
+}
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kMalformedFrame: return "malformed_frame";
+    case RejectReason::kOversizedFrame: return "oversized_frame";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kDraining: return "draining";
+    case RejectReason::kSlowClient: return "slow_client";
+  }
+  return "unknown";
+}
+
+bool parse_reject_reason(std::string_view token, RejectReason* out) {
+  for (const RejectReason reason :
+       {RejectReason::kMalformedFrame, RejectReason::kOversizedFrame,
+        RejectReason::kQueueFull, RejectReason::kDraining,
+        RejectReason::kSlowClient}) {
+    if (token == reject_reason_name(reason)) {
+      *out = reason;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string encode_request(const PlanRequest& request) {
+  std::string out(kRequestMagic);
+  out += '\n';
+  out += "model " + request.model + '\n';
+  out += "layers " + std::to_string(request.layers) + '\n';
+  out += "batch " + fmt_double(request.batch) + '\n';
+  out += "cluster " + request.cluster + '\n';
+  out += "episodes " + std::to_string(request.episodes) + '\n';
+  out += "deadline_ms " + fmt_double(request.deadline_ms) + '\n';
+  out += "seed " + std::to_string(request.seed) + '\n';
+  return out;
+}
+
+bool decode_request(std::string_view payload, PlanRequest* out, std::string* error) {
+  const std::vector<std::string_view> lines = split_lines(payload);
+  if (lines.empty() || lines[0] != kRequestMagic) {
+    return fail(error, "bad request magic line");
+  }
+  PlanRequest req;
+  bool saw_model = false, saw_batch = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(lines[i], &key, &value)) {
+      return fail(error, "malformed request line " + std::to_string(i + 1));
+    }
+    if (key == "model") {
+      if (value.empty() || value.find(' ') != std::string_view::npos) {
+        return fail(error, "bad model name");
+      }
+      req.model.assign(value.data(), value.size());
+      saw_model = true;
+    } else if (key == "layers") {
+      long long v = 0;
+      if (!parse_int(value, -1, 4096, &v)) return fail(error, "bad layers");
+      req.layers = static_cast<int>(v);
+    } else if (key == "batch") {
+      if (!parse_double(value, &req.batch) || !(req.batch > 0.0) ||
+          !(req.batch < 1e9)) {
+        return fail(error, "bad batch (need 0 < batch < 1e9)");
+      }
+      saw_batch = true;
+    } else if (key == "cluster") {
+      if (value.empty() || value.find(' ') != std::string_view::npos) {
+        return fail(error, "bad cluster name");
+      }
+      req.cluster.assign(value.data(), value.size());
+    } else if (key == "episodes") {
+      long long v = 0;
+      if (!parse_int(value, 0, 1'000'000, &v)) return fail(error, "bad episodes");
+      req.episodes = static_cast<int>(v);
+    } else if (key == "deadline_ms") {
+      if (!parse_double(value, &req.deadline_ms) || req.deadline_ms != req.deadline_ms ||
+          req.deadline_ms > 1e15) {
+        return fail(error, "bad deadline_ms");
+      }
+    } else if (key == "seed") {
+      if (!parse_u64(value, &req.seed)) return fail(error, "bad seed");
+    } else {
+      return fail(error, "unknown request key \"" + std::string(key) + "\"");
+    }
+  }
+  if (!saw_model) return fail(error, "request missing model");
+  if (!saw_batch) return fail(error, "request missing batch");
+  *out = std::move(req);
+  return true;
+}
+
+std::string encode_reply(const PlanReply& reply) {
+  std::string out(kReplyMagic);
+  out += '\n';
+  switch (reply.status) {
+    case PlanReply::Status::kOk: {
+      out += "status ok\n";
+      out += "degraded " + std::string(reply.degraded ? "1" : "0") + '\n';
+      out += "feasible " + std::string(reply.feasible ? "1" : "0") + '\n';
+      out += "per_iteration_ms " + fmt_double(reply.per_iteration_ms) + '\n';
+      size_t plan_lines = 0;
+      for (const char c : reply.plan_text) plan_lines += c == '\n' ? 1 : 0;
+      if (!reply.plan_text.empty() && reply.plan_text.back() != '\n') ++plan_lines;
+      out += "plan_lines " + std::to_string(plan_lines) + '\n';
+      out += reply.plan_text;
+      if (!reply.plan_text.empty() && reply.plan_text.back() != '\n') out += '\n';
+      break;
+    }
+    case PlanReply::Status::kRejected:
+      out += "status rejected\n";
+      out += "reason " + std::string(reject_reason_name(reply.reject_reason)) + '\n';
+      break;
+    case PlanReply::Status::kError:
+      out += "status error\n";
+      out += "message " +
+             (reply.error.empty() ? std::string("planning failed") : reply.error) +
+             '\n';
+      break;
+  }
+  return out;
+}
+
+bool decode_reply(std::string_view payload, PlanReply* out, std::string* error) {
+  const std::vector<std::string_view> lines = split_lines(payload);
+  if (lines.empty() || lines[0] != kReplyMagic) {
+    return fail(error, "bad reply magic line");
+  }
+  if (lines.size() < 2) return fail(error, "reply missing status");
+  PlanReply reply;
+  std::string_view key, value;
+  if (!split_kv(lines[1], &key, &value) || key != "status") {
+    return fail(error, "reply missing status");
+  }
+  if (value == "rejected") {
+    reply.status = PlanReply::Status::kRejected;
+    if (lines.size() < 3 || !split_kv(lines[2], &key, &value) || key != "reason" ||
+        !parse_reject_reason(value, &reply.reject_reason)) {
+      return fail(error, "rejected reply missing a known reason");
+    }
+    *out = std::move(reply);
+    return true;
+  }
+  if (value == "error") {
+    reply.status = PlanReply::Status::kError;
+    if (lines.size() < 3 || !split_kv(lines[2], &key, &value) || key != "message") {
+      return fail(error, "error reply missing message");
+    }
+    reply.error.assign(value.data(), value.size());
+    *out = std::move(reply);
+    return true;
+  }
+  if (value != "ok") return fail(error, "unknown reply status");
+
+  reply.status = PlanReply::Status::kOk;
+  long long plan_lines = -1;
+  size_t i = 2;
+  for (; i < lines.size(); ++i) {
+    if (!split_kv(lines[i], &key, &value)) {
+      return fail(error, "malformed reply line " + std::to_string(i + 1));
+    }
+    if (key == "degraded") {
+      if (value != "0" && value != "1") return fail(error, "bad degraded flag");
+      reply.degraded = value == "1";
+    } else if (key == "feasible") {
+      if (value != "0" && value != "1") return fail(error, "bad feasible flag");
+      reply.feasible = value == "1";
+    } else if (key == "per_iteration_ms") {
+      if (!parse_double(value, &reply.per_iteration_ms)) {
+        return fail(error, "bad per_iteration_ms");
+      }
+    } else if (key == "plan_lines") {
+      // Count bounded well below the payload cap: each plan line is >= 2
+      // bytes on the wire, so a count beyond payload size is a lie.
+      if (!parse_int(value, 0, static_cast<long long>(kMaxReplyPayload), &plan_lines)) {
+        return fail(error, "bad plan_lines count");
+      }
+      ++i;
+      break;
+    } else {
+      return fail(error, "unknown reply key \"" + std::string(key) + "\"");
+    }
+  }
+  if (plan_lines < 0) return fail(error, "ok reply missing plan_lines");
+  if (static_cast<long long>(lines.size()) - static_cast<long long>(i) != plan_lines) {
+    return fail(error, "plan_lines count does not match embedded plan");
+  }
+  for (size_t j = i; j < lines.size(); ++j) {
+    reply.plan_text.append(lines[j].data(), lines[j].size());
+    reply.plan_text += '\n';
+  }
+  *out = std::move(reply);
+  return true;
+}
+
+namespace {
+
+/// Waits for readability within the remaining budget; false on timeout.
+bool wait_readable(int fd, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+/// Reads up to `want` more bytes into `buffer`. Returns -1 on error, 0 on
+/// EOF, else the byte count.
+ssize_t read_some(int fd, std::string* buffer, size_t want) {
+  char chunk[4096];
+  const size_t n = want < sizeof(chunk) ? want : sizeof(chunk);
+  const ssize_t got = ::recv(fd, chunk, n, 0);
+  if (got > 0) buffer->append(chunk, static_cast<size_t>(got));
+  return got;
+}
+
+}  // namespace
+
+FrameReadStatus read_frame(int fd, size_t max_payload, int timeout_ms,
+                           std::string* payload, std::string* error) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string buffer;
+
+  // Phase 1: the header line, bounded at kMaxFrameHeaderBytes.
+  size_t newline = std::string::npos;
+  for (;;) {
+    newline = buffer.find('\n');
+    if (newline != std::string::npos) break;
+    if (buffer.size() >= kMaxFrameHeaderBytes) {
+      *error = "frame header exceeds " + std::to_string(kMaxFrameHeaderBytes) +
+               " bytes without a newline";
+      return FrameReadStatus::kMalformed;
+    }
+    if (!wait_readable(fd, deadline)) return FrameReadStatus::kTimeout;
+    const ssize_t got = read_some(fd, &buffer, kMaxFrameHeaderBytes - buffer.size());
+    if (got == 0) return FrameReadStatus::kEof;
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      *error = std::strerror(errno);
+      return FrameReadStatus::kIoError;
+    }
+  }
+
+  // The declared length is validated (including against the cap) before the
+  // payload buffer is ever sized — the adversarial-length contract. The wire
+  // requires a non-empty payload: no valid message encodes to zero bytes.
+  FrameHeader header;
+  const FrameHeaderStatus status = parse_frame_header(
+      std::string_view(buffer).substr(0, newline), max_payload, 1, &header);
+  if (status == FrameHeaderStatus::kOversized) {
+    *error = frame_header_status_name(status);
+    return FrameReadStatus::kOversized;
+  }
+  if (status != FrameHeaderStatus::kOk) {
+    *error = frame_header_status_name(status);
+    return FrameReadStatus::kMalformed;
+  }
+
+  // Phase 2: payload + terminating newline.
+  buffer.erase(0, newline + 1);
+  const size_t want_total = header.payload_len + 1;
+  buffer.reserve(want_total);
+  while (buffer.size() < want_total) {
+    if (!wait_readable(fd, deadline)) return FrameReadStatus::kTimeout;
+    const ssize_t got = read_some(fd, &buffer, want_total - buffer.size());
+    if (got == 0) return FrameReadStatus::kEof;
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      *error = std::strerror(errno);
+      return FrameReadStatus::kIoError;
+    }
+  }
+  if (buffer[header.payload_len] != '\n') {
+    *error = "missing record terminator";
+    return FrameReadStatus::kMalformed;
+  }
+  buffer.pop_back();
+  if (!verify_frame_payload(header, buffer)) {
+    *error = "payload checksum mismatch";
+    return FrameReadStatus::kMalformed;
+  }
+  *payload = std::move(buffer);
+  return FrameReadStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  return write_raw(fd, frame_record(payload));
+}
+
+bool write_raw(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace heterog::server

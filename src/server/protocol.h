@@ -1,0 +1,131 @@
+// Plan-server wire protocol: framing, request/reply schema, rejection
+// taxonomy (docs/server.md).
+//
+// Transport is any stream socket (Unix domain or TCP). Each message —
+// request or reply — is exactly one common/record_io frame:
+//
+//   "rec <payload-len> <crc32-hex>\n" <payload> "\n"
+//
+// so every byte on the wire is length-prefixed and CRC-protected: a torn
+// write, a flipped bit, or hostile garbage is detected per message, before
+// any field is parsed. The declared length is validated against a hard cap
+// *before* any payload buffer is allocated (common/record_io
+// parse_frame_header) — a crafted length prefix cannot drive a gigantic
+// allocation or a long read.
+//
+// Payloads are flat text documents, one "key value" line each, led by a
+// versioned magic line. Replies embed the chosen plan as the v2 plan format
+// (strategy/serialize) behind an explicit "plan_lines <N>" count so the
+// multi-line block parses unambiguously.
+//
+// The failure taxonomy has two layers, mirroring where the damage sits:
+//
+//   * frame-level damage (malformed or oversized frame, slow client, queue
+//     full, server draining) => a `rejected` reply carrying a RejectReason —
+//     the request was never understood, so no request-shaped answer exists;
+//   * request-level damage (unknown model/cluster, bad ranges, planner
+//     failure) => an `error` reply carrying a message — the frame was fine,
+//     the content was not.
+//
+// Every decode function is total: malformed input returns false with a
+// reason, never throws, never crashes (tests/serialize_fuzz_test.cpp fuzzes
+// both decoders and the frame-header parser).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace heterog::server {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Hard cap on a request frame's declared payload (requests are small
+/// key-value documents; anything bigger is hostile or broken).
+inline constexpr size_t kMaxRequestPayload = 64u << 10;  // 64 KiB
+
+/// Hard cap on a reply frame's declared payload (replies embed a plan, which
+/// grows with the group count but stays far below this).
+inline constexpr size_t kMaxReplyPayload = 4u << 20;  // 4 MiB
+
+/// Why the server refused to answer a request at the frame/admission layer.
+enum class RejectReason {
+  kMalformedFrame,  // header or CRC damage; bytes were not a valid frame
+  kOversizedFrame,  // declared payload length above kMaxRequestPayload
+  kQueueFull,       // bounded admission queue at capacity (back-pressure)
+  kDraining,        // server is shutting down gracefully; retry elsewhere
+  kSlowClient,      // read budget exhausted before a full frame arrived
+};
+
+/// Stable wire token for each reason ("queue_full", ...).
+const char* reject_reason_name(RejectReason reason);
+
+/// Inverse of reject_reason_name; false for unknown tokens.
+bool parse_reject_reason(std::string_view token, RejectReason* out);
+
+/// One "plan this model on this cluster" request.
+struct PlanRequest {
+  std::string model;        // models::parse_model_name vocabulary
+  int layers = -1;          // -1 = the model family's default depth
+  double batch = 0.0;       // global batch size (must be > 0)
+  std::string cluster = "8gpu";  // cluster::cluster_from_name vocabulary
+  int episodes = 0;         // RL search episodes; 0 = heuristic-only plan
+  double deadline_ms = -1.0;  // search budget; < 0 = none (docs/server.md)
+  uint64_t seed = 42;       // profiler seed (plan determinism knob)
+};
+
+/// The server's answer. Exactly one of the three statuses; `plan_text` (the
+/// v2 plan format) only accompanies kOk. Replies are deliberately free of
+/// wall-clock or cache-traffic fields so an identical request always yields
+/// byte-identical reply payloads — the restart/cache acceptance contract.
+struct PlanReply {
+  enum class Status { kOk, kRejected, kError };
+  Status status = Status::kError;
+  RejectReason reject_reason = RejectReason::kMalformedFrame;  // kRejected only
+  std::string error;        // kError only: human-readable reason
+  bool degraded = false;    // deadline exhausted: heuristic plan substituted
+  bool feasible = false;    // plan fits device memory
+  double per_iteration_ms = 0.0;
+  std::string plan_text;    // v2 plan (strategy/serialize), kOk only
+};
+
+std::string encode_request(const PlanRequest& request);
+
+/// Parses a request payload. Returns false with *error set on anything
+/// malformed: bad magic, unknown keys, missing fields, non-numeric or
+/// out-of-range values. Never throws.
+bool decode_request(std::string_view payload, PlanRequest* out, std::string* error);
+
+std::string encode_reply(const PlanReply& reply);
+
+/// Parses a reply payload; same totality contract as decode_request.
+bool decode_reply(std::string_view payload, PlanReply* out, std::string* error);
+
+/// Outcome of reading one framed message off a socket.
+enum class FrameReadStatus {
+  kOk,         // *payload holds the verified frame payload
+  kEof,        // peer closed before a full frame arrived
+  kTimeout,    // read budget exhausted (slow client)
+  kMalformed,  // header/terminator/CRC damage
+  kOversized,  // declared length above max_payload (rejected pre-allocation)
+  kIoError,    // errno-level read failure
+};
+
+/// Reads exactly one frame from `fd` within a total budget of `timeout_ms`
+/// milliseconds. Bounded everywhere: the header line at
+/// record_io::kMaxFrameHeaderBytes, the payload at `max_payload` (checked
+/// against the *declared* length before allocating), the wall clock at the
+/// timeout. On kMalformed, *error carries the typed header-parse reason.
+FrameReadStatus read_frame(int fd, size_t max_payload, int timeout_ms,
+                           std::string* payload, std::string* error);
+
+/// Frames `payload` and writes it fully to `fd`. False on any short write or
+/// error (EPIPE from a vanished client is a false return, never a signal —
+/// writes use MSG_NOSIGNAL).
+bool write_frame(int fd, std::string_view payload);
+
+/// Writes `bytes` verbatim (no framing) — the chaos harness's malformed-
+/// frame injection path.
+bool write_raw(int fd, std::string_view bytes);
+
+}  // namespace heterog::server

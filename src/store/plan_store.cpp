@@ -237,13 +237,38 @@ void PlanStore::acquire_lock() {
       std::string word;
       if (in && in >> word && word == "pid") in >> pid;
     }
-    const bool alive = pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 ||
-                                   errno == EPERM);
+    // An unreadable or pid-less lock is treated as LIVE, not stale: a fresh
+    // lock is empty for the instant between its O_EXCL create and the pid
+    // write, and classifying that instant as "dead" would let a concurrent
+    // claimant rename a live writer's lock away. The cost — a writer killed
+    // inside that same instant leaves a lock only a human clears — is far
+    // narrower than two live writers on one journal.
+    if (pid <= 0) {
+      throw StoreError(StoreError::Kind::kLocked,
+                       options_.dir + " is locked (owner not yet recorded)");
+    }
+    const bool alive =
+        ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
     if (alive) {
       throw StoreError(StoreError::Kind::kLocked,
                        options_.dir + " is locked by live pid " + std::to_string(pid));
     }
-    std::remove(path.c_str());  // dead (or unreadable) owner: take over
+    // Dead owner: take over by *renaming* the stale lock to
+    // a per-claimant name, never by unlinking it in place. remove() here was
+    // a TOCTOU hole: two openers could both observe the dead pid, then the
+    // slower one would unlink the lock the faster one had just re-created —
+    // two live writers on one journal. rename() of the same source succeeds
+    // for exactly one claimant (the loser gets ENOENT), so at most one
+    // process proceeds to the O_EXCL create per stale lock; everyone else
+    // loops and sees either the winner's fresh live lock (kLocked) or an
+    // open race it can win legitimately. tests/store_test.cpp pins this with
+    // a fork barrier of simultaneous claimants.
+    const std::string claim = path + ".stale." + std::to_string(::getpid());
+    if (::rename(path.c_str(), claim.c_str()) == 0) {
+      std::remove(claim.c_str());
+    } else if (errno != ENOENT) {
+      env_fail("cannot take over stale lock " + path, errno);
+    }
   }
   throw StoreError(StoreError::Kind::kEnvironment,
                    "could not acquire lock " + path + " (takeover loop exhausted)");
@@ -262,9 +287,16 @@ void PlanStore::sweep_stale_tmp_files() {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
     const std::string name = entry.path().filename().string();
-    const size_t tag = name.find(".tmp.");
+    // "<file>.tmp.<pid>" atomic-save temporaries, plus "store.lock.stale.<pid>"
+    // rename-claimed stale locks a claimant died holding (acquire_lock).
+    size_t tag = name.find(".tmp.");
+    size_t tag_len = 5;
+    if (tag == std::string::npos) {
+      tag = name.find(".stale.");
+      tag_len = 7;
+    }
     if (tag == std::string::npos) continue;
-    const std::string pid_text = name.substr(tag + 5);
+    const std::string pid_text = name.substr(tag + tag_len);
     char* end = nullptr;
     const long long pid = std::strtoll(pid_text.c_str(), &end, 10);
     const bool numeric = end != nullptr && *end == '\0' && !pid_text.empty();

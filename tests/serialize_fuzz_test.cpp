@@ -21,6 +21,7 @@
 #include "common/record_io.h"
 #include "common/rng.h"
 #include "faults/faults.h"
+#include "server/protocol.h"
 #include "sim/plan_eval.h"
 #include "store/plan_store.h"
 #include "strategy/serialize.h"
@@ -282,6 +283,104 @@ TEST(Fuzz, StoreOpenOnMutatedJournalNeverCrashes) {
   fs::remove_all(dir, ec);
 }
 
+// Server wire protocol (PR 7) -----------------------------------------------
+
+server::PlanRequest valid_server_request() {
+  server::PlanRequest request;
+  request.model = "mobilenet_v2";
+  request.layers = 20;
+  request.batch = 32.0;
+  request.cluster = "8gpu";
+  request.episodes = 7;
+  request.deadline_ms = 125.5;
+  request.seed = 0xABCDEF01ull;
+  return request;
+}
+
+server::PlanReply valid_server_reply() {
+  server::PlanReply reply;
+  reply.status = server::PlanReply::Status::kOk;
+  reply.degraded = true;
+  reply.feasible = true;
+  reply.per_iteration_ms = 17.25;
+  reply.plan_text = valid_plan_v2();
+  return reply;
+}
+
+TEST(Fuzz, FrameHeaderParserNeverCrashes) {
+  // parse_frame_header is the first parser untrusted socket bytes meet. The
+  // contract under test: every input classifies to a typed FrameHeaderStatus,
+  // kOk never reports a length outside the caller's [min, max] window (the
+  // cap-before-allocation guarantee), and nothing crashes or hangs.
+  Rng rng(0xF008);
+  const std::string framed = frame_record("fuzz payload");
+  const std::string seed = framed.substr(0, framed.find('\n'));  // header line
+  const std::vector<std::string> adversarial = {
+      "", "rec", "rec ", "rec  ", "rec 0 00000000", "rec -1 deadbeef",
+      "rec 18446744073709551616 deadbeef",  // 2^64: must be kBadLength
+      "rec 99999999999999999999999999 deadbeef",
+      "rec 4096 DEADBEEF", "rec 4096 deadbee", "rec 4096 deadbeef0",
+      "rec 4096 zzzzzzzz", "rec 4096", "REC 4096 deadbeef",
+      std::string(kMaxFrameHeaderBytes * 4, '9'),
+      "rec " + std::string(1000, '1') + " deadbeef",
+      std::string("rec 4\x00 deadbeef", 15),
+  };
+  const size_t kCap = 4096;
+  auto check = [&](const std::string& line) {
+    FrameHeader header;
+    const FrameHeaderStatus status =
+        parse_frame_header(line, kCap, /*min_payload=*/1, &header);
+    ASSERT_NE(frame_header_status_name(status), nullptr);
+    if (status == FrameHeaderStatus::kOk) {
+      ASSERT_GE(header.payload_len, 1u);
+      ASSERT_LE(header.payload_len, kCap);
+      ASSERT_EQ(header.crc_hex.size(), 8u);
+    }
+  };
+  for (const std::string& line : adversarial) check(line);
+  for (int i = 0; i < kRounds; ++i) check(mutate(rng, seed));
+}
+
+TEST(Fuzz, ServerRequestDecodeNeverCrashes) {
+  // decode_request is total: bool + error string, never an exception, no
+  // matter what CRC-valid-but-crafted bytes arrive in a request frame.
+  Rng rng(0xF009);
+  const std::string seed = server::encode_request(valid_server_request());
+  server::PlanRequest out;
+  std::string error;
+  for (size_t cut = 0; cut <= seed.size(); ++cut) {  // every truncation
+    EXPECT_NO_THROW((void)server::decode_request(seed.substr(0, cut), &out, &error));
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string input = mutate(rng, seed);
+    try {
+      (void)server::decode_request(input, &out, &error);
+    } catch (const std::exception& e) {
+      FAIL() << "decode_request threw " << typeid(e).name() << ": " << e.what();
+    }
+  }
+}
+
+TEST(Fuzz, ServerReplyDecodeNeverCrashes) {
+  // Same totality contract on the client side of the wire, where the plan
+  // text payload makes the surface much larger.
+  Rng rng(0xF00A);
+  const std::string seed = server::encode_reply(valid_server_reply());
+  server::PlanReply out;
+  std::string error;
+  for (size_t cut = 0; cut <= seed.size(); ++cut) {
+    EXPECT_NO_THROW((void)server::decode_reply(seed.substr(0, cut), &out, &error));
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string input = mutate(rng, seed);
+    try {
+      (void)server::decode_reply(input, &out, &error);
+    } catch (const std::exception& e) {
+      FAIL() << "decode_reply threw " << typeid(e).name() << ": " << e.what();
+    }
+  }
+}
+
 TEST(Fuzz, ValidSeedsStillParse) {
   // Sanity for the corpus itself — a fuzzer over rejected-by-construction
   // seeds would prove nothing.
@@ -290,6 +389,18 @@ TEST(Fuzz, ValidSeedsStillParse) {
   EXPECT_NO_THROW((void)strategy::parse_plan(valid_plan_v2(), cluster));
   EXPECT_NO_THROW((void)faults::parse_fault_plan_json(valid_fault_json()));
   EXPECT_NO_THROW((void)ckpt::parse_journal(valid_journal()));
+  {
+    server::PlanRequest req;
+    server::PlanReply rep;
+    std::string error;
+    EXPECT_TRUE(server::decode_request(
+        server::encode_request(valid_server_request()), &req, &error))
+        << error;
+    EXPECT_TRUE(server::decode_reply(
+        server::encode_reply(valid_server_reply()), &rep, &error))
+        << error;
+    EXPECT_EQ(rep.plan_text, valid_plan_v2());
+  }
 
   const fs::path dir = fs::temp_directory_path() /
                        ("heterog_fuzz_seed_" + std::to_string(::getpid()));

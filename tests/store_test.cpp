@@ -341,6 +341,88 @@ TEST(PlanStoreLock, StaleLockFromDeadPidIsTakenOver) {
   EXPECT_TRUE(store.lookup(1, &got));
 }
 
+TEST(PlanStoreLock, SimultaneousStaleTakeoverAdmitsExactlyOneWriter) {
+  // Regression for the takeover TOCTOU: with remove()-based takeover, two
+  // claimants could both observe the dead pid and the slower one would unlink
+  // the lock the faster one had just re-created — two live writers. The
+  // rename-claim protocol must admit exactly one writer; every other claimant
+  // gets the typed kLocked error while the winner is alive.
+  TempDir dir("race");
+
+  const pid_t dead = fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) _exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(dead, &status, 0), dead);
+  write_file((dir.path() / "store.lock").string(),
+             "pid " + std::to_string(dead) + "\n");
+
+  constexpr int kClaimants = 8;
+  int go[2];     // barrier: claimants block until the parent closes the write end
+  int result[2]; // each claimant reports exactly one byte: 'W' won, 'L' locked
+  int hold[2];   // the winner parks here so its lock stays live until all report
+  ASSERT_EQ(pipe(go), 0);
+  ASSERT_EQ(pipe(result), 0);
+  ASSERT_EQ(pipe(hold), 0);
+
+  std::vector<pid_t> kids;
+  for (int i = 0; i < kClaimants; ++i) {
+    const pid_t kid = fork();  // single-threaded parent: fork is safe here
+    ASSERT_GE(kid, 0);
+    if (kid == 0) {
+      close(go[1]);
+      close(result[0]);
+      close(hold[1]);
+      char byte = 0;
+      (void)!read(go[0], &byte, 1);  // returns at parent's close: all start together
+      try {
+        PlanStore store(opts(dir.str()));
+        (void)!write(result[1], "W", 1);
+        (void)!read(hold[0], &byte, 1);  // keep the lock live until released
+        _exit(0);
+      } catch (const StoreError& e) {
+        const char code = e.kind() == StoreError::Kind::kLocked ? 'L' : 'E';
+        (void)!write(result[1], &code, 1);
+        _exit(0);
+      } catch (...) {
+        (void)!write(result[1], "X", 1);
+        _exit(1);
+      }
+    }
+    kids.push_back(kid);
+  }
+  close(go[0]);
+  close(result[1]);
+  close(hold[0]);
+
+  close(go[1]);  // barrier release: every claimant's read returns now
+  int winners = 0, locked = 0, other = 0;
+  for (int i = 0; i < kClaimants; ++i) {
+    char byte = 0;
+    ASSERT_EQ(read(result[0], &byte, 1), 1) << "claimant died without reporting";
+    if (byte == 'W') ++winners;
+    else if (byte == 'L') ++locked;
+    else ++other;
+  }
+  EXPECT_EQ(winners, 1);
+  EXPECT_EQ(locked, kClaimants - 1);
+  EXPECT_EQ(other, 0);
+
+  close(hold[1]);  // release the winner
+  for (const pid_t kid : kids) {
+    ASSERT_EQ(waitpid(kid, &status, 0), kid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  close(result[0]);
+
+  // The store must still be cleanly openable once everyone is gone.
+  PlanStore store(opts(dir.str()));
+  store.put(2, make_eval(2));
+  sim::PlanEvaluation got;
+  EXPECT_TRUE(store.lookup(2, &got));
+}
+
 // Version skew ----------------------------------------------------------------
 
 TEST(PlanStoreSkew, NewerFormatVersionRebuildsEmpty) {

@@ -17,6 +17,9 @@
 //                        [--metrics m.jsonl] [--plan-store DIR]
 //   heterog_cli resume   --journal DIR/journal.heterog [--ckpt-every K]
 //                        [--metrics m.jsonl] [--plan-store DIR]
+//   heterog_cli serve    (--socket PATH | --port N) [--plan-store DIR]
+//                        [--threads N] [--queue N] [--read-timeout-ms N]
+//                        [--episode-cost-ms X] [--metrics m.jsonl]
 //   heterog_cli evaluate --model vgg19 --batch 192 [--cluster 8gpu]
 //                        (--plan plan.txt | --strategy ev-ar|ev-ps|cp-ar|cp-ps)
 //                        [--layers L] [--groups N] [--order rank|fifo]
@@ -36,8 +39,10 @@
 // store hot, cold, corrupted, or absent.
 //
 // Exit codes: 0 success, 1 bad usage, 2 runtime failure, 3 unusable
-// --plan-store directory, 4 --plan-store held by a live writer. Every error
-// path exits nonzero; tools/CMakeLists.txt pins the codes with ctests.
+// --plan-store directory, 4 --plan-store held by a live writer, 5 run/resume
+// interrupted by SIGTERM/SIGINT (state flushed; the journal is resumable).
+// Every error path exits nonzero; tools/CMakeLists.txt pins the codes with
+// ctests.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,12 +52,14 @@
 #include <string>
 #include <vector>
 
+#include "common/shutdown.h"
 #include "core/heterog.h"
 #include "faults/chaos.h"
 #include "faults/faults.h"
 #include "graph/pipeline.h"
 #include "models/models.h"
 #include "obs/report.h"
+#include "server/plan_server.h"
 #include "sim/trace.h"
 #include "store/plan_store.h"
 #include "strategy/serialize.h"
@@ -102,6 +109,10 @@ std::optional<Args> parse(int argc, char** argv) {
 // legitimately held lock.
 constexpr int kExitStoreEnv = 3;
 constexpr int kExitStoreLocked = 4;
+// A long-running subcommand (run/resume) stopped cleanly at a step boundary
+// because SIGTERM/SIGINT arrived: checkpoints/journals/stores are flushed and
+// the journal is resumable, but the requested work is not complete.
+constexpr int kExitInterrupted = 5;
 
 /// Opens the `--plan-store` directory when requested; *out stays null
 /// without the flag. Returns false (a usage error) when the flag carries no
@@ -188,7 +199,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: heterog_cli "
-      "<models|clusters|plan|search|run|resume|evaluate|baselines|report> [flags]\n"
+      "<models|clusters|plan|search|run|resume|serve|evaluate|baselines|report> "
+      "[flags]\n"
       "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
       "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
       "            [--threads N] [--eval-cache N]\n"
@@ -204,6 +216,9 @@ int usage() {
       "            [--plan-store DIR]\n"
       "  resume    --journal FILE [--ckpt-every K] [--metrics FILE]\n"
       "            [--plan-store DIR]\n"
+      "  serve     (--socket PATH | --port N) [--plan-store DIR] [--threads N]\n"
+      "            [--queue N] [--read-timeout-ms N] [--episode-cost-ms X]\n"
+      "            [--metrics FILE]\n"
       "  evaluate  --model NAME --batch B [--cluster ...] [--layers L]\n"
       "            (--plan FILE | --strategy ev-ar|ev-ps|cp-ar|cp-ps)\n"
       "            [--groups N] [--order rank|fifo] [--microbatches M]\n"
@@ -399,6 +414,10 @@ void print_health_summary(const health::HealthSummary& h) {
 /// recovery loop sees measurements only, never the schedule). Searches with
 /// the fast heuristic path; `plan` is the subcommand for RL-quality plans.
 int cmd_run(const Args& args) {
+  // Route SIGTERM/SIGINT into a cooperative stop at the next step boundary
+  // instead of dying mid-write. Installed before the (possibly long) search:
+  // a signal during it stops the run at step 0 with everything flushed.
+  install_shutdown_handlers();
   const auto model = find_model(args.get("model"));
   const double batch = std::atof(args.get("batch", "0").c_str());
   const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
@@ -527,10 +546,16 @@ int cmd_run(const Args& args) {
                 static_cast<unsigned long long>(metrics->events_emitted()),
                 metrics->path().c_str());
   }
+  if (stats.interrupted) {
+    std::printf("interrupted by signal; state flushed%s\n",
+                copts.enabled() ? " (resume with `heterog_cli resume`)" : "");
+    return kExitInterrupted;
+  }
   return 0;
 }
 
 int cmd_resume(const Args& args) {
+  install_shutdown_handlers();  // same cooperative-stop contract as `run`
   if (!args.has("journal")) return usage();
   const std::string path = args.get("journal");
 
@@ -575,6 +600,79 @@ int cmd_resume(const Args& args) {
       metrics.get(), plan_store.get());
   print_run_stats(stats, journal.total_steps - journal.watermark);
   if (plan_store != nullptr) print_store_stats(*plan_store);
+  if (metrics != nullptr) {
+    std::printf("metrics: %llu events written to %s\n",
+                static_cast<unsigned long long>(metrics->events_emitted()),
+                metrics->path().c_str());
+  }
+  if (stats.interrupted) {
+    std::printf("interrupted by signal; state flushed (resume again to finish)\n");
+    return kExitInterrupted;
+  }
+  return 0;
+}
+
+/// `serve`: run the multi-tenant plan daemon (docs/server.md) until SIGTERM/
+/// SIGINT, then drain gracefully and report what it served.
+int cmd_serve(const Args& args) {
+  server::ServerOptions opts;
+  opts.unix_path = args.get("socket");
+  if (args.has("socket") && (opts.unix_path.empty() || opts.unix_path == "1")) {
+    std::fprintf(stderr, "error: --socket needs a path\n");
+    return 1;
+  }
+  if (args.has("port")) opts.tcp_port = args.get_int("port", -1);
+  if (!args.has("socket") && !args.has("port")) {
+    std::fprintf(stderr, "error: serve needs --socket PATH and/or --port N\n");
+    return 1;
+  }
+  opts.threads = args.get_int("threads", 4);
+  const int queue = args.get_int("queue", 16);
+  opts.read_timeout_ms = args.get_int("read-timeout-ms", 5000);
+  if (args.has("episode-cost-ms")) {
+    opts.episode_cost_ms = std::atof(args.get("episode-cost-ms").c_str());
+  }
+  if (opts.threads < 1 || queue < 0 || opts.read_timeout_ms <= 0 ||
+      opts.episode_cost_ms <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --threads >= 1, --queue >= 0, --read-timeout-ms > 0 and "
+                 "--episode-cost-ms > 0 required\n");
+    return 1;
+  }
+  opts.queue_capacity = static_cast<size_t>(queue);
+  if (args.has("plan-store")) {
+    opts.store_dir = args.get("plan-store");
+    if (opts.store_dir.empty() || opts.store_dir == "1") {
+      std::fprintf(stderr, "error: --plan-store needs a directory path\n");
+      return 1;
+    }
+  }
+
+  bool metrics_failed = false;
+  const std::unique_ptr<obs::EventLog> metrics = open_metrics(args, &metrics_failed);
+  if (metrics_failed) return 2;
+  opts.events = metrics.get();
+
+  server::PlanServer daemon(std::move(opts));  // StoreError/ServerError -> main
+  install_shutdown_handlers();
+  if (!daemon.unix_path().empty()) {
+    std::printf("serving on %s\n", daemon.unix_path().c_str());
+  }
+  if (daemon.tcp_port() >= 0) {
+    std::printf("serving on 127.0.0.1:%d\n", daemon.tcp_port());
+  }
+  std::fflush(stdout);  // scripts poll for these lines before connecting
+  daemon.run();  // returns after SIGTERM/SIGINT + graceful drain
+
+  const server::ServerStats s = daemon.stats();
+  std::printf("served: %llu ok (%llu degraded), %llu error, %llu rejected, "
+              "%llu disconnect(s)\n",
+              static_cast<unsigned long long>(s.replies_ok),
+              static_cast<unsigned long long>(s.degraded),
+              static_cast<unsigned long long>(s.replies_error),
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.disconnects));
+  if (daemon.plan_store() != nullptr) print_store_stats(*daemon.plan_store());
   if (metrics != nullptr) {
     std::printf("metrics: %llu events written to %s\n",
                 static_cast<unsigned long long>(metrics->events_emitted()),
@@ -758,6 +856,7 @@ int main(int argc, char** argv) {
     if (args->command == "plan" || args->command == "search") return cmd_plan(*args);
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "resume") return cmd_resume(*args);
+    if (args->command == "serve") return cmd_serve(*args);
     if (args->command == "evaluate") return cmd_evaluate(*args);
     if (args->command == "baselines") return cmd_baselines(*args);
     if (args->command == "report") return cmd_report(*args);
