@@ -1,0 +1,187 @@
+// Incremental re-simulation: full-run vs delta-replay wall clock.
+//
+// The plan is split across two model-parallel islands (first half of the
+// groups on GPU 0, second half on GPU 7), so fault deltas fall into the three
+// regimes the incremental API distinguishes:
+//
+//   * untouched device — the scaling hits a GPU the plan never uses. The
+//     affected frontier is empty, so resimulate() answers from the baseline
+//     verbatim: no snapshot build, no simulation. This is the common case of
+//     fault_sim's sweeps (a cluster has more devices than a plan touches).
+//   * scaled island (FIFO) — GPU 7 slows down. FIFO priorities are all zero
+//     and unaffected by scaled durations, so the first island's schedule
+//     prefix replays from the log and the event loop resumes at the frontier.
+//     The data-oriented event loop is already lean, so replay is roughly
+//     break-even — reported honestly, not asserted.
+//   * scaled island (rank) — rank priorities are recomputed globally from
+//     the scaled durations, which moves the frontier to the first event;
+//     resimulate() degrades to a full run plus the diff.
+//
+// Smoke mode (HETEROG_BENCH_FAST=1, the CI configuration) shrinks the
+// scenario and asserts bit-identical results everywhere plus speedup >= 1.0
+// on the untouched-device row; exit code is nonzero on any violation.
+// HETEROG_BENCH_JSON carries the machine-readable gauges.
+#include <chrono>
+#include <cstring>
+
+#include "bench_util.h"
+#include "faults/faults.h"
+#include "sched/scheduler.h"
+#include "sim/fault_sim.h"
+#include "sim/sim_core.h"
+#include "sim/simulator.h"
+
+using namespace heterog;
+using namespace heterog::bench;
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool identical(const sim::SimResult& a, const sim::SimResult& b) {
+  auto eq = [](const std::vector<double>& x, const std::vector<double>& y) {
+    return x.size() == y.size() &&
+           (x.empty() || std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+  };
+  return a.makespan_ms == b.makespan_ms && eq(a.resource_busy_ms, b.resource_busy_ms) &&
+         eq(a.start_ms, b.start_ms) && eq(a.finish_ms, b.finish_ms) &&
+         a.peak_memory_bytes == b.peak_memory_bytes;
+}
+
+struct Row {
+  const char* label;
+  const char* gauge;       // metrics-registry gauge for the speedup
+  sched::OrderPolicy policy;
+  int scaled_device;       // receives the compute slowdown
+};
+
+}  // namespace
+
+int main() {
+  print_header("Incremental re-simulation: full run vs delta replay",
+               "data-oriented simulator core (DESIGN.md §5i)");
+
+  BenchRig rig(cluster::make_paper_testbed_8gpu());
+  const double batch = fast_mode() ? 16.0 : 64.0;
+  const auto graph =
+      models::build_training(models::ModelKind::kMobileNetV2, 0, batch);
+  const auto grouping = strategy::Grouping::build(graph, *rig.costs, max_groups());
+
+  // Two MP islands on GPUs 0 and 7; GPUs 1-6 stay idle so a delta can land
+  // on a device the plan never touches.
+  strategy::StrategyMap map;
+  for (int g = 0; g < grouping.group_count(); ++g) {
+    map.group_actions.push_back(
+        strategy::Action::mp(g < grouping.group_count() / 2 ? 0 : 7));
+  }
+  compile::GraphCompiler compiler(*rig.costs, {});
+  const auto compiled = compiler.compile(graph, grouping, map);
+  std::printf("compiled nodes: %d\n\n", compiled.graph.node_count());
+
+  const int deltas = fast_mode() ? 4 : 16;
+  const int repetitions = fast_mode() ? 50 : 200;
+
+  const Row rows[] = {
+      {"untouched device (empty frontier)", "sim_incremental.untouched_speedup",
+       sched::OrderPolicy::kFifo, 3},
+      {"scaled island (FIFO prefix reuse)", "sim_incremental.scaled_fifo_speedup",
+       sched::OrderPolicy::kFifo, 7},
+      {"scaled island (rank, global frontier)", "sim_incremental.scaled_rank_speedup",
+       sched::OrderPolicy::kRankPriority, 7},
+  };
+
+  TextTable table({"delta", "full (ms)", "delta (ms)", "speedup", "identical"});
+  double untouched_speedup = 0.0;
+  bool all_identical = true;
+
+  for (const Row& row : rows) {
+    sim::SimOptions options;
+    options.policy = row.policy;
+    options.track_memory = false;
+    const sim::Simulator simulator(options);
+    auto priorities_for = [&](const compile::DistGraph& g) {
+      return row.policy == sched::OrderPolicy::kRankPriority
+                 ? sched::rank_priorities(g)
+                 : std::vector<double>(static_cast<size_t>(g.node_count()), 0.0);
+    };
+
+    // Pre-scale the graphs and priorities once; only simulation is timed
+    // (the full path needs the scaled graph exactly as the delta path does).
+    std::vector<compile::DistGraph> scaled_graphs;
+    std::vector<std::vector<double>> scaled_priorities;
+    for (int d = 0; d < deltas; ++d) {
+      faults::FaultScaling scaling;
+      scaling.compute_slowdown.assign(8, 1.0);
+      scaling.compute_slowdown[static_cast<size_t>(row.scaled_device)] =
+          1.1 + 0.1 * static_cast<double>(d);
+      scaled_graphs.push_back(
+          sim::apply_fault_scaling(compiled.graph, rig.cluster, scaling));
+      scaled_priorities.push_back(priorities_for(scaled_graphs.back()));
+    }
+
+    sim::SimBaseline baseline;
+    simulator.run_baseline(compiled.graph, priorities_for(compiled.graph), baseline);
+
+    // Correctness gate before timing: every delta bit-identical to scratch.
+    for (size_t d = 0; d < scaled_graphs.size(); ++d) {
+      const auto scratch =
+          simulator.run_with_priorities(scaled_graphs[d], scaled_priorities[d]);
+      const auto incremental =
+          simulator.resimulate(scaled_graphs[d], scaled_priorities[d], baseline);
+      if (!identical(scratch, incremental)) {
+        all_identical = false;
+        std::fprintf(stderr, "MISMATCH: %s delta %zu\n", row.label, d);
+      }
+    }
+
+    const auto t_full = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < repetitions; ++rep) {
+      for (size_t d = 0; d < scaled_graphs.size(); ++d) {
+        (void)simulator.run_with_priorities(scaled_graphs[d], scaled_priorities[d]);
+      }
+    }
+    const double full_ms =
+        wall_ms_since(t_full) / static_cast<double>(repetitions * deltas);
+
+    const auto t_delta = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < repetitions; ++rep) {
+      for (size_t d = 0; d < scaled_graphs.size(); ++d) {
+        (void)simulator.resimulate(scaled_graphs[d], scaled_priorities[d], baseline);
+      }
+    }
+    const double delta_ms =
+        wall_ms_since(t_delta) / static_cast<double>(repetitions * deltas);
+
+    const double speedup = full_ms / delta_ms;
+    if (row.scaled_device == 3) untouched_speedup = speedup;
+    obs::MetricsRegistry::global().set(row.gauge, speedup);
+    table.add_row({row.label, fmt_double(full_ms, 4), fmt_double(delta_ms, 4),
+                   fmt_double(speedup, 2) + "x", all_identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Empty-frontier deltas answer from the baseline log with no snapshot\n"
+      "build and no event loop; frontier deltas replay the unaffected prefix\n"
+      "and pay the event loop only past it.\n");
+
+  obs::MetricsRegistry::global().set("sim_incremental.identical",
+                                     all_identical ? 1.0 : 0.0);
+  BenchConfig config;
+  config.emplace_back("model", config_str("MobileNet-v2"));
+  config.emplace_back("batch", fmt_double(batch, 0));
+  config.emplace_back("deltas", std::to_string(deltas));
+  config.emplace_back("repetitions", std::to_string(repetitions));
+  config.emplace_back("compiled_nodes", std::to_string(compiled.graph.node_count()));
+  write_bench_json("sim_incremental", config);
+
+  if (!all_identical) return 1;
+  if (fast_mode() && untouched_speedup < 1.0) {
+    std::fprintf(stderr, "smoke FAILED: empty-frontier speedup %.2fx < 1.0x\n",
+                 untouched_speedup);
+    return 1;
+  }
+  return 0;
+}

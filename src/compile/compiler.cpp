@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "compile/collective.h"
@@ -86,9 +88,13 @@ class CompilerPass {
         grouping_(grouping),
         strategy_(strategy),
         compiler_(compiler),
+        names_(compiler.options().emit_node_names),
         result_(cluster_) {}
 
   CompileResult run() {
+    // Rough upper bound: one replica per device per op plus structural nodes.
+    result_.graph.reserve_nodes(static_cast<size_t>(graph_.op_count()) *
+                                (static_cast<size_t>(cluster_.device_count()) + 2));
     place_ops();
     wire_activation_edges();
     wire_gradient_aggregation();
@@ -98,6 +104,20 @@ class CompilerPass {
   }
 
  private:
+  static void append_part(std::string& out, const std::string& s) { out += s; }
+  static void append_part(std::string& out, const char* s) { out += s; }
+  static void append_part(std::string& out, int64_t v) { out += std::to_string(v); }
+
+  /// Builds a node name from the parts — or nothing when names are disabled
+  /// (CompilerOptions::emit_node_names): the hot search loop never reads
+  /// them, and the string construction is measurable at scale.
+  template <typename... Parts>
+  std::string node_name(const Parts&... parts) const {
+    std::string out;
+    if (names_) (append_part(out, parts), ...);
+    return out;
+  }
+
   DistNodeId add_transfer(const std::string& name, int64_t bytes, DeviceId from,
                           DeviceId to, double overhead_ms = 0.0) {
     check(from != to, "add_transfer: same device");
@@ -133,7 +153,10 @@ class CompilerPass {
   DistNodeId materialize_on(DistNodeId source_node, int64_t bytes, DeviceId source_dev,
                             DeviceId device, const std::string& name) {
     if (source_dev == device) return source_node;
-    const auto key = std::make_tuple(source_node, device);
+    // Packed (node, device) key; the cache is only probed, never iterated,
+    // so hash order cannot leak into edge-insertion order.
+    const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(source_node)) << 32) |
+                         static_cast<uint32_t>(device);
     auto it = transfer_cache_.find(key);
     if (it != transfer_cache_.end()) return it->second;
     const DistNodeId t = add_transfer(name, bytes, source_dev, device);
@@ -164,7 +187,9 @@ class CompilerPass {
       for (size_t r = 0; r < placement.slots.size(); ++r) {
         auto& slot = placement.slots[r];
         DistNode n;
-        n.name = op.name + (placement.replicated() ? "/r" + std::to_string(r) : "");
+        n.name = placement.replicated()
+                         ? node_name(op.name, "/r", static_cast<int64_t>(r))
+                         : node_name(op.name);
         n.kind = NodeKind::kCompute;
         n.device = slot.device;
         n.duration_ms = costs_.op_time_ms(op, slot.batch, slot.device);
@@ -213,7 +238,7 @@ class CompilerPass {
         const auto& dst = pv.slots.front();
         const DistNodeId feed = materialize_on(src.node, result_.graph.node(src.node).output_bytes,
                                                src.device, dst.device,
-                                               u_op.name + "/send");
+                                               node_name(u_op.name, "/send"));
         result_.graph.add_edge(feed, pv.slots.front().node);
         return;
       }
@@ -221,7 +246,7 @@ class CompilerPass {
       if (u_op.batch_divisible) {
         // Output carries the batch dimension: Split then scatter shards.
         const DistNodeId split = add_structural(
-            OpKind::kSplit, u_op.name + "/split", result_.graph.node(src.node).output_bytes,
+            OpKind::kSplit, node_name(u_op.name, "/split"), result_.graph.node(src.node).output_bytes,
             src.device);
         result_.graph.add_edge(src.node, split);
         for (const auto& dst : pv.slots) {
@@ -230,7 +255,7 @@ class CompilerPass {
             result_.graph.add_edge(split, dst.node);
           } else {
             const DistNodeId t =
-                add_transfer(u_op.name + "/shard", shard, src.device, dst.device);
+                add_transfer(node_name(u_op.name, "/shard"), shard, src.device, dst.device);
             result_.graph.add_edge(split, t);
             result_.graph.add_edge(t, dst.node);
           }
@@ -240,7 +265,7 @@ class CompilerPass {
         for (const auto& dst : pv.slots) {
           const DistNodeId feed =
               materialize_on(src.node, result_.graph.node(src.node).output_bytes, src.device,
-                             dst.device, u_op.name + "/bcast");
+                             dst.device, node_name(u_op.name, "/bcast"));
           if (feed == src.node && dst.device == src.device) {
             result_.graph.add_edge(src.node, dst.node);
           } else {
@@ -256,33 +281,33 @@ class CompilerPass {
     double total_batch = 0.0;
     for (const auto& s : pu.slots) total_batch += s.batch;
     const int64_t full_bytes = u_op.out_bytes(total_batch);
-    const DistNodeId concat = add_structural(OpKind::kConcat, u_op.name + "/concat",
+    const DistNodeId concat = add_structural(OpKind::kConcat, node_name(u_op.name, "/concat"),
                                              full_bytes, stage);
     for (const auto& s : pu.slots) {
       const DistNodeId feed = materialize_on(
           s.node, result_.graph.node(s.node).output_bytes, s.device, stage,
-          u_op.name + "/gather");
+          node_name(u_op.name, "/gather"));
       result_.graph.add_edge(feed, concat);
     }
 
     if (pv.slots.size() == 1) {
       const auto& dst = pv.slots.front();
       const DistNodeId feed =
-          materialize_on(concat, full_bytes, stage, dst.device, u_op.name + "/send");
+          materialize_on(concat, full_bytes, stage, dst.device, node_name(u_op.name, "/send"));
       result_.graph.add_edge(feed, dst.node);
       return;
     }
 
     // Replicated consumer with a different distribution: Split and scatter.
     const DistNodeId split =
-        add_structural(OpKind::kSplit, u_op.name + "/resplit", full_bytes, stage);
+        add_structural(OpKind::kSplit, node_name(u_op.name, "/resplit"), full_bytes, stage);
     result_.graph.add_edge(concat, split);
     for (const auto& dst : pv.slots) {
       const int64_t shard = u_op.out_bytes(dst.batch);
       if (dst.device == stage) {
         result_.graph.add_edge(split, dst.node);
       } else {
-        const DistNodeId t = add_transfer(u_op.name + "/shard", shard, stage, dst.device);
+        const DistNodeId t = add_transfer(node_name(u_op.name, "/shard"), shard, stage, dst.device);
         result_.graph.add_edge(split, t);
         result_.graph.add_edge(t, dst.node);
       }
@@ -292,7 +317,7 @@ class CompilerPass {
   DistNodeId add_apply_node(OpId apply, const OpDef& apply_op, DeviceId dev,
                             DistNodeId dep) {
     DistNode n;
-    n.name = apply_op.name + "@G" + std::to_string(dev);
+    n.name = node_name(apply_op.name, "@G", static_cast<int64_t>(dev));
     n.kind = NodeKind::kCompute;
     n.device = dev;
     n.duration_ms = costs_.op_time_ms(apply_op, 0.0, dev);
@@ -337,7 +362,7 @@ class CompilerPass {
   // Pass 3: gradient aggregation + apply + static parameter residency.
   void wire_gradient_aggregation() {
     // Index grad and apply ops by the forward op they serve.
-    std::map<OpId, OpId> grad_of_fw, apply_of_fw;
+    std::unordered_map<OpId, OpId> grad_of_fw, apply_of_fw;  // probed only, never iterated
     for (OpId id = 0; id < graph_.op_count(); ++id) {
       const OpDef& op = graph_.op(id);
       if (op.grad_of != graph::kInvalidOp) grad_of_fw[op.grad_of] = id;
@@ -378,7 +403,7 @@ class CompilerPass {
           partial[dev] = nodes.front();
         } else {
           const DistNodeId agg = add_structural(
-              OpKind::kAdd, fw_op.name + "/local_agg", bytes, dev);
+              OpKind::kAdd, node_name(fw_op.name, "/local_agg"), bytes, dev);
           for (DistNodeId n : nodes) result_.graph.add_edge(n, agg);
           partial[dev] = agg;
           ++result_.stats.local_aggregations;
@@ -428,13 +453,13 @@ class CompilerPass {
             continue;
           }
           const DistNodeId agg =
-              add_structural(OpKind::kAdd, fw_op.name + "/host_agg", bytes, chief);
+              add_structural(OpKind::kAdd, node_name(fw_op.name, "/host_agg"), bytes, chief);
           for (const auto& [dev, node] : members) {
             if (dev == chief) {
               result_.graph.add_edge(node, agg);
             } else {
               const DistNodeId t =
-                  add_transfer(fw_op.name + "/local_push", bytes, dev, chief);
+                  add_transfer(node_name(fw_op.name, "/local_push"), bytes, dev, chief);
               result_.graph.add_edge(node, t);
               result_.graph.add_edge(t, agg);
             }
@@ -486,7 +511,7 @@ class CompilerPass {
 
         // 3. Chief pushes, PS aggregation, apply.
         const DistNodeId agg =
-            add_structural(OpKind::kAdd, fw_op.name + "/ps_agg", bytes, ps);
+            add_structural(OpKind::kAdd, node_name(fw_op.name, "/ps_agg"), bytes, ps);
         ++result_.stats.ps_aggregations;
         for (const auto& [host, chief_node] : by_host) {
           const auto& [chief, node] = host_partial[host];
@@ -495,7 +520,7 @@ class CompilerPass {
             result_.graph.add_edge(node, agg);
           } else {
             const DistNodeId push =
-                add_transfer(fw_op.name + "/push", bytes, chief, ps, rpc_ms);
+                add_transfer(node_name(fw_op.name, "/push"), bytes, chief, ps, rpc_ms);
             result_.graph.add_edge(node, push);
             result_.graph.add_edge(push, agg);
           }
@@ -507,7 +532,7 @@ class CompilerPass {
           const DeviceId chief = host_partial[host].first;
           DistNodeId chief_ready = apply_node;
           if (chief != ps) {
-            chief_ready = add_transfer(fw_op.name + "/pull", bytes, ps, chief, rpc_ms);
+            chief_ready = add_transfer(node_name(fw_op.name, "/pull"), bytes, ps, chief, rpc_ms);
             result_.graph.add_edge(apply_node, chief_ready);
             param_ready_[apply][chief] = chief_ready;
           }
@@ -515,7 +540,7 @@ class CompilerPass {
             (void)node;
             if (dev == chief || dev == ps) continue;
             const DistNodeId bcast =
-                add_transfer(fw_op.name + "/local_pull", bytes, chief, dev);
+                add_transfer(node_name(fw_op.name, "/local_pull"), bytes, chief, dev);
             result_.graph.add_edge(chief_ready, bcast);
             param_ready_[apply][dev] = bcast;
           }
@@ -526,6 +551,39 @@ class CompilerPass {
     emit_fused_collectives();
   }
 
+  /// Emits one collective realising the given AllReduce requests, plus the
+  /// per-device apply nodes it gates.
+  void emit_bucket(const std::vector<size_t>& members,
+                   const std::vector<DeviceId>& devices) {
+    int64_t total = 0;
+    for (size_t idx : members) total += ar_requests_[idx].bytes;
+    DistNode coll;
+    coll.name =
+        members.size() == 1
+            ? node_name(graph_.op(ar_requests_[members.front()].fw).name, "/allreduce")
+            : node_name("fused_allreduce[", static_cast<int64_t>(members.size()), "]");
+    coll.kind = NodeKind::kCollective;
+    coll.participants = devices;
+    coll.output_bytes = total;
+    coll.duration_ms = estimate_allreduce(total, devices, costs_).time_ms;
+    coll.origin = ar_requests_[members.front()].grad;
+    coll.op_kind = OpKind::kAdd;
+    coll.role = OpRole::kBackward;
+    const DistNodeId coll_id = result_.graph.add_node(std::move(coll));
+    ++result_.stats.collectives;
+    for (size_t idx : members) {
+      const ArRequest& request = ar_requests_[idx];
+      for (const auto& [dev, node] : request.partial) {
+        (void)dev;
+        result_.graph.add_edge(node, coll_id);
+      }
+      const OpDef& apply_op = graph_.op(request.apply);
+      for (DeviceId dev : devices) {
+        add_apply_node(request.apply, apply_op, dev, coll_id);
+      }
+    }
+  }
+
   // Emits the collected AllReduce requests as fused collectives: requests
   // sharing a device set are packed, in backward-completion order, into
   // buckets of up to allreduce_fusion_bytes (Horovod-style tensor fusion).
@@ -533,6 +591,20 @@ class CompilerPass {
     if (ar_requests_.empty()) return;
     std::sort(ar_requests_.begin(), ar_requests_.end(),
               [](const ArRequest& a, const ArRequest& b) { return a.grad < b.grad; });
+
+    const int64_t fusion_limit = compiler_.options().allreduce_fusion_bytes;
+    if (fusion_limit <= 0) {
+      // Fusion disabled (the default): the bucketed path below would flush
+      // every request by itself immediately, so emit directly in backward
+      // order — identical output, without the bucket maps or the phase
+      // (topological-order) computation their keys need.
+      std::vector<size_t> one(1);
+      for (size_t i = 0; i < ar_requests_.size(); ++i) {
+        one[0] = i;
+        emit_bucket(one, ar_requests_[i].devices);
+      }
+      return;
+    }
 
     // Training-step phase of every op: the number of apply ops on the
     // deepest path above it. Fusing gradients across phases (iterations of
@@ -550,40 +622,13 @@ class CompilerPass {
     }
 
     using BucketKey = std::pair<int, std::vector<DeviceId>>;
-    const int64_t fusion_limit = compiler_.options().allreduce_fusion_bytes;
     std::map<BucketKey, std::vector<size_t>> open_bucket;  // key -> request idx
     std::map<BucketKey, int64_t> open_bytes;
 
     auto flush = [&](const BucketKey& key) {
-      const std::vector<DeviceId>& devices = key.second;
       auto& members = open_bucket[key];
       if (members.empty()) return;
-      int64_t total = 0;
-      for (size_t idx : members) total += ar_requests_[idx].bytes;
-      DistNode coll;
-      coll.name = members.size() == 1
-                      ? graph_.op(ar_requests_[members.front()].fw).name + "/allreduce"
-                      : "fused_allreduce[" + std::to_string(members.size()) + "]";
-      coll.kind = NodeKind::kCollective;
-      coll.participants = devices;
-      coll.output_bytes = total;
-      coll.duration_ms = estimate_allreduce(total, devices, costs_).time_ms;
-      coll.origin = ar_requests_[members.front()].grad;
-      coll.op_kind = OpKind::kAdd;
-      coll.role = OpRole::kBackward;
-      const DistNodeId coll_id = result_.graph.add_node(std::move(coll));
-      ++result_.stats.collectives;
-      for (size_t idx : members) {
-        const ArRequest& request = ar_requests_[idx];
-        for (const auto& [dev, node] : request.partial) {
-          (void)dev;
-          result_.graph.add_edge(node, coll_id);
-        }
-        const OpDef& apply_op = graph_.op(request.apply);
-        for (DeviceId dev : devices) {
-          add_apply_node(request.apply, apply_op, dev, coll_id);
-        }
-      }
+      emit_bucket(members, key.second);
       members.clear();
       open_bytes[key] = 0;
     };
@@ -654,8 +699,9 @@ class CompilerPass {
   const strategy::Grouping& grouping_;
   const strategy::StrategyMap& strategy_;
   const GraphCompiler& compiler_;
+  const bool names_;  // CompilerOptions::emit_node_names
   CompileResult result_;
-  std::map<std::tuple<DistNodeId, DeviceId>, DistNodeId> transfer_cache_;
+  std::unordered_map<uint64_t, DistNodeId> transfer_cache_;
   std::vector<OpPlacement> placements_;
   /// Bytes of gradient traffic already routed to each host's PS devices
   /// (load-aware PS placement).

@@ -115,6 +115,15 @@ class DistGraph {
   DistNodeId add_node(DistNode node);
   void add_edge(DistNodeId from, DistNodeId to);
 
+  /// Pre-sizes the node and adjacency stores (the Graph Compiler knows a
+  /// good estimate up front; DistNode is fat, so reallocation moves are
+  /// worth avoiding in the search hot loop).
+  void reserve_nodes(size_t expected) {
+    nodes_.reserve(expected);
+    succ_.reserve(expected);
+    pred_.reserve(expected);
+  }
+
   int node_count() const { return static_cast<int>(nodes_.size()); }
   const DistNode& node(DistNodeId id) const;
   DistNode& mutable_node(DistNodeId id);

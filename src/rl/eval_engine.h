@@ -59,6 +59,9 @@ struct EvalEngineOptions {
   /// plan_key omits (see the header comment). Callers wiring a store MUST
   /// set this to a hash of the cluster + cost-model configuration.
   uint64_t store_context = 0;
+  /// Share one PlanEvalScratch (unrolled-graph cache) across evaluations.
+  /// Results are bit-identical on or off; off exists for perf baselines.
+  bool use_scratch = true;
 };
 
 struct EvalEngineStats {
@@ -127,6 +130,11 @@ class EvalEngine {
   const profiler::CostProvider* costs_;
   EvalEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads <= 1
+
+  // Cross-evaluation scratch for evaluate_plan (unrolled-graph cache; own
+  // lock, thread-safe). Like SimImpl, deliberately NOT part of plan_key:
+  // results are bit-identical with and without it.
+  sim::PlanEvalScratch scratch_;
 
   // LRU cache: most-recently-used at the front of lru_.
   mutable std::mutex mu_;

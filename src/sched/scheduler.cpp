@@ -9,6 +9,12 @@ namespace heterog::sched {
 std::vector<double> compute_ranks(
     const compile::DistGraph& graph,
     const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges) {
+  return compute_ranks(graph, graph.topological_order(), extra_edges);
+}
+
+std::vector<double> compute_ranks(
+    const compile::DistGraph& graph, const std::vector<compile::DistNodeId>& topo,
+    const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges) {
   const int n = graph.node_count();
   std::vector<double> ranks(static_cast<size_t>(n), 0.0);
 
@@ -26,7 +32,7 @@ std::vector<double> compute_ranks(
   // order of (graph topo order + extra-edge targets appearing later), which
   // holds for the collective chains rank_priorities builds (chained in topo
   // order). A final fixpoint pass guards against ordering violations.
-  const auto order = graph.topological_order();
+  const auto& order = topo;
   auto relax = [&](compile::DistNodeId id) {
     double max_succ = 0.0;
     for (auto s : graph.successors(id)) {
@@ -58,6 +64,11 @@ std::vector<double> compute_ranks(
 }
 
 std::vector<double> rank_priorities(const compile::DistGraph& graph) {
+  return rank_priorities(graph, graph.topological_order());
+}
+
+std::vector<double> rank_priorities(const compile::DistGraph& graph,
+                                    const std::vector<compile::DistNodeId>& topo) {
   // Chain the communication nodes of each serialised resource (every
   // directed link and the single NCCL channel) in topological order, so a
   // node's rank carries the remaining backlog of its resource; see header
@@ -68,7 +79,7 @@ std::vector<double> rank_priorities(const compile::DistGraph& graph) {
   std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>> chains;
   std::vector<compile::DistNodeId> prev_on_resource(
       static_cast<size_t>(resources.resource_count()), -1);
-  for (const auto id : graph.topological_order()) {
+  for (const auto id : topo) {
     const auto& node = graph.node(id);
     if (!node.is_communication()) continue;
     const int res = resources.resource_of(node);
@@ -77,7 +88,7 @@ std::vector<double> rank_priorities(const compile::DistGraph& graph) {
     }
     prev_on_resource[static_cast<size_t>(res)] = id;
   }
-  return compute_ranks(graph, chains);
+  return compute_ranks(graph, topo, chains);
 }
 
 }  // namespace heterog::sched

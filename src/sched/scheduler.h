@@ -26,6 +26,14 @@ std::vector<double> compute_ranks(
     const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges =
         {});
 
+/// As above, with a caller-supplied topological order of `graph` — avoids
+/// recomputing it when the caller already has one (sim::evaluate_plan ranks
+/// the same compiled graph several ways). `topo` must be a topological order
+/// of exactly this graph; results are identical to the overload above.
+std::vector<double> compute_ranks(
+    const compile::DistGraph& graph, const std::vector<compile::DistNodeId>& topo,
+    const std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>>& extra_edges);
+
 enum class OrderPolicy {
   kRankPriority,  // HeteroG's list schedule
   kFifo,          // TensorFlow's default: ready order (paper Sec. 6.6 baseline)
@@ -43,5 +51,9 @@ enum class OrderPolicy {
 /// gradient ops interleave with backward compute — maximising the paper's
 /// computation/communication overlap objective.
 std::vector<double> rank_priorities(const compile::DistGraph& graph);
+
+/// As above, with a caller-supplied topological order (see compute_ranks).
+std::vector<double> rank_priorities(const compile::DistGraph& graph,
+                                    const std::vector<compile::DistNodeId>& topo);
 
 }  // namespace heterog::sched

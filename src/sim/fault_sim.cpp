@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "sim/sim_core.h"
 
 namespace heterog::sim {
 
@@ -11,6 +12,17 @@ namespace {
 
 using compile::DistNodeId;
 using compile::NodeKind;
+
+/// The priorities Simulator::run would compute for `graph` under
+/// `options.policy`. Fault scaling changes durations, so rank priorities are
+/// recomputed per scaled variant — exactly what a from-scratch run does.
+std::vector<double> policy_priorities(const compile::DistGraph& graph,
+                                      const SimOptions& options) {
+  if (options.policy == sched::OrderPolicy::kRankPriority) {
+    return sched::rank_priorities(graph);
+  }
+  return std::vector<double>(static_cast<size_t>(graph.node_count()), 0.0);
+}
 
 /// Smallest link bandwidth factor across all participant host pairs — a
 /// ring/collective runs at the speed of its most degraded segment.
@@ -93,6 +105,7 @@ FaultAwareRun simulate_with_faults(const compile::DistGraph& graph,
 
   FaultAwareRun run;
   std::map<std::string, double> memo;
+  SimBaseline baseline;  // unscaled-graph log; recorded on first simulated step
   for (int step = 0; step < steps; ++step) {
     const faults::FaultScaling scaling = faults::scaling_at(plan, cluster, step);
 
@@ -111,9 +124,29 @@ FaultAwareRun simulate_with_faults(const compile::DistGraph& graph,
     const std::string key = scaling.signature();
     auto it = memo.find(key);
     if (it == memo.end()) {
-      const compile::DistGraph scaled =
-          scaling.any() ? apply_fault_scaling(graph, cluster, scaling) : graph;
-      it = memo.emplace(key, simulator.run(scaled).makespan_ms).first;
+      double makespan_ms;
+      if (step_options.impl == SimImpl::kReference) {
+        const compile::DistGraph scaled =
+            scaling.any() ? apply_fault_scaling(graph, cluster, scaling) : graph;
+        makespan_ms = simulator.run(scaled).makespan_ms;
+      } else {
+        // Incremental mode: record the unscaled baseline once, then diff each
+        // fault-scaled variant against it (bit-identical to a full run).
+        if (!baseline.valid) {
+          simulator.run_baseline(graph, policy_priorities(graph, step_options),
+                                 baseline);
+        }
+        if (scaling.any()) {
+          const compile::DistGraph scaled = apply_fault_scaling(graph, cluster, scaling);
+          makespan_ms =
+              simulator.resimulate(scaled, policy_priorities(scaled, step_options),
+                                   baseline)
+                  .makespan_ms;
+        } else {
+          makespan_ms = baseline.result.makespan_ms;
+        }
+      }
+      it = memo.emplace(key, makespan_ms).first;
     }
     outcome.makespan_ms = it->second;
     run.steps.push_back(outcome);
@@ -133,14 +166,32 @@ FaultInjector::FaultInjector(compile::DistGraph graph, cluster::ClusterSpec clus
   plan_.validate(cluster_);
 }
 
+FaultInjector::~FaultInjector() = default;
+
+SimResult FaultInjector::simulate_scaled(const faults::FaultScaling& scaling) {
+  const Simulator simulator(options_);
+  if (options_.impl == SimImpl::kReference) {
+    const compile::DistGraph scaled =
+        scaling.any() ? apply_fault_scaling(graph_, cluster_, scaling) : graph_;
+    return simulator.run(scaled);
+  }
+  // Incremental mode: one baseline of the unscaled active graph, diffed
+  // against by every fault-scaled variant (bit-identical to a full run).
+  if (baseline_ == nullptr || !baseline_->valid) {
+    if (baseline_ == nullptr) baseline_ = std::make_unique<SimBaseline>();
+    simulator.run_baseline(graph_, policy_priorities(graph_, options_), *baseline_);
+  }
+  if (!scaling.any()) return baseline_->result;
+  const compile::DistGraph scaled = apply_fault_scaling(graph_, cluster_, scaling);
+  return simulator.resimulate(scaled, policy_priorities(scaled, options_), *baseline_);
+}
+
 const FaultInjector::StepMeasurement& FaultInjector::measure(
     const faults::FaultScaling& scaling) {
   const std::string key = scaling.signature();
   auto it = memo_.find(key);
   if (it == memo_.end()) {
-    const compile::DistGraph scaled =
-        scaling.any() ? apply_fault_scaling(graph_, cluster_, scaling) : graph_;
-    const SimResult result = Simulator(options_).run(scaled);
+    const SimResult result = simulate_scaled(scaling);
     StepMeasurement m;
     m.makespan_ms = result.makespan_ms;
     m.device_busy_ms.assign(static_cast<size_t>(cluster_.device_count()), 0.0);
@@ -208,6 +259,7 @@ void FaultInjector::apply_replan(compile::DistGraph graph,
   graph_ = std::move(graph);
   cluster_ = std::move(cluster);
   memo_.clear();
+  baseline_.reset();  // the log describes the replaced graph
   plan_.validate(cluster_);
 }
 

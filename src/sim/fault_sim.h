@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 
 #include "compile/dist_graph.h"
 #include "faults/faults.h"
@@ -68,6 +69,7 @@ class FaultInjector {
 
   FaultInjector(compile::DistGraph graph, cluster::ClusterSpec cluster,
                 faults::FaultPlan plan, SimOptions options);
+  ~FaultInjector();  // out of line: SimBaseline is incomplete here
 
   /// One attempt of `step` (attempt 0 = first try). Outcome precedence:
   /// a failed device the plan uses times the attempt out (no error
@@ -95,11 +97,18 @@ class FaultInjector {
   int device_count() const { return cluster_.device_count(); }
 
  private:
+  /// Simulates the active graph under `scaling`. Data-oriented mode records
+  /// a baseline of the unscaled graph on first use and re-simulates every
+  /// fault-scaled variant incrementally against it; SimImpl::kReference runs
+  /// each variant from scratch. Results are bit-identical either way.
+  SimResult simulate_scaled(const faults::FaultScaling& scaling);
+
   compile::DistGraph graph_;
   cluster::ClusterSpec cluster_;
   faults::FaultPlan plan_;
   SimOptions options_;
   std::map<std::string, StepMeasurement> memo_;  // keyed by scaling signature
+  std::unique_ptr<SimBaseline> baseline_;        // unscaled-graph execution log
 };
 
 }  // namespace heterog::sim

@@ -1,11 +1,14 @@
 #include "sim/plan_eval.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "compile/compiler.h"
 #include "graph/training.h"
 #include "sched/scheduler.h"
+#include "sim/sim_core.h"
 
 namespace heterog::sim {
 
@@ -47,15 +50,91 @@ void collect_utilization(const compile::DistGraph& graph, const SimResult& singl
       ranks.empty() ? 0.0 : *std::max_element(ranks.begin(), ranks.end());
 }
 
+/// Structural fingerprint of (graph, grouping, iterations) for the unroll
+/// cache. Covers everything unroll_iterations / Grouping::unroll read except
+/// op names — no evaluation result depends on node names (evaluate_plan
+/// compiles with emit_node_names off).
+uint64_t unroll_key(const graph::GraphDef& graph, const strategy::Grouping& grouping,
+                    int iterations) {
+  Hash64 h;
+  h.mix(0x756e726f6c6cULL);  // "unroll" domain tag
+  h.mix(static_cast<uint64_t>(iterations));
+  h.mix(static_cast<uint64_t>(graph.op_count()));
+  h.mix_double(graph.global_batch());
+  for (const auto& op : graph.ops()) {
+    h.mix(static_cast<uint64_t>(op.kind));
+    h.mix(static_cast<uint64_t>(op.role));
+    h.mix_double(op.flops_per_sample);
+    h.mix_double(op.flops_fixed);
+    h.mix_signed(op.out_bytes_per_sample);
+    h.mix_signed(op.out_bytes_fixed);
+    h.mix_signed(op.param_bytes);
+    h.mix(op.batch_divisible ? 1 : 0);
+    h.mix_signed(op.grad_of);
+    h.mix_signed(op.mirror_of);
+    const auto& succ = graph.successors(op.id);
+    h.mix(succ.size());
+    for (const auto s : succ) h.mix_signed(s);
+  }
+  for (const auto g : grouping.assignment()) h.mix_signed(g);
+  return h.digest();
+}
+
 }  // namespace
+
+std::shared_ptr<const PlanEvalScratch::Unrolled> PlanEvalScratch::unrolled(
+    const graph::GraphDef& training_graph, const strategy::Grouping& grouping,
+    int iterations) {
+  const uint64_t key = unroll_key(training_graph, grouping, iterations);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, v] : entries_) {
+      if (k == key) return v;
+    }
+  }
+  auto built = std::make_shared<Unrolled>(
+      Unrolled{graph::unroll_iterations(training_graph, iterations),
+               strategy::Grouping::unroll(grouping, iterations)});
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;  // lost the build race; share the winner
+  }
+  if (entries_.size() >= 16) entries_.erase(entries_.begin());  // tiny LRU-ish cap
+  entries_.emplace_back(key, built);
+  return built;
+}
 
 PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
                              const graph::GraphDef& training_graph,
                              const strategy::Grouping& grouping,
                              const strategy::StrategyMap& strategy,
-                             PlanEvalOptions options) {
+                             PlanEvalOptions options, PlanEvalScratch* scratch) {
   check(options.unroll_iterations >= 1, "evaluate_plan: bad unroll");
-  const compile::GraphCompiler compiler(costs, options.compiler);
+  // Node names are write-only below this point (PlanEvaluation reports
+  // resource names, never node names) — skip building them in the hot loop.
+  compile::CompilerOptions compiler_options = options.compiler;
+  compiler_options.emit_node_names = false;
+  const compile::GraphCompiler compiler(costs, compiler_options);
+
+  // One simulation entry point for both implementations. The data-oriented
+  // path builds the flat CompactGraph once per distinct graph and reuses the
+  // per-thread workspace across the candidate runs (zero allocations after
+  // warm-up); the reference path goes through the legacy simulator.
+  const compile::DistGraph* built_for = nullptr;
+  auto simulate = [&](const compile::DistGraph& graph,
+                      const std::vector<double>& priorities,
+                      const SimOptions& sim_opts) -> SimResult {
+    if (sim_opts.impl == SimImpl::kReference) {
+      return Simulator(sim_opts).run_with_priorities(graph, priorities);
+    }
+    SimWorkspace& ws = thread_workspace();
+    if (built_for != &graph) {
+      validate_for_simulation(graph);
+      ws.graph.build(graph);
+      built_for = &graph;
+    }
+    return run_core(ws.graph, priorities, sim_opts, ws, nullptr);
+  };
 
   // Single iteration: memory + breakdown + cold makespan.
   //
@@ -68,22 +147,25 @@ PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
   SimOptions sim_options;
   sim_options.policy = options.policy;
   sim_options.usable_memory_fraction = options.usable_memory_fraction;
+  sim_options.impl = options.sim_impl;
 
   SimResult single;
   bool chained_rank_won = true;
   if (options.policy == sched::OrderPolicy::kRankPriority) {
-    Simulator rank_sim(sim_options);
-    single = rank_sim.run_with_priorities(compiled.graph,
-                                          sched::rank_priorities(compiled.graph));
-    const SimResult plain = rank_sim.run_with_priorities(
-        compiled.graph, sched::compute_ranks(compiled.graph));
+    const auto topo = compiled.graph.topological_order();
+    single = simulate(compiled.graph, sched::rank_priorities(compiled.graph, topo),
+                      sim_options);
+    const SimResult plain = simulate(
+        compiled.graph, sched::compute_ranks(compiled.graph, topo, {}), sim_options);
     if (plain.makespan_ms < single.makespan_ms) {
       single = plain;
       chained_rank_won = false;
     }
     SimOptions fifo_options = sim_options;
     fifo_options.policy = sched::OrderPolicy::kFifo;
-    const SimResult fifo = Simulator(fifo_options).run(compiled.graph);
+    const std::vector<double> zeros(static_cast<size_t>(compiled.graph.node_count()),
+                                    0.0);
+    const SimResult fifo = simulate(compiled.graph, zeros, fifo_options);
     if (fifo.makespan_ms < single.makespan_ms) {
       single = fifo;
       sim_options.policy = sched::OrderPolicy::kFifo;  // carry into the unroll
@@ -107,25 +189,36 @@ PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
     return eval;
   }
 
-  // Steady state: unroll and difference out the pipeline fill.
-  const graph::GraphDef unrolled =
-      graph::unroll_iterations(training_graph, options.unroll_iterations);
-  const strategy::Grouping unrolled_grouping =
-      strategy::Grouping::unroll(grouping, options.unroll_iterations);
+  // Steady state: unroll and difference out the pipeline fill. The unroll is
+  // strategy-independent, so the scratch (when provided) serves it from its
+  // cache after the first plan of a (graph, grouping, k) triple.
+  std::shared_ptr<const PlanEvalScratch::Unrolled> cached;
+  std::optional<PlanEvalScratch::Unrolled> local;
+  if (scratch != nullptr) {
+    cached = scratch->unrolled(training_graph, grouping, options.unroll_iterations);
+  } else {
+    local.emplace(PlanEvalScratch::Unrolled{
+        graph::unroll_iterations(training_graph, options.unroll_iterations),
+        strategy::Grouping::unroll(grouping, options.unroll_iterations)});
+  }
+  const PlanEvalScratch::Unrolled& unrolled = scratch != nullptr ? *cached : *local;
   const auto unrolled_compiled =
-      compiler.compile(unrolled, unrolled_grouping, strategy);
+      compiler.compile(unrolled.graph, unrolled.grouping, strategy);
   SimOptions steady_options = sim_options;
   steady_options.track_memory = false;
-  Simulator simulator(steady_options);
-  double t_k = 0.0;
-  if (steady_options.policy == sched::OrderPolicy::kRankPriority && !chained_rank_won) {
-    t_k = simulator
-              .run_with_priorities(unrolled_compiled.graph,
-                                   sched::compute_ranks(unrolled_compiled.graph))
-              .makespan_ms;
+  std::vector<double> steady_priorities;
+  if (steady_options.policy == sched::OrderPolicy::kRankPriority) {
+    const auto topo = unrolled_compiled.graph.topological_order();
+    steady_priorities =
+        chained_rank_won
+            ? sched::rank_priorities(unrolled_compiled.graph, topo)
+            : sched::compute_ranks(unrolled_compiled.graph, topo, {});
   } else {
-    t_k = simulator.run(unrolled_compiled.graph).makespan_ms;
+    steady_priorities.assign(static_cast<size_t>(unrolled_compiled.graph.node_count()),
+                             0.0);
   }
+  const double t_k =
+      simulate(unrolled_compiled.graph, steady_priorities, steady_options).makespan_ms;
   eval.per_iteration_ms =
       (t_k - single.makespan_ms) / static_cast<double>(options.unroll_iterations - 1);
   // Guard against degenerate overlap estimates (per-iteration time can never

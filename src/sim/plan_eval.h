@@ -11,6 +11,12 @@
 // iteration's working set is the honest memory figure.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
 #include "compile/compiler.h"
 #include "profiler/cost_provider.h"
 #include "sim/simulator.h"
@@ -54,13 +60,46 @@ struct PlanEvalOptions {
   /// rl::EvalEngine's cache key: only the deployment path (which bypasses
   /// the cache) turns it on.
   bool collect_utilization = false;
+  /// Simulator implementation used for every simulation inside the
+  /// evaluation. Deliberately NOT part of rl::EvalEngine's cache key either:
+  /// the two implementations are bit-identical (tests/sim_diff_test.cpp
+  /// walls this), so a memoized result is valid for both.
+  SimImpl sim_impl = SimImpl::kDataOriented;
 };
 
-/// Compiles `strategy` against `costs` and evaluates it.
+/// Cross-call scratch for evaluate_plan. Caches the unrolled training
+/// GraphDef + Grouping, which depend only on (graph, grouping, iterations) —
+/// NOT on the strategy — so one entry serves every plan an engine evaluates
+/// for a model. Keyed by a structural fingerprint of the graph (op workload
+/// fields + edges + grouping assignment; names excluded — no evaluation
+/// result depends on them). Thread-safe; rl::EvalEngine shares one instance
+/// across its worker pool.
+class PlanEvalScratch {
+ public:
+  struct Unrolled {
+    graph::GraphDef graph;
+    strategy::Grouping grouping;
+  };
+
+  /// Returns the cached unroll of (`training_graph`, `grouping`) at
+  /// `iterations`, building and caching it on first use.
+  std::shared_ptr<const Unrolled> unrolled(const graph::GraphDef& training_graph,
+                                           const strategy::Grouping& grouping,
+                                           int iterations);
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const Unrolled>>> entries_;
+};
+
+/// Compiles `strategy` against `costs` and evaluates it. `scratch` (optional)
+/// memoises the strategy-independent unrolled graph across calls; results
+/// are bit-identical with and without it.
 PlanEvaluation evaluate_plan(const profiler::CostProvider& costs,
                              const graph::GraphDef& training_graph,
                              const strategy::Grouping& grouping,
                              const strategy::StrategyMap& strategy,
-                             PlanEvalOptions options = PlanEvalOptions());
+                             PlanEvalOptions options = PlanEvalOptions(),
+                             PlanEvalScratch* scratch = nullptr);
 
 }  // namespace heterog::sim

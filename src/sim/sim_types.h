@@ -1,0 +1,54 @@
+// Shared simulator option/result types, split out of simulator.h so the
+// data-oriented core (sim_core.h) and the public Simulator facade can both
+// include them without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sched/scheduler.h"
+
+namespace heterog::sim {
+
+/// Which simulator implementation executes a run. Both produce bit-identical
+/// results (tests/sim_diff_test.cpp is the wall); the reference path is the
+/// original per-node priority_queue implementation, kept as the differential
+/// oracle until the wall has soaked.
+enum class SimImpl : uint8_t {
+  kDataOriented,  // flat SoA core with pooled workspace (default)
+  kReference,     // legacy std::priority_queue implementation
+};
+
+struct SimOptions {
+  sched::OrderPolicy policy = sched::OrderPolicy::kRankPriority;
+  bool track_memory = true;
+  /// Fraction of device memory usable by the job (framework overheads).
+  double usable_memory_fraction = 0.92;
+  /// Implementation selector; results are identical either way.
+  SimImpl impl = SimImpl::kDataOriented;
+};
+
+struct SimResult {
+  double makespan_ms = 0.0;
+
+  /// Busiest-GPU computation time and busiest-communication-resource time
+  /// (Fig. 8 reports per-iteration computation and communication times; with
+  /// overlap their sum exceeds the makespan).
+  double computation_time_ms = 0.0;
+  double communication_time_ms = 0.0;
+
+  /// Total busy ms per resource (indexed by ResourceModel).
+  std::vector<double> resource_busy_ms;
+
+  /// Peak memory per device, static parameters included.
+  std::vector<int64_t> peak_memory_bytes;
+  bool oom = false;
+  std::vector<cluster::DeviceId> oom_devices;
+
+  /// Per-node start times (ms); useful for timeline inspection in tests.
+  std::vector<double> start_ms;
+  std::vector<double> finish_ms;
+};
+
+}  // namespace heterog::sim

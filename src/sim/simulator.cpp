@@ -1,9 +1,12 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "common/check.h"
+#include "sim/sim_core.h"
+#include "sim/sim_order.h"
 
 namespace heterog::sim {
 
@@ -13,33 +16,12 @@ using compile::DistGraph;
 using compile::DistNodeId;
 using compile::NodeKind;
 
-struct ReadyEntry {
-  double priority = 0.0;
-  int64_t sequence = 0;  // FIFO tiebreak / FIFO order
-  DistNodeId node = -1;
-};
-
-struct RankOrder {
-  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
-    if (a.priority != b.priority) return a.priority < b.priority;  // max-heap
-    return a.sequence > b.sequence;
-  }
-};
-
-struct FifoOrder {
-  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
-    return a.sequence > b.sequence;  // min-heap on arrival order
-  }
-};
-
-struct Event {
-  double time = 0.0;
-  DistNodeId node = -1;
-  bool operator>(const Event& other) const {
-    if (time != other.time) return time > other.time;
-    return node > other.node;
-  }
-};
+// ---------------------------------------------------------------------------
+// Reference implementation (SimImpl::kReference): the original per-node
+// priority_queue simulator, kept as the differential oracle for the
+// data-oriented core (sim_core.cpp). tests/sim_diff_test.cpp pins both paths
+// bit-identical; the comparators are shared via sim_order.h.
+// ---------------------------------------------------------------------------
 
 /// Per-device live-tensor memory tracker with reference counting.
 class MemoryTracker {
@@ -253,6 +235,40 @@ SimResult run_simulation(const DistGraph& graph, const std::vector<double>& prio
 
 }  // namespace
 
+void validate_for_simulation(const compile::DistGraph& graph,
+                             const std::vector<double>* priorities) {
+  const int devices = graph.resources().device_count();
+  for (const auto& node : graph.nodes()) {
+    check(std::isfinite(node.duration_ms) && node.duration_ms >= 0.0,
+          "simulator: node duration must be finite and non-negative");
+    switch (node.kind) {
+      case NodeKind::kCompute:
+        check(node.device >= 0 && node.device < devices,
+              "simulator: compute node device out of range");
+        break;
+      case NodeKind::kTransfer:
+        check(node.link_from >= 0 && node.link_from < devices &&
+                  node.link_to >= 0 && node.link_to < devices,
+              "simulator: transfer node link endpoint out of range");
+        break;
+      case NodeKind::kCollective:
+        for (const auto d : node.participants) {
+          check(d >= 0 && d < devices,
+                "simulator: collective participant out of range");
+        }
+        break;
+    }
+  }
+  if (priorities != nullptr) {
+    check(static_cast<int>(priorities->size()) == graph.node_count(),
+          "run_with_priorities: size mismatch");
+    for (const double p : *priorities) {
+      check(!std::isnan(p),
+            "simulator: NaN priority breaks the ready-queue total order");
+    }
+  }
+}
+
 SimResult Simulator::run(const compile::DistGraph& graph) const {
   if (options_.policy == sched::OrderPolicy::kRankPriority) {
     return run_with_priorities(graph, sched::rank_priorities(graph));
@@ -264,11 +280,30 @@ SimResult Simulator::run(const compile::DistGraph& graph) const {
 
 SimResult Simulator::run_with_priorities(const compile::DistGraph& graph,
                                          const std::vector<double>& priorities) const {
-  check(static_cast<int>(priorities.size()) == graph.node_count(),
-        "run_with_priorities: size mismatch");
-  return options_.policy == sched::OrderPolicy::kRankPriority
-             ? run_simulation<RankOrder>(graph, priorities, options_)
-             : run_simulation<FifoOrder>(graph, priorities, options_);
+  validate_for_simulation(graph, &priorities);
+  if (options_.impl == SimImpl::kReference) {
+    return options_.policy == sched::OrderPolicy::kRankPriority
+               ? run_simulation<RankOrder>(graph, priorities, options_)
+               : run_simulation<FifoOrder>(graph, priorities, options_);
+  }
+  SimWorkspace& ws = thread_workspace();
+  ws.graph.build(graph);
+  return run_core(ws.graph, priorities, options_, ws, nullptr);
+}
+
+SimResult Simulator::run_baseline(const compile::DistGraph& graph,
+                                  const std::vector<double>& priorities,
+                                  SimBaseline& baseline) const {
+  validate_for_simulation(graph, &priorities);
+  baseline.graph.build(graph);
+  return run_core(baseline.graph, priorities, options_, thread_workspace(), &baseline);
+}
+
+SimResult Simulator::resimulate(const compile::DistGraph& graph,
+                                const std::vector<double>& priorities,
+                                const SimBaseline& baseline) const {
+  validate_for_simulation(graph, &priorities);
+  return resimulate_core(graph, priorities, options_, baseline, thread_workspace());
 }
 
 void apply_oom_check(SimResult& result, const cluster::ClusterSpec& cluster,

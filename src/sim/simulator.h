@@ -10,6 +10,12 @@
 //     used to flag OOM strategies;
 //   * per-iteration makespan plus computation / communication busy times for
 //     the Fig. 8 breakdown.
+//
+// Two implementations produce bit-identical results (SimOptions::impl):
+// the data-oriented core (sim_core.h — flat SoA state, pooled per-thread
+// workspace, incremental re-simulation) and the reference per-node
+// priority_queue path kept as the differential oracle. The differential wall
+// is tests/sim_diff_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -17,42 +23,17 @@
 
 #include "compile/dist_graph.h"
 #include "sched/scheduler.h"
+#include "sim/sim_types.h"
 
 namespace heterog::sim {
 
-struct SimOptions {
-  sched::OrderPolicy policy = sched::OrderPolicy::kRankPriority;
-  bool track_memory = true;
-  /// Fraction of device memory usable by the job (framework overheads).
-  double usable_memory_fraction = 0.92;
-};
-
-struct SimResult {
-  double makespan_ms = 0.0;
-
-  /// Busiest-GPU computation time and busiest-communication-resource time
-  /// (Fig. 8 reports per-iteration computation and communication times; with
-  /// overlap their sum exceeds the makespan).
-  double computation_time_ms = 0.0;
-  double communication_time_ms = 0.0;
-
-  /// Total busy ms per resource (indexed by ResourceModel).
-  std::vector<double> resource_busy_ms;
-
-  /// Peak memory per device, static parameters included.
-  std::vector<int64_t> peak_memory_bytes;
-  bool oom = false;
-  std::vector<cluster::DeviceId> oom_devices;
-
-  /// Per-node start times (ms); useful for timeline inspection in tests.
-  std::vector<double> start_ms;
-  std::vector<double> finish_ms;
-};
+struct SimBaseline;  // sim_core.h
 
 /// Thread-safety: run()/run_with_priorities() are pure functions of
-/// (options_, graph) — all working state lives on the call stack, so one
-/// Simulator (or many) may run concurrently from any number of threads.
-/// rl::EvalEngine relies on this to fan plan evaluations across its pool.
+/// (options_, graph) — working state lives on the call stack or in a
+/// per-thread workspace, so one Simulator (or many) may run concurrently
+/// from any number of threads. rl::EvalEngine relies on this to fan plan
+/// evaluations across its pool.
 class Simulator {
  public:
   explicit Simulator(SimOptions options = SimOptions()) : options_(options) {}
@@ -63,9 +44,33 @@ class Simulator {
   SimResult run_with_priorities(const compile::DistGraph& graph,
                                 const std::vector<double>& priorities) const;
 
+  /// Like run_with_priorities, but records an execution log into `baseline`
+  /// so later deltas of the same graph can be re-simulated incrementally.
+  /// Always uses the data-oriented core (the log is its format).
+  SimResult run_baseline(const compile::DistGraph& graph,
+                         const std::vector<double>& priorities,
+                         SimBaseline& baseline) const;
+
+  /// Incremental re-simulation of a delta of `baseline`'s graph (scaled
+  /// durations, flipped priorities, a re-compiled strategy...). Bit-identical
+  /// to run_with_priorities on `graph`; reuses the unaffected schedule
+  /// prefix when the delta leaves one, falls back to a full run otherwise.
+  SimResult resimulate(const compile::DistGraph& graph,
+                       const std::vector<double>& priorities,
+                       const SimBaseline& baseline) const;
+
  private:
   SimOptions options_;
 };
+
+/// Rejects graphs the simulator cannot execute safely: NaN/negative
+/// durations, out-of-range devices/links, collective participants outside
+/// the device range (DistGraph::add_node does not range-check participants),
+/// and non-finite priorities (a NaN priority breaks the ready queues' strict
+/// total order — see sim_order.h). Throws CheckError; called by every
+/// Simulator entry point, exercised by tests/serialize_fuzz_test.cpp.
+void validate_for_simulation(const compile::DistGraph& graph,
+                             const std::vector<double>* priorities = nullptr);
 
 /// Flags devices whose simulated peak memory exceeds the usable fraction of
 /// their capacity; sets result.oom / result.oom_devices.

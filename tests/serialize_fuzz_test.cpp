@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <typeinfo>
@@ -18,8 +19,10 @@
 
 #include "ckpt/journal.h"
 #include "cluster/cluster.h"
+#include "common/check.h"
 #include "common/record_io.h"
 #include "common/rng.h"
+#include "compile/dist_graph.h"
 #include "faults/faults.h"
 #include "server/protocol.h"
 #include "sim/plan_eval.h"
@@ -378,6 +381,170 @@ TEST(Fuzz, ServerReplyDecodeNeverCrashes) {
     } catch (const std::exception& e) {
       FAIL() << "decode_reply threw " << typeid(e).name() << ": " << e.what();
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-input fuzzer: malformed / degenerate DistGraph shapes. The
+// contract is reject-or-complete — every entry point either throws a typed
+// CheckError (validate_for_simulation) or finishes the run; it never hangs,
+// never corrupts a heap, never trips ASan/UBSan. Both implementations must
+// agree on which of the two happens, and on the result when they complete.
+
+TEST(Fuzz, SimulatorDegenerateGraphShapes) {
+  // Targeted shapes first: each either passes DistGraph::add_node and must
+  // be caught by validate_for_simulation, or completes harmlessly.
+  using compile::DistGraph;
+  using compile::DistNode;
+  using compile::NodeKind;
+
+  auto run_both = [](const DistGraph& g) {
+    // Returns true when the graph was rejected; checks both impls agree.
+    sim::SimOptions reference_options;
+    reference_options.impl = sim::SimImpl::kReference;
+    sim::SimOptions data_options;
+    data_options.impl = sim::SimImpl::kDataOriented;
+    bool reference_rejected = false, data_rejected = false;
+    double reference_ms = -1.0, data_ms = -1.0;
+    try {
+      reference_ms = sim::Simulator(reference_options).run(g).makespan_ms;
+    } catch (const CheckError&) {
+      reference_rejected = true;
+    }
+    try {
+      data_ms = sim::Simulator(data_options).run(g).makespan_ms;
+    } catch (const CheckError&) {
+      data_rejected = true;
+    }
+    EXPECT_EQ(reference_rejected, data_rejected);
+    if (!reference_rejected && !data_rejected) {
+      EXPECT_EQ(reference_ms, data_ms);
+    }
+    return reference_rejected;
+  };
+
+  {
+    // Zero-byte outputs and zero durations everywhere: must complete.
+    DistGraph g(3);
+    DistNode a;
+    a.kind = NodeKind::kCompute;
+    a.device = 0;
+    const auto ia = g.add_node(a);
+    DistNode t;
+    t.kind = NodeKind::kTransfer;
+    t.link_from = 0;
+    t.link_to = 1;
+    const auto it = g.add_node(t);
+    g.add_edge(ia, it);
+    EXPECT_FALSE(run_both(g));
+  }
+  {
+    // Self-referencing collective: participants {2, 2} — degenerate but
+    // in-range; must not hang or double-occupy a resource.
+    DistGraph g(3);
+    DistNode c;
+    c.kind = NodeKind::kCollective;
+    c.participants = {2, 2};
+    c.duration_ms = 1.0;
+    c.output_bytes = 64;
+    g.add_node(c);
+    run_both(g);  // reject or complete, both impls agreeing
+  }
+  {
+    // Empty / single-element participant lists are rejected at add_node.
+    DistNode c;
+    c.kind = NodeKind::kCollective;
+    DistGraph g(2);
+    EXPECT_THROW(g.add_node(c), CheckError);
+    c.participants = {0};
+    EXPECT_THROW(g.add_node(c), CheckError);
+  }
+  {
+    // Out-of-range collective participant passes add_node (documented) and
+    // must be rejected by validate_for_simulation in both impls.
+    DistGraph g(2);
+    DistNode c;
+    c.kind = NodeKind::kCollective;
+    c.participants = {0, 17};
+    c.duration_ms = 1.0;
+    g.add_node(c);
+    EXPECT_TRUE(run_both(g));
+  }
+  {
+    // Out-of-range transfer destination (add_node only checks >= 0, != from).
+    DistGraph g(2);
+    DistNode t;
+    t.kind = NodeKind::kTransfer;
+    t.link_from = 0;
+    t.link_to = 9;
+    t.duration_ms = 1.0;
+    g.add_node(t);
+    EXPECT_TRUE(run_both(g));
+  }
+  {
+    // NaN / negative durations smuggled in through mutable_node.
+    for (const double bad : {std::numeric_limits<double>::quiet_NaN(), -1.0}) {
+      DistGraph g(2);
+      DistNode a;
+      a.kind = NodeKind::kCompute;
+      a.device = 0;
+      a.duration_ms = 1.0;
+      const auto id = g.add_node(a);
+      g.mutable_node(id).duration_ms = bad;
+      EXPECT_TRUE(run_both(g));
+    }
+  }
+
+  // Randomized sweep: seeded graphs mixing valid nodes with the mutations
+  // above; the only allowed outcomes are typed rejection or completion.
+  Rng rng(0xF00B);
+  for (int round = 0; round < 200; ++round) {
+    const int devices = rng.uniform_int(1, 4);
+    DistGraph g(devices);
+    const int nodes = rng.uniform_int(1, 12);
+    for (int i = 0; i < nodes; ++i) {
+      DistNode n;
+      const int kind = rng.uniform_int(0, 2);
+      try {
+        if (kind == 0) {
+          n.kind = NodeKind::kCompute;
+          n.device = rng.uniform_int(0, devices);  // may be out of range
+          n.duration_ms = rng.uniform(0.0, 2.0);
+          n.output_bytes = rng.uniform_int(0, 2) == 0 ? 0 : rng.uniform_int(1, 1 << 20);
+          g.add_node(n);
+        } else if (kind == 1) {
+          n.kind = NodeKind::kTransfer;
+          n.link_from = rng.uniform_int(0, devices - 1);
+          n.link_to = rng.uniform_int(0, devices);  // may be out of range
+          n.duration_ms = rng.uniform(0.0, 2.0);
+          g.add_node(n);
+        } else {
+          n.kind = NodeKind::kCollective;
+          const int count = rng.uniform_int(0, 3);
+          for (int p = 0; p < count; ++p) {
+            n.participants.push_back(rng.uniform_int(0, devices));  // dups + range
+          }
+          n.duration_ms = rng.uniform(0.0, 2.0);
+          g.add_node(n);
+        }
+      } catch (const CheckError&) {
+        // add_node rejected the shape — a valid outcome.
+      }
+    }
+    for (int e = 0; e < nodes; ++e) {
+      if (g.node_count() < 2) break;
+      try {
+        g.add_edge(rng.uniform_int(0, g.node_count() - 1),
+                   rng.uniform_int(0, g.node_count() - 1));
+      } catch (const CheckError&) {
+      }
+    }
+    if (g.node_count() > 0 && rng.uniform_int(0, 3) == 0) {
+      g.mutable_node(rng.uniform_int(0, g.node_count() - 1)).duration_ms =
+          rng.uniform_int(0, 1) == 0 ? std::numeric_limits<double>::quiet_NaN() : -0.5;
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    run_both(g);
   }
 }
 

@@ -1,0 +1,294 @@
+// Differential wall for the data-oriented simulator core (DESIGN.md §5i).
+//
+// The reference per-node priority_queue simulator is the oracle; the flat
+// SoA core and the incremental re-simulation path must reproduce it
+// BIT-identically — makespans, busy times, peak-memory vectors and the full
+// start/finish trace are compared with exact (memcmp-grade) equality, never
+// tolerances. Scenarios are seeded and randomized: models × clusters ×
+// policies × fault scalings × single-action strategy deltas.
+//
+// ctest label: simdiff (runs under ASan/UBSan and TSan in CI).
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "faults/faults.h"
+#include "graph/training.h"
+#include "models/models.h"
+#include "profiler/hardware_model.h"
+#include "sched/scheduler.h"
+#include "sim/fault_sim.h"
+#include "sim/sim_core.h"
+#include "sim/simulator.h"
+#include "strategy/strategy.h"
+#include "test_util.h"
+
+namespace heterog {
+namespace {
+
+using sched::OrderPolicy;
+using sim::SimBaseline;
+using sim::SimImpl;
+using sim::SimOptions;
+using sim::SimResult;
+using sim::Simulator;
+
+bool bytes_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Exact equality of every observable the simulator reports. Doubles are
+/// compared as raw bytes: "close" is a bug here, the two paths must execute
+/// the same arithmetic in the same order.
+void expect_identical(const SimResult& oracle, const SimResult& candidate,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_TRUE(bytes_equal({oracle.makespan_ms}, {candidate.makespan_ms}))
+      << "makespan " << oracle.makespan_ms << " vs " << candidate.makespan_ms;
+  EXPECT_TRUE(bytes_equal({oracle.computation_time_ms}, {candidate.computation_time_ms}));
+  EXPECT_TRUE(
+      bytes_equal({oracle.communication_time_ms}, {candidate.communication_time_ms}));
+  EXPECT_TRUE(bytes_equal(oracle.resource_busy_ms, candidate.resource_busy_ms));
+  EXPECT_EQ(oracle.peak_memory_bytes, candidate.peak_memory_bytes);
+  EXPECT_EQ(oracle.oom, candidate.oom);
+  EXPECT_EQ(oracle.oom_devices, candidate.oom_devices);
+  EXPECT_TRUE(bytes_equal(oracle.start_ms, candidate.start_ms)) << "start trace";
+  EXPECT_TRUE(bytes_equal(oracle.finish_ms, candidate.finish_ms)) << "finish trace";
+}
+
+std::vector<double> priorities_for(const compile::DistGraph& graph,
+                                   OrderPolicy policy) {
+  if (policy == OrderPolicy::kRankPriority) return sched::rank_priorities(graph);
+  return std::vector<double>(static_cast<size_t>(graph.node_count()), 0.0);
+}
+
+strategy::Action random_action(std::mt19937& rng, int device_count) {
+  switch (rng() % 4) {
+    case 0:
+      return strategy::Action::dp(strategy::ReplicationMode::kEven,
+                                  strategy::CommMethod::kAllReduce);
+    case 1:
+      return strategy::Action::dp(strategy::ReplicationMode::kEven,
+                                  strategy::CommMethod::kPS);
+    case 2:
+      return strategy::Action::dp(strategy::ReplicationMode::kProportional,
+                                  strategy::CommMethod::kAllReduce);
+    default:
+      return strategy::Action::mp(static_cast<cluster::DeviceId>(rng() % device_count));
+  }
+}
+
+faults::FaultScaling random_scaling(std::mt19937& rng, int device_count) {
+  faults::FaultScaling scaling;
+  scaling.compute_slowdown.assign(static_cast<size_t>(device_count), 1.0);
+  const int slowed = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < slowed; ++i) {
+    scaling.compute_slowdown[rng() % device_count] =
+        1.2 + 0.1 * static_cast<double>(rng() % 30);
+  }
+  if (rng() % 2 == 0) {
+    faults::LinkDegradation link;
+    link.a = static_cast<cluster::DeviceId>(rng() % device_count);
+    link.b = static_cast<cluster::DeviceId>(rng() % device_count);
+    if (link.a != link.b) {
+      link.factor = 0.25 + 0.05 * static_cast<double>(rng() % 10);
+      scaling.links.push_back(link);
+    }
+  }
+  return scaling;
+}
+
+/// One randomized scenario: compile a (model, cluster, strategy) triple, then
+/// compare reference vs data-oriented vs incremental on the base graph, a
+/// fault-scaled variant, and a single-action strategy delta.
+void run_scenario(int seed, const graph::GraphDef& graph,
+                  const testing::TestRig& rig, const std::string& tag) {
+  std::mt19937 rng(static_cast<uint32_t>(seed));
+  const int devices = rig.cluster.device_count();
+
+  const auto grouping = strategy::Grouping::build(graph, *rig.costs, 32);
+  strategy::StrategyMap map =
+      strategy::StrategyMap::uniform(grouping.group_count(), random_action(rng, devices));
+  for (auto& action : map.group_actions) {
+    if (rng() % 3 == 0) action = random_action(rng, devices);
+  }
+  const auto compiled = rig.compiler->compile(graph, grouping, map);
+
+  const OrderPolicy policy =
+      rng() % 2 == 0 ? OrderPolicy::kRankPriority : OrderPolicy::kFifo;
+  SimOptions reference_options;
+  reference_options.policy = policy;
+  reference_options.impl = SimImpl::kReference;
+  reference_options.track_memory = rng() % 4 != 0;
+  SimOptions data_options = reference_options;
+  data_options.impl = SimImpl::kDataOriented;
+
+  const auto priorities = priorities_for(compiled.graph, policy);
+  const SimResult oracle =
+      Simulator(reference_options).run_with_priorities(compiled.graph, priorities);
+
+  // Data-oriented from scratch, baseline recording, and a no-op delta.
+  const SimResult data =
+      Simulator(data_options).run_with_priorities(compiled.graph, priorities);
+  expect_identical(oracle, data, tag + ": data-oriented");
+  SimBaseline baseline;
+  const SimResult recorded =
+      Simulator(data_options).run_baseline(compiled.graph, priorities, baseline);
+  expect_identical(oracle, recorded, tag + ": baseline recording");
+  const SimResult noop =
+      Simulator(data_options).resimulate(compiled.graph, priorities, baseline);
+  expect_identical(oracle, noop, tag + ": no-op delta");
+
+  // Fault-scaled delta: durations change, structure does not.
+  const faults::FaultScaling scaling = random_scaling(rng, devices);
+  const auto scaled = sim::apply_fault_scaling(compiled.graph, rig.cluster, scaling);
+  const auto scaled_priorities = priorities_for(scaled, policy);
+  const SimResult scaled_oracle =
+      Simulator(reference_options).run_with_priorities(scaled, scaled_priorities);
+  const SimResult scaled_incremental =
+      Simulator(data_options).resimulate(scaled, scaled_priorities, baseline);
+  expect_identical(scaled_oracle, scaled_incremental, tag + ": fault delta");
+
+  // Single-action strategy delta: the re-compiled graph can have a different
+  // node count; resimulate must still match a from-scratch run exactly.
+  strategy::StrategyMap flipped = map;
+  const size_t group = rng() % flipped.group_actions.size();
+  strategy::Action replacement = random_action(rng, devices);
+  flipped.group_actions[group] = replacement;
+  const auto recompiled = rig.compiler->compile(graph, grouping, flipped);
+  const auto flipped_priorities = priorities_for(recompiled.graph, policy);
+  const SimResult flipped_oracle =
+      Simulator(reference_options)
+          .run_with_priorities(recompiled.graph, flipped_priorities);
+  const SimResult flipped_incremental =
+      Simulator(data_options).resimulate(recompiled.graph, flipped_priorities, baseline);
+  expect_identical(flipped_oracle, flipped_incremental, tag + ": strategy delta");
+}
+
+/// A small randomized layered training graph: enough structural variety
+/// (fan-out, parameterless ops, mixed byte sizes) to exercise every node
+/// kind the compiler emits, cheap enough for hundreds of scenarios.
+graph::GraphDef random_training_graph(int seed) {
+  std::mt19937 rng(static_cast<uint32_t>(seed) * 2654435761u + 13u);
+  graph::GraphDef fwd("rand" + std::to_string(seed),
+                      8.0 * static_cast<double>(1 + rng() % 8));
+  const int layers = 3 + static_cast<int>(rng() % 6);
+  std::vector<graph::OpId> previous;
+  graph::OpId last = -1;
+  for (int layer = 0; layer < layers; ++layer) {
+    graph::OpDef op;
+    op.name = "l" + std::to_string(layer);
+    op.kind = layer == layers - 1 ? graph::OpKind::kLoss
+              : rng() % 2 == 0    ? graph::OpKind::kConv2D
+                                  : graph::OpKind::kMatMul;
+    op.flops_per_sample = 1e8 * static_cast<double>(1 + rng() % 40);
+    op.out_bytes_per_sample = 1024 * static_cast<int64_t>(1 + rng() % 512);
+    op.param_bytes = rng() % 4 == 0 ? 0 : (1 << 16) * static_cast<int64_t>(1 + rng() % 64);
+    const graph::OpId id = fwd.add_op(op);
+    if (last >= 0) fwd.add_edge(last, id);
+    if (!previous.empty() && rng() % 2 == 0) {
+      fwd.add_edge(previous[rng() % previous.size()], id);  // skip connection
+    }
+    previous.push_back(id);
+    last = id;
+  }
+  return graph::build_training_graph(fwd);
+}
+
+// 120 randomized small-graph scenarios on the heterogeneous 8-GPU testbed
+// and the Fig. 3 testbed — the ≥100-scenario volume wall.
+TEST(SimDiffTest, RandomizedScenariosTestbed8) {
+  testing::TestRig rig(cluster::make_paper_testbed_8gpu());
+  for (int seed = 0; seed < 60; ++seed) {
+    run_scenario(seed, random_training_graph(seed), rig,
+                 "rig8 seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimDiffTest, RandomizedScenariosFig3) {
+  testing::TestRig rig(cluster::make_fig3_testbed());
+  for (int seed = 60; seed < 120; ++seed) {
+    run_scenario(seed, random_training_graph(seed), rig,
+                 "fig3 seed " + std::to_string(seed));
+  }
+}
+
+// Full paper models on both testbeds — depth over volume: thousands of
+// compiled nodes per scenario, every transfer/collective/PS shape the real
+// search produces.
+TEST(SimDiffTest, PaperModels) {
+  struct Case {
+    models::ModelKind kind;
+    int layers;
+    double batch;
+  };
+  const Case cases[] = {
+      {models::ModelKind::kMobileNetV2, 0, 64.0},
+      {models::ModelKind::kVgg19, 0, 32.0},
+      {models::ModelKind::kBertLarge, 12, 24.0},
+  };
+  testing::TestRig rig8(cluster::make_paper_testbed_8gpu());
+  testing::TestRig rig3(cluster::make_fig3_testbed());
+  int seed = 1000;
+  for (const auto& c : cases) {
+    const auto graph = models::build_training(c.kind, c.layers, c.batch);
+    run_scenario(seed++, graph, rig8, std::string(models::model_kind_name(c.kind)) + "/rig8");
+    run_scenario(seed++, graph, rig3, std::string(models::model_kind_name(c.kind)) + "/fig3");
+  }
+}
+
+// The memoised fault runner must agree with from-scratch simulation of every
+// scaled variant regardless of implementation: kReference recomputes, the
+// default incrementally replays the unscaled baseline.
+TEST(SimDiffTest, FaultInjectorPathsAgree) {
+  testing::TestRig rig(cluster::make_paper_testbed_8gpu());
+  const auto graph = testing::make_toy_training_graph(64.0);
+  const auto compiled = rig.compile_uniform(
+      graph, strategy::Action::dp(strategy::ReplicationMode::kEven,
+                                  strategy::CommMethod::kAllReduce));
+
+  faults::FaultPlan plan;
+  faults::FaultEvent slow;
+  slow.kind = faults::FaultKind::kStraggler;
+  slow.device = 2;
+  slow.onset_step = 1;
+  slow.slowdown = 3.0;
+  plan.events.push_back(slow);
+
+  SimOptions reference_options;
+  reference_options.impl = SimImpl::kReference;
+  SimOptions data_options;
+  data_options.impl = SimImpl::kDataOriented;
+  sim::FaultInjector reference_injector(compiled.graph, rig.cluster, plan,
+                                        reference_options);
+  sim::FaultInjector data_injector(compiled.graph, rig.cluster, plan, data_options);
+  for (int step = 0; step < 4; ++step) {
+    const auto reference_obs = reference_injector.attempt_step(step, 0);
+    const auto data_obs = data_injector.attempt_step(step, 0);
+    ASSERT_EQ(reference_obs.completed, data_obs.completed) << "step " << step;
+    EXPECT_TRUE(bytes_equal({reference_obs.makespan_ms}, {data_obs.makespan_ms}))
+        << "step " << step;
+    EXPECT_TRUE(bytes_equal(reference_obs.device_busy_ms, data_obs.device_busy_ms))
+        << "step " << step;
+  }
+
+  const auto reference_run = sim::simulate_with_faults(compiled.graph, rig.cluster,
+                                                       plan, 4, reference_options);
+  const auto data_run =
+      sim::simulate_with_faults(compiled.graph, rig.cluster, plan, 4, data_options);
+  ASSERT_EQ(reference_run.steps.size(), data_run.steps.size());
+  EXPECT_TRUE(bytes_equal({reference_run.total_ms}, {data_run.total_ms}));
+  for (size_t i = 0; i < reference_run.steps.size(); ++i) {
+    EXPECT_TRUE(bytes_equal({reference_run.steps[i].makespan_ms},
+                            {data_run.steps[i].makespan_ms}))
+        << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace heterog

@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
 #include "common/check.h"
 
 #include "sched/scheduler.h"
+#include "sim/sim_order.h"
 #include "sim/simulator.h"
 #include "test_util.h"
 
@@ -218,6 +225,175 @@ TEST(OptimalExhaustive, RejectsLargeGraphs) {
   DistGraph g(1);
   for (int i = 0; i < 12; ++i) add_compute(g, "n", 0, 1.0);
   EXPECT_THROW(optimal_makespan_exhaustive(g, 9), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-order regression wall (sim_order.h). Every comparator is a
+// strict TOTAL order — ties on the primary key break on a unique secondary
+// key — so the pop sequence of a heap is fixed by the comparator alone and a
+// heap-implementation change (priority_queue -> flat push/pop_heap, or any
+// future layout) can never reorder equal-key entries. These tests fail if a
+// tiebreak is ever weakened back to a partial order.
+
+TEST(SchedulingOrder, EventOrderIsTimeThenNode) {
+  const Event early{1.0, 9};
+  const Event late{2.0, 1};
+  EXPECT_TRUE(late > early);
+  EXPECT_FALSE(early > late);
+
+  // Equal times: the node id decides — never "equivalent".
+  const Event a{1.0, 3};
+  const Event b{1.0, 7};
+  EXPECT_TRUE(b > a);
+  EXPECT_FALSE(a > b);
+  EXPECT_FALSE(a > a);  // irreflexive (strict)
+
+  // The pop sequence of a heap of equal-time events is the node-id order,
+  // whatever order the events were pushed in.
+  std::vector<int> push_orders[] = {{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}};
+  for (const auto& order : push_orders) {
+    std::vector<Event> heap;
+    for (const int node : order) {
+      heap.push_back(Event{5.0, node});
+      std::push_heap(heap.begin(), heap.end(), EventAfter());
+    }
+    std::vector<int> popped;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), EventAfter());
+      popped.push_back(heap.back().node);
+      heap.pop_back();
+    }
+    EXPECT_EQ(popped, (std::vector<int>{0, 1, 2, 3}));
+  }
+}
+
+TEST(SchedulingOrder, RankOrderTieBreaksByArrivalSequence) {
+  // Equal priorities pop in arrival order (sequence is unique per entry).
+  const ReadyEntry first{3.0, 1, 10};
+  const ReadyEntry second{3.0, 2, 20};
+  EXPECT_TRUE(RankOrder()(second, first));   // first pops before second
+  EXPECT_FALSE(RankOrder()(first, second));
+  EXPECT_FALSE(RankOrder()(first, first));   // irreflexive (strict)
+
+  // Pop sequence is independent of heap layout: (priority desc, sequence asc)
+  // regardless of push order.
+  std::vector<int64_t> push_orders[] = {{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}};
+  for (const auto& order : push_orders) {
+    std::vector<ReadyEntry> heap;
+    for (const int64_t seq : order) {
+      heap.push_back(ReadyEntry{seq < 2 ? 7.0 : 4.0, seq,
+                                static_cast<DistNodeId>(100 + seq)});
+      std::push_heap(heap.begin(), heap.end(), RankOrder());
+    }
+    std::vector<int64_t> popped;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), RankOrder());
+      popped.push_back(heap.back().sequence);
+      heap.pop_back();
+    }
+    EXPECT_EQ(popped, (std::vector<int64_t>{0, 1, 2, 3}));
+  }
+
+  // FIFO: pure arrival order.
+  EXPECT_TRUE(FifoOrder()(second, first));
+  EXPECT_FALSE(FifoOrder()(first, second));
+}
+
+// End-to-end: two predecessors completing at the same instant feed two
+// equal-priority ops on one GPU. The (time, node) event order and the
+// (priority, sequence) ready order pin the winner; both implementations must
+// agree exactly.
+TEST(SchedulingOrder, EqualTimeCompletionsScheduleIdenticallyOnBothImpls) {
+  DistGraph g(3);
+  const auto a = add_compute(g, "a", 0, 2.0);  // finish exactly at t=2
+  const auto b = add_compute(g, "b", 1, 2.0);  // finish exactly at t=2
+  const auto c = add_compute(g, "c", 2, 1.0);
+  const auto d = add_compute(g, "d", 2, 1.0);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+
+  for (const auto policy : {sched::OrderPolicy::kRankPriority, sched::OrderPolicy::kFifo}) {
+    SimOptions reference_options;
+    reference_options.policy = policy;
+    reference_options.impl = SimImpl::kReference;
+    SimOptions data_options = reference_options;
+    data_options.impl = SimImpl::kDataOriented;
+    // Equal priorities everywhere: only the pinned tiebreaks order the work.
+    const std::vector<double> priorities(static_cast<size_t>(g.node_count()), 1.0);
+    const auto reference = Simulator(reference_options).run_with_priorities(g, priorities);
+    const auto data = Simulator(data_options).run_with_priorities(g, priorities);
+
+    // a and b complete at the same time; a (lower node id) drains first, so c
+    // becomes ready before d and wins the sequence tiebreak on device 2.
+    EXPECT_DOUBLE_EQ(reference.start_ms[static_cast<size_t>(c)], 2.0);
+    EXPECT_DOUBLE_EQ(reference.start_ms[static_cast<size_t>(d)], 3.0);
+    EXPECT_EQ(reference.start_ms, data.start_ms);
+    EXPECT_EQ(reference.finish_ms, data.finish_ms);
+    EXPECT_DOUBLE_EQ(reference.makespan_ms, data.makespan_ms);
+  }
+}
+
+// A NaN priority would break the ready queues' strict total order; both
+// entry points must reject it up front rather than corrupt a heap.
+TEST(SchedulingOrder, NanPriorityRejected) {
+  DistGraph g(1);
+  add_compute(g, "a", 0, 1.0);
+  const std::vector<double> priorities{std::numeric_limits<double>::quiet_NaN()};
+  for (const auto impl : {SimImpl::kReference, SimImpl::kDataOriented}) {
+    SimOptions options;
+    options.impl = impl;
+    EXPECT_THROW(Simulator(options).run_with_priorities(g, priorities), CheckError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler invariants pinned on BOTH implementations (the transition wall):
+// whatever the plan, no resource ever runs two units of work at once and the
+// makespan can never beat the critical path.
+
+TEST(SchedulerInvariants, NonOverlapAndCriticalPathHoldOnBothImpls) {
+  heterog::testing::TestRig rig{cluster::make_paper_testbed_8gpu()};
+  const auto graph = heterog::testing::make_toy_training_graph(64.0);
+  const strategy::Action actions[] = {
+      strategy::Action::dp(strategy::ReplicationMode::kEven,
+                           strategy::CommMethod::kAllReduce),
+      strategy::Action::dp(strategy::ReplicationMode::kEven, strategy::CommMethod::kPS),
+      strategy::Action::mp(3),
+  };
+  for (const auto& action : actions) {
+    const auto compiled = rig.compile_uniform(graph, action);
+    const auto ranks = sched::compute_ranks(compiled.graph);
+    double critical_path = 0.0;
+    for (const double r : ranks) critical_path = std::max(critical_path, r);
+
+    for (const auto impl : {SimImpl::kReference, SimImpl::kDataOriented}) {
+      SCOPED_TRACE(impl == SimImpl::kReference ? "reference" : "data-oriented");
+      SimOptions options;
+      options.impl = impl;
+      const auto result = Simulator(options).run(compiled.graph);
+
+      EXPECT_GE(result.makespan_ms + 1e-6, critical_path);
+
+      std::map<int, std::vector<std::pair<double, double>>> intervals;
+      std::vector<int> occupied;
+      for (DistNodeId id = 0; id < compiled.graph.node_count(); ++id) {
+        const auto& node = compiled.graph.node(id);
+        if (node.duration_ms <= 0.0) continue;
+        compiled.graph.resources().resources_of(node, occupied);
+        for (const int r : occupied) {
+          intervals[r].emplace_back(result.start_ms[static_cast<size_t>(id)],
+                                    result.finish_ms[static_cast<size_t>(id)]);
+        }
+      }
+      for (auto& [resource, spans] : intervals) {
+        std::sort(spans.begin(), spans.end());
+        for (size_t i = 1; i < spans.size(); ++i) {
+          ASSERT_GE(spans[i].first + 1e-9, spans[i - 1].second)
+              << "overlap on resource " << resource;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
