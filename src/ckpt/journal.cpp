@@ -133,6 +133,18 @@ std::string to_text(const RunJournal& j) {
   for (const auto& [pair, scale] : j.cluster.host_link_scales()) {
     os << "link " << pair.first << " " << pair.second << " " << fmt(scale) << "\n";
   }
+  // Optional switch-topology lines: only written when a topology is attached,
+  // so flat-cluster journals stay byte-identical to the pre-topology format.
+  if (j.cluster.has_topology()) {
+    const auto& topo = j.cluster.topology();
+    os << "tor " << fmt(topo.tor_gbps) << "\n";
+    for (size_t h = 0; h < topo.rack_of_host.size(); ++h) {
+      os << "rack " << h << " " << topo.rack_of_host[h] << "\n";
+    }
+    for (const auto& tier : topo.tiers) {
+      os << "tier " << fmt(tier.gbps) << " " << tier.group_size << "\n";
+    }
+  }
   os << "cluster-end\n";
   os << "fingerprint " << crc32_hex(j.cluster_crc) << "\n";
 
@@ -240,7 +252,7 @@ RunJournal parse_journal(const std::string& text) {
     if (!(is >> d.id >> model >> d.host >> d.gflops_per_ms >> d.memory_bytes)) {
       fail("malformed device line");
     }
-    if (model < 0 || model > static_cast<int>(cluster::GpuModel::kP100)) {
+    if (model < 0 || model >= cluster::kGpuModelCount) {
       fail("unknown GPU model id " + std::to_string(model));
     }
     d.model = static_cast<cluster::GpuModel>(model);
@@ -255,10 +267,32 @@ RunJournal parse_journal(const std::string& text) {
     if (!(is >> a >> b >> factor)) fail("malformed link line");
     link_scales[{a, b}] = factor;
   }
+  // Optional topology block (absent in pre-topology journals).
+  cluster::TopologySpec topo;
+  if (!in.done() && in.peek().rfind("tor ", 0) == 0) {
+    topo.tor_gbps = parse_num<double>(in.field("tor"), "tor");
+    topo.rack_of_host.assign(hosts.size(), 0);
+    while (!in.done() && in.peek().rfind("rack ", 0) == 0) {
+      std::istringstream is(in.field("rack"));
+      int h = -1, rack = -1;
+      if (!(is >> h >> rack)) fail("malformed rack line");
+      if (h < 0 || h >= static_cast<int>(hosts.size())) {
+        fail("rack line references unknown host " + std::to_string(h));
+      }
+      topo.rack_of_host[static_cast<size_t>(h)] = rack;
+    }
+    while (!in.done() && in.peek().rfind("tier ", 0) == 0) {
+      std::istringstream is(in.field("tier"));
+      cluster::SwitchTierSpec tier;
+      if (!(is >> tier.gbps >> tier.group_size)) fail("malformed tier line");
+      topo.tiers.push_back(tier);
+    }
+  }
   in.expect("cluster-end");
   try {
     j.cluster = cluster::ClusterSpec(std::move(hosts), std::move(devices), switch_gbps,
                                      std::move(link_scales));
+    if (!topo.empty()) j.cluster = j.cluster.with_topology(std::move(topo));
   } catch (const cluster::ClusterSpecError& e) {
     fail(std::string("embedded cluster invalid: ") + e.what());
   }

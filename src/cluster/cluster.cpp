@@ -17,6 +17,8 @@ const char* gpu_model_name(GpuModel model) {
       return "GTX 1080Ti";
     case GpuModel::kP100:
       return "Tesla P100";
+    case GpuModel::kA100:
+      return "A100";
   }
   return "Unknown GPU";
 }
@@ -32,6 +34,8 @@ double base_gflops_per_ms(GpuModel model) {
       return 7.0;
     case GpuModel::kP100:
       return 7.8;
+    case GpuModel::kA100:
+      return 28.0;
   }
   return 1.0;
 }
@@ -45,8 +49,28 @@ int64_t memory_capacity_bytes(GpuModel model) {
       return 11 * kGiB;
     case GpuModel::kP100:
       return 12 * kGiB;
+    case GpuModel::kA100:
+      return 40 * kGiB;
   }
   return 8 * kGiB;
+}
+
+int TopologySpec::rack_count() const {
+  int max_rack = -1;
+  for (const int r : rack_of_host) max_rack = std::max(max_rack, r);
+  return max_rack + 1;
+}
+
+int TopologySpec::common_tier(int rack_a, int rack_b) const {
+  if (rack_a == rack_b) return -1;  // ToR-local; callers handle separately
+  int group_a = rack_a;
+  int group_b = rack_b;
+  for (size_t t = 0; t < tiers.size(); ++t) {
+    group_a /= tiers[t].group_size;
+    group_b /= tiers[t].group_size;
+    if (group_a == group_b) return static_cast<int>(t);
+  }
+  return -1;  // only meet at the root (flat core switch)
 }
 
 double gbps_to_bytes_per_ms(double gbps) {
@@ -96,6 +120,7 @@ ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> de
     if (d.gflops_per_ms == 0.0) d.gflops_per_ms = base_gflops_per_ms(d.model);
     if (d.memory_bytes == 0) d.memory_bytes = memory_capacity_bytes(d.model);
   }
+  recompute_derived();
 }
 
 ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> devices,
@@ -116,6 +141,38 @@ ClusterSpec::ClusterSpec(std::vector<HostSpec> hosts, std::vector<DeviceSpec> de
     }
   }
   link_scale_ = std::move(link_scales);
+  recompute_derived();
+}
+
+ClusterSpec ClusterSpec::with_topology(TopologySpec topo) const {
+  if (!topo.empty()) {
+    if (static_cast<int>(topo.rack_of_host.size()) != host_count()) {
+      throw ClusterSpecError(
+          "with_topology: rack assignment covers " +
+          std::to_string(topo.rack_of_host.size()) + " hosts, cluster has " +
+          std::to_string(host_count()));
+    }
+    for (size_t h = 0; h < topo.rack_of_host.size(); ++h) {
+      if (topo.rack_of_host[h] < 0) {
+        throw ClusterSpecError("with_topology: host " + std::to_string(h) +
+                               " has negative rack id");
+      }
+    }
+    if (topo.tor_gbps <= 0.0) {
+      throw ClusterSpecError("with_topology: ToR bandwidth must be positive, got " +
+                             std::to_string(topo.tor_gbps));
+    }
+    for (size_t t = 0; t < topo.tiers.size(); ++t) {
+      if (topo.tiers[t].gbps <= 0.0 || topo.tiers[t].group_size < 1) {
+        throw ClusterSpecError("with_topology: switch tier " + std::to_string(t) +
+                               " needs positive bandwidth and group size >= 1");
+      }
+    }
+  }
+  ClusterSpec out = *this;
+  out.topology_ = std::move(topo);
+  out.recompute_derived();
+  return out;
 }
 
 const DeviceSpec& ClusterSpec::device(DeviceId id) const {
@@ -146,6 +203,36 @@ std::vector<DeviceId> ClusterSpec::devices_on_host(int host_id) const {
   return out;
 }
 
+double ClusterSpec::inter_host_path_gbps(int host_a, int host_b) const {
+  if (!inter_host_gbps_.empty()) {
+    return inter_host_gbps_[static_cast<size_t>(host_a) * hosts_.size() +
+                            static_cast<size_t>(host_b)];
+  }
+  return compute_inter_host_path_gbps(host_a, host_b);
+}
+
+double ClusterSpec::compute_inter_host_path_gbps(int host_a, int host_b) const {
+  double switch_path = switch_gbps_;
+  if (!topology_.empty()) {
+    const int rack_a = topology_.rack_of_host[static_cast<size_t>(host_a)];
+    const int rack_b = topology_.rack_of_host[static_cast<size_t>(host_b)];
+    switch_path = topology_.tor_gbps;
+    if (rack_a != rack_b) {
+      // Traffic leaves both racks' ToR switches and crosses every tier up to
+      // the lowest common switch; the path is capped by the narrowest hop.
+      const int top = topology_.common_tier(rack_a, rack_b);
+      const size_t crossed =
+          top >= 0 ? static_cast<size_t>(top) + 1 : topology_.tiers.size();
+      for (size_t t = 0; t < crossed; ++t) {
+        switch_path = std::min(switch_path, topology_.tiers[t].gbps);
+      }
+      // Racks that only meet at the root go through the flat core switch.
+      if (top < 0) switch_path = std::min(switch_path, switch_gbps_);
+    }
+  }
+  return std::min({host(host_a).nic_gbps, host(host_b).nic_gbps, switch_path});
+}
+
 double ClusterSpec::link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const {
   check(a != b, "link_bandwidth: same device");
   const DeviceSpec& da = device(a);  // throws ClusterSpecError on bad ids
@@ -156,9 +243,7 @@ double ClusterSpec::link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const {
   if (da.host == db.host) {
     return gbps_to_bytes_per_ms(host(da.host).intra_gbps) * scale;
   }
-  const double path_gbps = std::min(
-      {host(da.host).nic_gbps, host(db.host).nic_gbps, switch_gbps_});
-  return gbps_to_bytes_per_ms(path_gbps) * scale;
+  return gbps_to_bytes_per_ms(inter_host_path_gbps(da.host, db.host)) * scale;
 }
 
 double ClusterSpec::link_latency_ms(DeviceId a, DeviceId b) const {
@@ -166,30 +251,61 @@ double ClusterSpec::link_latency_ms(DeviceId a, DeviceId b) const {
 }
 
 double ClusterSpec::relative_power(DeviceId id) const {
-  // Validate the id (and non-emptiness) before touching devices_.front().
-  const DeviceSpec& dev = device(id);
-  double slowest = devices_.front().gflops_per_ms;
-  for (const auto& d : devices_) slowest = std::min(slowest, d.gflops_per_ms);
-  return dev.gflops_per_ms / slowest;
+  return device(id).gflops_per_ms / slowest_gflops_;
 }
 
-double ClusterSpec::total_relative_power() const {
-  double total = 0.0;
-  for (const auto& d : devices_) total += relative_power(d.id);
-  return total;
-}
+double ClusterSpec::total_relative_power() const { return total_relative_power_; }
 
 double ClusterSpec::min_link_bandwidth_bytes_per_ms() const {
-  double min_bw = -1.0;
-  for (const auto& a : devices_) {
-    for (const auto& b : devices_) {
-      if (a.id == b.id) continue;
-      const double bw = link_bandwidth_bytes_per_ms(a.id, b.id);
-      if (min_bw < 0.0 || bw < min_bw) min_bw = bw;
+  check(min_link_bandwidth_ > 0.0, "min_link_bandwidth: cluster has a single device");
+  return min_link_bandwidth_;
+}
+
+void ClusterSpec::recompute_derived() {
+  // Host-pair path table first: the min-bandwidth walk below reads it.
+  inter_host_gbps_.assign(hosts_.size() * hosts_.size(), 0.0);
+  for (const auto& ha : hosts_) {
+    for (const auto& hb : hosts_) {
+      inter_host_gbps_[static_cast<size_t>(ha.id) * hosts_.size() +
+                       static_cast<size_t>(hb.id)] =
+          compute_inter_host_path_gbps(ha.id, hb.id);
     }
   }
-  check(min_bw > 0.0, "min_link_bandwidth: cluster has a single device");
-  return min_bw;
+
+  double slowest = devices_.front().gflops_per_ms;
+  for (const auto& d : devices_) slowest = std::min(slowest, d.gflops_per_ms);
+  slowest_gflops_ = slowest;
+  double total = 0.0;
+  for (const auto& d : devices_) total += d.gflops_per_ms / slowest;
+  total_relative_power_ = total;
+
+  // Min link bandwidth over device pairs == min over host pairs with a
+  // device-pair witness: intra-host pairs need a host with >= 2 devices,
+  // inter-host pairs any two populated hosts. O(H^2 + D) instead of O(D^2).
+  std::vector<int> devices_on(hosts_.size(), 0);
+  for (const auto& d : devices_) ++devices_on[static_cast<size_t>(d.host)];
+  double min_bw = -1.0;
+  const auto consider = [&](double bw) {
+    if (min_bw < 0.0 || bw < min_bw) min_bw = bw;
+  };
+  for (const auto& h : hosts_) {
+    if (devices_on[static_cast<size_t>(h.id)] < 2) continue;
+    double scale = 1.0;
+    const auto it = link_scale_.find({h.id, h.id});
+    if (it != link_scale_.end()) scale = it->second;
+    consider(gbps_to_bytes_per_ms(h.intra_gbps) * scale);
+  }
+  for (const auto& ha : hosts_) {
+    if (devices_on[static_cast<size_t>(ha.id)] == 0) continue;
+    for (const auto& hb : hosts_) {
+      if (hb.id <= ha.id || devices_on[static_cast<size_t>(hb.id)] == 0) continue;
+      double scale = 1.0;
+      const auto it = link_scale_.find({ha.id, hb.id});
+      if (it != link_scale_.end()) scale = it->second;
+      consider(gbps_to_bytes_per_ms(inter_host_path_gbps(ha.id, hb.id)) * scale);
+    }
+  }
+  min_link_bandwidth_ = min_bw;
 }
 
 ClusterSpec ClusterSpec::remove_device(DeviceId id) const {
@@ -222,6 +338,7 @@ ClusterSpec ClusterSpec::remove_device(DeviceId id) const {
     devices[i].host = host_map[static_cast<size_t>(devices[i].host)];
   }
 
+  const int new_host_count = static_cast<int>(hosts.size());
   ClusterSpec out(std::move(hosts), std::move(devices), switch_gbps_);
   for (const auto& [pair, scale] : link_scale_) {
     const int ha = host_map[static_cast<size_t>(pair.first)];
@@ -229,6 +346,19 @@ ClusterSpec ClusterSpec::remove_device(DeviceId id) const {
     if (ha < 0 || hb < 0) continue;
     out.link_scale_[std::minmax(ha, hb)] = scale;
   }
+  if (!topology_.empty()) {
+    // Surviving hosts keep their rack (and therefore their switch path);
+    // rack ids are not re-densified so tier grouping stays stable.
+    TopologySpec topo = topology_;
+    topo.rack_of_host.assign(static_cast<size_t>(new_host_count), 0);
+    for (size_t old_host = 0; old_host < host_map.size(); ++old_host) {
+      const int new_id = host_map[old_host];
+      if (new_id < 0) continue;
+      topo.rack_of_host[static_cast<size_t>(new_id)] = topology_.rack_of_host[old_host];
+    }
+    out.topology_ = std::move(topo);
+  }
+  out.recompute_derived();
   return out;
 }
 
@@ -245,12 +375,18 @@ ClusterSpec ClusterSpec::degrade_link(DeviceId a, DeviceId b, double factor) con
   ClusterSpec out = *this;
   auto [it, inserted] = out.link_scale_.try_emplace(key, factor);
   if (!inserted) it->second *= factor;
+  out.recompute_derived();
   return out;
 }
 
 std::string ClusterSpec::summary() const {
   std::ostringstream os;
-  os << device_count() << " GPUs on " << host_count() << " hosts:";
+  os << device_count() << " GPUs on " << host_count() << " hosts";
+  if (has_topology()) {
+    os << " in " << topology_.rack_count() << " racks ("
+       << (topology_.tiers.size() + 1) << " switch levels)";
+  }
+  os << ":";
   for (const auto& d : devices_) {
     os << " G" << d.id << "=" << gpu_model_name(d.model) << "(host" << d.host << ")";
   }
@@ -282,6 +418,21 @@ uint32_t cluster_fingerprint(const ClusterSpec& cluster) {
   for (const auto& [pair, scale] : cluster.host_link_scales()) {
     os << ";l" << pair.first << "-" << pair.second << ":";
     num(scale);
+  }
+  // Topology section only when attached, so flat-cluster fingerprints (and
+  // every plan/journal written before topologies existed) stay stable.
+  if (cluster.has_topology()) {
+    const TopologySpec& topo = cluster.topology();
+    os << ";tor=";
+    num(topo.tor_gbps);
+    for (size_t h = 0; h < topo.rack_of_host.size(); ++h) {
+      os << ";r" << h << ":" << topo.rack_of_host[h];
+    }
+    for (size_t t = 0; t < topo.tiers.size(); ++t) {
+      os << ";t" << t << ":";
+      num(topo.tiers[t].gbps);
+      os << ":" << topo.tiers[t].group_size;
+    }
   }
   return crc32(os.str());
 }
@@ -406,7 +557,18 @@ ClusterSpec scale_network_bandwidth(const ClusterSpec& base, double factor) {
   check(factor > 0.0, "scale_network_bandwidth: factor must be positive");
   std::vector<HostSpec> hosts = base.hosts();
   for (auto& h : hosts) h.nic_gbps *= factor;
-  return ClusterSpec(std::move(hosts), base.devices(), base.switch_gbps() * factor);
+  // Accumulated degradations are part of the network being scaled — dropping
+  // them silently (the original behaviour) made a degraded-then-scaled
+  // cluster look healthy.
+  ClusterSpec out(std::move(hosts), base.devices(), base.switch_gbps() * factor,
+                  base.host_link_scales());
+  if (base.has_topology()) {
+    TopologySpec topo = base.topology();
+    topo.tor_gbps *= factor;
+    for (auto& tier : topo.tiers) tier.gbps *= factor;
+    out = out.with_topology(std::move(topo));
+  }
+  return out;
 }
 
 }  // namespace heterog::cluster

@@ -32,7 +32,11 @@ class ClusterSpecError : public CheckError {
 
 using DeviceId = int32_t;
 
-enum class GpuModel : uint8_t { kV100, kGtx1080Ti, kP100 };
+enum class GpuModel : uint8_t { kV100, kGtx1080Ti, kP100, kA100 };
+
+/// Number of GpuModel enumerators; serialisers validate stored model ids
+/// against this instead of naming the last enumerator.
+inline constexpr int kGpuModelCount = 4;
 
 const char* gpu_model_name(GpuModel model);
 
@@ -61,6 +65,35 @@ struct DeviceSpec {
   int64_t memory_bytes = 0;
 };
 
+/// One switch tier above the top-of-rack layer, nearest-to-rack first. A
+/// switch at tier i joins `group_size` groups of tier i-1 (tier 0 groups
+/// racks); traffic crossing it is capped at `gbps`. Oversubscribed fabrics
+/// have decreasing gbps as tiers go up.
+struct SwitchTierSpec {
+  double gbps = 100.0;
+  int group_size = 2;
+};
+
+/// Optional multi-level switch topology. When attached to a ClusterSpec the
+/// inter-host path bandwidth becomes min(NICs, ToR, every tier crossed up to
+/// the lowest common switch) instead of min(NICs, flat switch). An empty
+/// topology (no rack assignment) preserves the flat single-switch model.
+struct TopologySpec {
+  /// Rack id of each host (indexed by host id). Empty = flat cluster.
+  std::vector<int> rack_of_host;
+  /// Bandwidth of the per-rack (top-of-rack) switch in Gbps.
+  double tor_gbps = 100.0;
+  /// Switch tiers above the racks; may be empty, in which case inter-rack
+  /// traffic goes through the ClusterSpec's flat switch ("core").
+  std::vector<SwitchTierSpec> tiers;
+
+  bool empty() const { return rack_of_host.empty(); }
+  int rack_count() const;
+  /// Tier index (0-based) of the lowest common switch above two racks, or
+  /// -1 when they only meet at the root (the flat core switch).
+  int common_tier(int rack_a, int rack_b) const;
+};
+
 class ClusterSpec {
  public:
   ClusterSpec() = default;
@@ -85,6 +118,17 @@ class ClusterSpec {
   bool same_host(DeviceId a, DeviceId b) const;
   std::vector<DeviceId> devices_on_host(int host) const;
 
+  /// Multi-level switch topology (empty for flat clusters). Attached via
+  /// with_topology; carried through remove_device / degrade_link.
+  const TopologySpec& topology() const { return topology_; }
+  bool has_topology() const { return !topology_.empty(); }
+
+  /// Copy of this cluster with the given switch topology attached (or
+  /// detached, when `topo` is empty). Throws ClusterSpecError when the rack
+  /// assignment does not cover every host, a rack id is negative, or a
+  /// tier/ToR bandwidth or group size is non-positive.
+  ClusterSpec with_topology(TopologySpec topo) const;
+
   /// Effective bandwidth of the (a -> b) link in bytes per millisecond.
   double link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const;
 
@@ -92,15 +136,18 @@ class ClusterSpec {
   double link_latency_ms(DeviceId a, DeviceId b) const;
 
   /// Compute power of `id` relative to the slowest device (>= 1.0). Used for
-  /// the paper's proportional ("CP") replica allocation.
+  /// the paper's proportional ("CP") replica allocation. O(1): the slowest
+  /// device is cached at construction (the Graph Compiler calls this per
+  /// device per op, which was O(D^2) per op with the original linear scan).
   double relative_power(DeviceId id) const;
 
   /// Sum of relative powers; proportional share of device d is
-  /// relative_power(d) / total_relative_power().
+  /// relative_power(d) / total_relative_power(). O(1) (cached).
   double total_relative_power() const;
 
   /// Minimum link bandwidth over all ordered device pairs (ring AllReduce
-  /// bottleneck term).
+  /// bottleneck term). O(1): cached at construction from an O(H^2) host-pair
+  /// sweep (bandwidth only depends on the host pair, not the device pair).
   double min_link_bandwidth_bytes_per_ms() const;
 
   std::string summary() const;
@@ -126,11 +173,32 @@ class ClusterSpec {
   ClusterSpec degrade_link(DeviceId a, DeviceId b, double factor) const;
 
  private:
+  /// Recomputes the cached derived values (slowest device, total relative
+  /// power, min link bandwidth). Must be called after any mutation of
+  /// devices_ / hosts_ / link_scale_ / topology_ outside the 3-arg ctor.
+  void recompute_derived();
+  /// Bandwidth of the switch path between two (validated) host ids in Gbps,
+  /// before degrade_link scaling: the flat switch, or the topology walk.
+  /// Served from the precomputed host-pair table once recompute_derived ran.
+  double inter_host_path_gbps(int host_a, int host_b) const;
+  /// The uncached tier walk behind inter_host_path_gbps.
+  double compute_inter_host_path_gbps(int host_a, int host_b) const;
+
   std::vector<HostSpec> hosts_;
   std::vector<DeviceSpec> devices_;
   double switch_gbps_ = 100.0;
   /// Bandwidth scale per unordered host pair (degrade_link), default 1.0.
   std::map<std::pair<int, int>, double> link_scale_;
+  TopologySpec topology_;
+
+  // Derived caches (recompute_derived).
+  double slowest_gflops_ = 1.0;
+  double total_relative_power_ = 0.0;
+  double min_link_bandwidth_ = -1.0;
+  // [a * host_count + b] -> inter_host_path_gbps(a, b): the NIC/switch-tier
+  // min-walk, precomputed so per-transfer bandwidth lookups in the profiler
+  // and compiler are O(1) even on multi-tier topologies.
+  std::vector<double> inter_host_gbps_;
 };
 
 /// Convenience: converts Gbps (network convention, bits) to bytes per ms.

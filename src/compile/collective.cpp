@@ -59,6 +59,77 @@ double hierarchical_allreduce_ms(int64_t bytes,
   return intra_reduce_ms + inter_ms + intra_reduce_ms;
 }
 
+double rack_hierarchical_allreduce_ms(int64_t bytes,
+                                      const std::vector<cluster::DeviceId>& devices,
+                                      const profiler::CostProvider& costs) {
+  check(devices.size() >= 2, "rack_hierarchical_allreduce_ms: need >= 2 devices");
+  const auto& cluster = costs.cluster();
+  check(cluster.has_topology(),
+        "rack_hierarchical_allreduce_ms: cluster has no switch topology");
+  const auto& racks = cluster.topology().rack_of_host;
+
+  std::map<int, std::vector<cluster::DeviceId>> by_host;
+  for (cluster::DeviceId d : devices) by_host[cluster.device(d).host].push_back(d);
+
+  // Phase 1: intra-host reduce to the host chief (as in hierarchical_*).
+  double intra_reduce_ms = 0.0;
+  std::map<int, std::vector<cluster::DeviceId>> chiefs_by_rack;
+  for (const auto& [host, local] : by_host) {
+    chiefs_by_rack[racks[static_cast<size_t>(host)]].push_back(local.front());
+    double host_ms = 0.0;
+    for (size_t i = 1; i < local.size(); ++i) {
+      host_ms = std::max(host_ms, costs.transfer_time_ms(bytes, local[i], local[0]));
+    }
+    intra_reduce_ms = std::max(intra_reduce_ms, host_ms);
+  }
+  check(chiefs_by_rack.size() >= 2,
+        "rack_hierarchical_allreduce_ms: participants span a single rack");
+
+  // Phase 2: intra-rack reduce to the rack chief. Traffic stays behind each
+  // ToR, so racks proceed in parallel; like phase 1, the phase is bounded by
+  // the slowest single full-payload transfer.
+  double rack_reduce_ms = 0.0;
+  std::vector<cluster::DeviceId> rack_chiefs;
+  for (const auto& [rack, chiefs] : chiefs_by_rack) {
+    (void)rack;
+    rack_chiefs.push_back(chiefs.front());
+    double rack_ms = 0.0;
+    for (size_t i = 1; i < chiefs.size(); ++i) {
+      rack_ms = std::max(rack_ms, costs.transfer_time_ms(bytes, chiefs[i], chiefs[0]));
+    }
+    rack_reduce_ms = std::max(rack_reduce_ms, rack_ms);
+  }
+
+  // Phase 3: ring AllReduce across rack chiefs — the only phase that crosses
+  // the (possibly oversubscribed) aggregation/core tiers.
+  const double inter_ms = ring_allreduce_ms(bytes, rack_chiefs, costs);
+
+  // Phases 4/5: mirrored intra-rack and intra-host broadcasts.
+  return intra_reduce_ms + rack_reduce_ms + inter_ms + rack_reduce_ms + intra_reduce_ms;
+}
+
+namespace {
+
+/// True when the cluster has a topology and `devices` span >= 2 racks — the
+/// precondition for the rack-aware structure to be meaningful.
+bool spans_multiple_racks(const std::vector<cluster::DeviceId>& devices,
+                          const cluster::ClusterSpec& cluster) {
+  if (!cluster.has_topology()) return false;
+  const auto& racks = cluster.topology().rack_of_host;
+  int first_rack = -1;
+  for (cluster::DeviceId d : devices) {
+    const int rack = racks[static_cast<size_t>(cluster.device(d).host)];
+    if (first_rack < 0) {
+      first_rack = rack;
+    } else if (rack != first_rack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 AllReduceEstimate estimate_allreduce(int64_t bytes,
                                      const std::vector<cluster::DeviceId>& devices,
                                      const profiler::CostProvider& costs) {
@@ -71,6 +142,16 @@ AllReduceEstimate estimate_allreduce(int64_t bytes,
   } else {
     est.time_ms = ring;
     est.structure = AllReduceStructure::kRing;
+  }
+  // The rack-aware structure only enters the contest on multi-rack
+  // topologies, so flat clusters keep the original two-way choice (and the
+  // plans pinned against it) bit-for-bit.
+  if (spans_multiple_racks(devices, costs.cluster())) {
+    const double rack = rack_hierarchical_allreduce_ms(bytes, devices, costs);
+    if (rack < est.time_ms) {
+      est.time_ms = rack;
+      est.structure = AllReduceStructure::kRackHierarchical;
+    }
   }
   // Per-collective launch/synchronisation overhead: every NCCL operation
   // rendezvouses all participants before data moves, a fixed cost that makes

@@ -14,7 +14,7 @@
 
 namespace heterog::compile {
 
-enum class AllReduceStructure { kRing, kHierarchical };
+enum class AllReduceStructure { kRing, kHierarchical, kRackHierarchical };
 
 struct AllReduceEstimate {
   double time_ms = 0.0;
@@ -32,12 +32,23 @@ double hierarchical_allreduce_ms(int64_t bytes,
                                  const std::vector<cluster::DeviceId>& devices,
                                  const profiler::CostProvider& costs);
 
+/// Rack-aware three-level structure for clusters with an attached
+/// TopologySpec: intra-host reduce to host chiefs, intra-rack reduce to rack
+/// chiefs (behind the ToR, off the oversubscribed core), inter-rack ring
+/// over rack chiefs, then the mirrored broadcasts. Requires a topology with
+/// >= 2 racks among the participants; throws CheckError otherwise.
+double rack_hierarchical_allreduce_ms(int64_t bytes,
+                                      const std::vector<cluster::DeviceId>& devices,
+                                      const profiler::CostProvider& costs);
+
 /// Fixed per-collective launch/rendezvous overhead added by
 /// estimate_allreduce (NCCL kernels synchronise all participants).
 inline constexpr double kCollectiveLaunchOverheadMs = 1.0;
 
-/// The better of the two structures for this payload and device set, plus
-/// the launch overhead.
+/// The better structure for this payload and device set, plus the launch
+/// overhead. The rack-aware structure is only considered when the cluster
+/// has a multi-rack topology attached, so flat clusters keep the original
+/// two-way choice bit-for-bit.
 AllReduceEstimate estimate_allreduce(int64_t bytes,
                                      const std::vector<cluster::DeviceId>& devices,
                                      const profiler::CostProvider& costs);

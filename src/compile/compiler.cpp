@@ -688,9 +688,11 @@ class CompilerPass {
     if (result_.graph.static_param_bytes().empty()) {
       result_.graph.add_static_param_bytes(0, 0);
     }
-    std::string error;
-    check_lazy(result_.graph.validate(&error),
-               [&] { return "compiled graph invalid: " + error; });
+    if (compiler_.options().validate_output) {
+      std::string error;
+      check_lazy(result_.graph.validate(&error),
+                 [&] { return "compiled graph invalid: " + error; });
+    }
   }
 
   const profiler::CostProvider& costs_;

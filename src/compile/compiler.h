@@ -67,6 +67,11 @@ struct CompilerOptions {
   /// durations and edge order are identical either way; traces and
   /// deployment tooling compile with names on.
   bool emit_node_names = true;
+  /// Run DistGraph::validate over the compiled graph (an O(V+E) internal
+  /// consistency assert; it never alters the output). The search hot loop
+  /// disables it — at 1000 GPUs the pass costs real milliseconds per
+  /// candidate — while every other caller keeps the safety net.
+  bool validate_output = true;
 };
 
 /// Thread-safety: compile() only reads costs_/options_ and builds its output

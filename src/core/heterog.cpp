@@ -48,6 +48,13 @@ PlanResult make_plan(const graph::GraphDef& training_graph,
 
   rl::TrainConfig train_config = config.train;
   train_config.episodes = rl_episodes;
+  // The heuristic-only reduce below reads only `oom` and the feasible
+  // winner's time, so rejected candidates can skip the steady-state unroll
+  // (~40% of an evaluation at 1000 GPUs). The RL search keeps the full
+  // evaluation: OOM rewards feed its gradients.
+  if (!(with_rl && train_config.episodes > 0)) {
+    train_config.skip_unroll_on_oom = true;
+  }
   if (config.plan_store != nullptr) {
     // The engine's plan_key deliberately omits cluster / cost-model identity
     // (its LRU is scoped per Trainer); the durable store is not, so salt its

@@ -229,7 +229,12 @@ cluster::ClusterSpec degraded_cluster(const cluster::ClusterSpec& base,
       }
     }
   }
-  cluster::ClusterSpec out(std::move(hosts), std::move(devices), base.switch_gbps());
+  // Rebuild with the base cluster's accumulated link degradations and switch
+  // topology intact — dropping them here silently un-degraded previously
+  // degraded clusters and flattened generated multi-rack fabrics.
+  cluster::ClusterSpec out(std::move(hosts), std::move(devices), base.switch_gbps(),
+                           base.host_link_scales());
+  if (base.has_topology()) out = out.with_topology(base.topology());
   for (const auto& l : scaling.links) {
     if (l.a < 0 || l.a >= base.device_count() || l.b < 0 || l.b >= base.device_count()) {
       scaling_fail("degraded_cluster", scaling.step,

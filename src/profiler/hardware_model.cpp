@@ -112,6 +112,28 @@ double class_rate(GpuModel model, OpClass cls) {
           return 4.5 / 1.4;
       }
       break;
+    case GpuModel::kA100:
+      // ~2x V100 on tensor-core classes, less on memory-bound ops (HBM2e
+      // bandwidth grows ~1.7x, not 2x).
+      switch (cls) {
+        case OpClass::kMatMul:
+          return 14.0 * 2.0;
+        case OpClass::kConv:
+          return 13.0 * 2.0;
+        case OpClass::kConvBpFilter:
+          return 12.4 * 2.0;
+        case OpClass::kConvBpInput:
+          return 13.2 * 2.0;
+        case OpClass::kConv1D:
+          return 10.0 * 2.0;
+        case OpClass::kDepthwise:
+          return 5.6 * 2.0;
+        case OpClass::kMemoryBound:
+          return 3.0 * 1.7;
+        case OpClass::kOther:
+          return 4.5 * 2.0;
+      }
+      break;
   }
   return 1.0;
 }
@@ -128,6 +150,8 @@ double saturation_knee_flops(GpuModel model) {
       return 2.5e6;
     case GpuModel::kP100:
       return 3.0e6;
+    case GpuModel::kA100:
+      return 1.2e7;
   }
   return 2.0e6;
 }

@@ -8,10 +8,12 @@ namespace heterog::profiler {
 
 double CostModel::op_time_ms(const graph::OpDef& op, double batch,
                              cluster::DeviceId dev) const {
-  check(dev >= 0 && dev < cluster_->device_count(), "op_time_ms: bad device");
+  check(dev >= 0 && dev < device_count_, "op_time_ms: bad device");
   if (op.id >= 0 && op.id < profiled_op_count_) {
-    const double t = op_fits_[static_cast<size_t>(op.id)][static_cast<size_t>(dev)]
-                         .predict(batch);
+    const double t =
+        op_fits_[static_cast<size_t>(op.id) * static_cast<size_t>(device_count_) +
+                 static_cast<size_t>(dev)]
+            .predict(batch);
     return std::max(t, 0.0);
   }
   // Synthesised op: fall back to the per-kind flops fit.
@@ -35,15 +37,17 @@ double CostModel::transfer_time_ms(int64_t bytes, cluster::DeviceId from,
 
 const LinearFit& CostModel::op_fit(graph::OpId id, cluster::DeviceId dev) const {
   check(id >= 0 && id < profiled_op_count_, "op_fit: unprofiled op");
-  check(dev >= 0 && dev < cluster_->device_count(), "op_fit: bad device");
-  return op_fits_[static_cast<size_t>(id)][static_cast<size_t>(dev)];
+  check(dev >= 0 && dev < device_count_, "op_fit: bad device");
+  return op_fits_[static_cast<size_t>(id) * static_cast<size_t>(device_count_) +
+                  static_cast<size_t>(dev)];
 }
 
 const LinearFit& CostModel::link_fit(cluster::DeviceId from, cluster::DeviceId to) const {
   check(from != to, "link_fit: same device");
-  check(from >= 0 && from < cluster_->device_count(), "link_fit: bad from");
-  check(to >= 0 && to < cluster_->device_count(), "link_fit: bad to");
-  return link_fits_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+  check(from >= 0 && from < device_count_, "link_fit: bad from");
+  check(to >= 0 && to < device_count_, "link_fit: bad to");
+  return link_fits_[static_cast<size_t>(from) * static_cast<size_t>(device_count_) +
+                    static_cast<size_t>(to)];
 }
 
 Profiler::Profiler(const HardwareModel& hardware, uint64_t seed, ProfilerOptions options)
@@ -55,11 +59,14 @@ Profiler::Profiler(const HardwareModel& hardware, uint64_t seed, ProfilerOptions
 
 std::shared_ptr<const CostModel> Profiler::profile(const graph::GraphDef& graph) {
   const auto& cluster = hardware_->cluster();
+  const int n = cluster.device_count();
   auto model = std::make_shared<CostModel>();
   model->cluster_ = &cluster;
   model->profiled_op_count_ = graph.op_count();
-  model->op_fits_.assign(static_cast<size_t>(graph.op_count()),
-                         std::vector<LinearFit>(static_cast<size_t>(cluster.device_count())));
+  model->device_count_ = cluster.device_count();
+  model->op_fits_.assign(static_cast<size_t>(graph.op_count()) *
+                             static_cast<size_t>(cluster.device_count()),
+                         LinearFit{});
 
   // Per-kind accumulation for the synthesised-op fallback fits.
   std::map<std::pair<int, int>, std::pair<std::vector<double>, std::vector<double>>>
@@ -85,8 +92,8 @@ std::shared_ptr<const CostModel> Profiler::profile(const graph::GraphDef& graph)
         bucket.first.push_back(std::max(op.flops(batch), 0.0));
         bucket.second.push_back(measured);
       }
-      model->op_fits_[static_cast<size_t>(op.id)][static_cast<size_t>(dev.id)] =
-          fit_linear(xs, ys);
+      model->op_fits_[static_cast<size_t>(op.id) * static_cast<size_t>(n) +
+                      static_cast<size_t>(dev.id)] = fit_linear(xs, ys);
     }
   }
 
@@ -97,9 +104,8 @@ std::shared_ptr<const CostModel> Profiler::profile(const graph::GraphDef& graph)
   }
 
   // Link probes.
-  const int n = cluster.device_count();
-  model->link_fits_.assign(static_cast<size_t>(n),
-                           std::vector<LinearFit>(static_cast<size_t>(n)));
+  model->link_fits_.assign(static_cast<size_t>(n) * static_cast<size_t>(n),
+                           LinearFit{});
   for (const auto& a : cluster.devices()) {
     for (const auto& b : cluster.devices()) {
       if (a.id == b.id) continue;
@@ -114,8 +120,8 @@ std::shared_ptr<const CostModel> Profiler::profile(const graph::GraphDef& graph)
         xs.push_back(static_cast<double>(bytes));
         ys.push_back(total / options_.repetitions);
       }
-      model->link_fits_[static_cast<size_t>(a.id)][static_cast<size_t>(b.id)] =
-          fit_linear(xs, ys);
+      model->link_fits_[static_cast<size_t>(a.id) * static_cast<size_t>(n) +
+                        static_cast<size_t>(b.id)] = fit_linear(xs, ys);
     }
   }
 

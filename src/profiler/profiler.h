@@ -58,12 +58,15 @@ class CostModel final : public CostProvider {
 
   const cluster::ClusterSpec* cluster_ = nullptr;
   int profiled_op_count_ = 0;
-  // [op][device] -> time(batch) fit.
-  std::vector<std::vector<LinearFit>> op_fits_;
+  int device_count_ = 0;
+  // [op * device_count + device] -> time(batch) fit. Flat storage: at 1000
+  // devices the per-row vector indirection costs a cache miss per lookup in
+  // the compile hot path.
+  std::vector<LinearFit> op_fits_;
   // [kind][device] -> time(flops) fit, fallback for synthesised ops.
   std::map<std::pair<int, int>, LinearFit> kind_fits_;
-  // [from][to] -> time(bytes) fit.
-  std::vector<std::vector<LinearFit>> link_fits_;
+  // [from * device_count + to] -> time(bytes) fit, flat for the same reason.
+  std::vector<LinearFit> link_fits_;
 };
 
 /// Profiles a training graph against the (synthetic) hardware and fits the

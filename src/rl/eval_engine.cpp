@@ -44,6 +44,9 @@ uint64_t EvalEngine::plan_key(const graph::GraphDef& graph,
   h.mix_signed(options.compiler.allreduce_fusion_bytes);
   h.mix_double(options.compiler.ps_rpc_overhead_ms);
   h.mix_signed(options.compiler.forced_ps_device);
+  // Mixed only when set so keys (and durable-store entries) from runs
+  // predating the flag stay valid for the default behaviour.
+  if (options.skip_unroll_on_oom) h.mix(0x6f6f6d736b6970ULL);  // "oomskip"
   return h.digest();
 }
 

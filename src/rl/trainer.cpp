@@ -60,6 +60,7 @@ Evaluation Trainer::evaluate(const graph::GraphDef& graph,
   sim::PlanEvalOptions options;
   options.compiler = config_.compiler;
   options.sim_impl = config_.sim_impl;
+  options.skip_unroll_on_oom = config_.skip_unroll_on_oom;
   return to_evaluation(engine_->evaluate(graph, grouping, strategy, options));
 }
 
@@ -69,6 +70,7 @@ std::vector<Evaluation> Trainer::evaluate_batch(
   sim::PlanEvalOptions options;
   options.compiler = config_.compiler;
   options.sim_impl = config_.sim_impl;
+  options.skip_unroll_on_oom = config_.skip_unroll_on_oom;
   const auto plans = engine_->evaluate_batch(graph, grouping, strategies, options);
   std::vector<Evaluation> evals;
   evals.reserve(plans.size());

@@ -58,6 +58,13 @@ struct TrainConfig {
   /// bit-identical (tests/sim_diff_test.cpp walls it); kReference exists for
   /// differential testing and as the perf baseline in bench_eval_engine.
   sim::SimImpl sim_impl = sim::SimImpl::kDataOriented;
+  /// Skip the steady-state unroll for OOM strategies, reporting the cold
+  /// makespan instead (sim::PlanEvalOptions::skip_unroll_on_oom). Changes
+  /// time_ms/reward for infeasible strategies, so the RL search leaves it
+  /// off; heterog::make_plan's heuristic-only path — which reads only the
+  /// feasible winner's time — turns it on to halve the cost of rejected
+  /// candidates on large clusters.
+  bool skip_unroll_on_oom = false;
   /// Reuse the engine's cross-evaluation unroll scratch. Off reproduces the
   /// scratch-free engine for perf baselines; results are identical either
   /// way (the scratch is pure memoization, not part of any cache key).

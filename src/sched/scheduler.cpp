@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/check.h"
 
@@ -77,16 +78,20 @@ std::vector<double> rank_priorities(const compile::DistGraph& graph,
   // out as gradients become available.
   const auto& resources = graph.resources();
   std::vector<std::pair<compile::DistNodeId, compile::DistNodeId>> chains;
-  std::vector<compile::DistNodeId> prev_on_resource(
-      static_cast<size_t>(resources.resource_count()), -1);
+  // Keyed map instead of a dense per-resource vector: resource_count() is
+  // O(D^2) in cluster size (every ordered device pair is a link resource),
+  // so a 1000-GPU cluster would allocate and zero ~1M slots per call even
+  // though only the handful of resources with communication nodes matter.
+  std::unordered_map<int, compile::DistNodeId> prev_on_resource;
   for (const auto id : topo) {
     const auto& node = graph.node(id);
     if (!node.is_communication()) continue;
     const int res = resources.resource_of(node);
-    if (prev_on_resource[static_cast<size_t>(res)] >= 0) {
-      chains.emplace_back(prev_on_resource[static_cast<size_t>(res)], id);
+    const auto [it, inserted] = prev_on_resource.try_emplace(res, id);
+    if (!inserted) {
+      chains.emplace_back(it->second, id);
+      it->second = id;
     }
-    prev_on_resource[static_cast<size_t>(res)] = id;
   }
   return compute_ranks(graph, topo, chains);
 }

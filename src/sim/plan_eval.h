@@ -60,6 +60,14 @@ struct PlanEvalOptions {
   /// rl::EvalEngine's cache key: only the deployment path (which bypasses
   /// the cache) turns it on.
   bool collect_utilization = false;
+  /// Report the cold makespan as per_iteration_ms for OOM plans instead of
+  /// simulating the steady-state unroll — an infeasible plan's steady-state
+  /// rate is never deployed, and at 1000 GPUs the unroll is ~40% of an
+  /// evaluation. Off by default because it changes per_iteration_ms (and
+  /// hence RL rewards) for OOM strategies; the heuristic-only planning path
+  /// — which only ever reads `oom` and the winner's time — turns it on.
+  /// IS part of rl::EvalEngine's cache key (it changes results).
+  bool skip_unroll_on_oom = false;
   /// Simulator implementation used for every simulation inside the
   /// evaluation. Deliberately NOT part of rl::EvalEngine's cache key either:
   /// the two implementations are bit-identical (tests/sim_diff_test.cpp

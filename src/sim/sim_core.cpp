@@ -146,7 +146,16 @@ void event_loop(const CompactGraph& g, const std::vector<double>& priorities,
   // frees, and can be dropped here.
   auto dispatch_all = [&](double time) {
     auto& d = ws.dirty;
-    std::sort(d.begin(), d.end());
+    // Ascending order matches the reference's 0..R-1 scan. The dirty set is
+    // tiny (the resources freed/pushed since the last pass) and this runs
+    // once per event batch, so an inline insertion sort beats std::sort's
+    // call overhead.
+    for (size_t i = 1; i < d.size(); ++i) {
+      const int32_t x = d[i];
+      size_t j = i;
+      for (; j > 0 && d[j - 1] > x; --j) d[j] = d[j - 1];
+      d[j] = x;
+    }
     const size_t snapshot = d.size();
     for (size_t i = 0; i < snapshot; ++i) dispatch_resource(d[i], time);
     for (const int32_t res : d) ws.in_dirty[static_cast<size_t>(res)] = 0;

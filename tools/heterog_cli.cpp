@@ -3,6 +3,8 @@
 //   heterog_cli models
 //   heterog_cli clusters
 //   heterog_cli plan     --model vgg19 --batch 192 [--cluster 8gpu]
+//                        [--cluster-gen rack16|pod64|pod256|dc1000|spec.json]
+//                        [--cluster-seed N]
 //                        [--layers L] [--episodes 150] [--groups 48]
 //                        [--out plan.txt] [--threads N] [--eval-cache N]
 //                        [--fault-plan faults.json] [--steps 20]
@@ -52,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/topology.h"
 #include "common/shutdown.h"
 #include "core/heterog.h"
 #include "faults/chaos.h"
@@ -195,6 +198,43 @@ std::optional<cluster::ClusterSpec> find_cluster(const std::string& name) {
   return std::nullopt;
 }
 
+/// Resolves the target cluster: --cluster-gen takes a generator preset name
+/// ("rack16", ..., "dc1000") or a JSON options file (docs/topology.md), with
+/// --cluster-seed overriding the spec's seed; otherwise --cluster names a
+/// fixed testbed. Prints the failure and returns nullopt (a usage error).
+std::optional<cluster::ClusterSpec> resolve_cluster(const Args& args) {
+  if (args.has("cluster-gen")) {
+    const std::string gen = args.get("cluster-gen");
+    try {
+      auto options = cluster::topo_preset(gen);
+      if (!options) options = cluster::load_topo_gen_options(gen);
+      if (args.has("cluster-seed")) {
+        const int seed = args.get_int("cluster-seed", -1);
+        if (seed < 0) {
+          std::fprintf(stderr, "error: --cluster-seed needs a non-negative integer\n");
+          return std::nullopt;
+        }
+        options->seed = static_cast<uint64_t>(seed);
+      }
+      return cluster::generate_cluster(*options);
+    } catch (const cluster::ClusterSpecError& e) {
+      std::fprintf(stderr, "error: --cluster-gen %s: %s\n", gen.c_str(), e.what());
+      return std::nullopt;
+    }
+  }
+  return find_cluster(args.get("cluster", "8gpu"));
+}
+
+/// The cluster name recorded in telemetry / printed in summaries.
+std::string cluster_label(const Args& args) {
+  if (args.has("cluster-gen")) {
+    std::string label = "gen:" + args.get("cluster-gen");
+    if (args.has("cluster-seed")) label += "@" + args.get("cluster-seed");
+    return label;
+  }
+  return args.get("cluster", "8gpu");
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -202,6 +242,7 @@ int usage() {
       "<models|clusters|plan|search|run|resume|serve|evaluate|baselines|report> "
       "[flags]\n"
       "  plan      --model NAME --batch B [--cluster 8gpu|12gpu|fig3|homog8]\n"
+      "            [--cluster-gen PRESET|FILE.json] [--cluster-seed N]\n"
       "            [--layers L] [--episodes N] [--groups N] [--out FILE]\n"
       "            [--threads N] [--eval-cache N]\n"
       "            [--fault-plan FILE] [--steps N]\n"
@@ -228,7 +269,13 @@ int usage() {
       "\n"
       "--metrics streams JSONL telemetry (docs/observability.md); `report`\n"
       "renders it as a run report. --plan-store persists evaluated plans\n"
-      "across invocations (docs/persistence.md).\n");
+      "across invocations (docs/persistence.md).\n"
+      "\n"
+      "--cluster-gen generates a rack/pod-structured cluster from a preset\n"
+      "(rack16|pod64|pod256|dc1000) or a JSON spec file (docs/topology.md);\n"
+      "--cluster-seed overrides the spec's seed. Same spec + seed -> the\n"
+      "byte-identical cluster, on every run, in `plan`, `run`, `evaluate`\n"
+      "and `baselines`.\n");
   return 1;
 }
 
@@ -280,13 +327,18 @@ int cmd_clusters() {
     const auto c = find_cluster(name);
     std::printf("%-8s %s\n", name, c->summary().c_str());
   }
+  std::printf("generator presets (--cluster-gen NAME [--cluster-seed N]):\n");
+  for (const auto& name : cluster::topo_preset_names()) {
+    const auto c = cluster::generate_cluster(*cluster::topo_preset(name));
+    std::printf("%-8s %s\n", name.c_str(), c.summary().c_str());
+  }
   return 0;
 }
 
 int cmd_plan(const Args& args) {
   const auto model = find_model(args.get("model"));
   const double batch = std::atof(args.get("batch", "0").c_str());
-  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  const auto cluster_spec = resolve_cluster(args);
   if (!model || batch <= 0.0 || !cluster_spec) return usage();
 
   const int layers = args.get_int("layers", model->default_layers);
@@ -318,7 +370,7 @@ int cmd_plan(const Args& args) {
   copts.meta = {{"model", model->name},
                 {"layers", std::to_string(layers)},
                 {"batch", args.get("batch")},
-                {"cluster", args.get("cluster", "8gpu")}};
+                {"cluster", cluster_label(args)}};
 
   // Same fail-fast treatment for the fault plan.
   faults::FaultPlan fault_plan;
@@ -345,7 +397,7 @@ int cmd_plan(const Args& args) {
       [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
       config);
   std::printf("model=%s layers=%d batch=%g cluster=%s\n", model->name, layers, batch,
-              args.get("cluster", "8gpu").c_str());
+              cluster_label(args).c_str());
   std::printf("plan: %.1f ms / iteration, feasible=%s\n", runner.per_iteration_ms(),
               runner.feasible() ? "yes" : "no");
   const auto& search = runner.search_result();
@@ -420,7 +472,7 @@ int cmd_run(const Args& args) {
   install_shutdown_handlers();
   const auto model = find_model(args.get("model"));
   const double batch = std::atof(args.get("batch", "0").c_str());
-  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  const auto cluster_spec = resolve_cluster(args);
   if (!model || batch <= 0.0 || !cluster_spec) return usage();
   const int layers = args.get_int("layers", model->default_layers);
 
@@ -479,7 +531,7 @@ int cmd_run(const Args& args) {
   copts.meta = {{"model", model->name},
                 {"layers", std::to_string(layers)},
                 {"batch", args.get("batch")},
-                {"cluster", args.get("cluster", "8gpu")}};
+                {"cluster", cluster_label(args)}};
 
   faults::FaultPlan fault_plan;
   if (args.has("fault-plan")) {
@@ -510,7 +562,7 @@ int cmd_run(const Args& args) {
       [&] { return models::build_forward(model->kind, layers, batch); }, *cluster_spec,
       config);
   std::printf("model=%s layers=%d batch=%g cluster=%s health=%s\n", model->name,
-              layers, batch, args.get("cluster", "8gpu").c_str(),
+              layers, batch, cluster_label(args).c_str(),
               config.health.enabled ? "on" : "off");
   std::printf("plan: %.1f ms / iteration, feasible=%s\n", runner.per_iteration_ms(),
               runner.feasible() ? "yes" : "no");
@@ -697,7 +749,7 @@ std::optional<strategy::Action> parse_uniform_strategy(const std::string& name) 
 int cmd_evaluate(const Args& args) {
   const auto model = find_model(args.get("model"));
   const double batch = std::atof(args.get("batch", "0").c_str());
-  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  const auto cluster_spec = resolve_cluster(args);
   if (!model || batch <= 0.0 || !cluster_spec) return usage();
   const int layers = args.get_int("layers", model->default_layers);
   const int micro_batches = args.get_int("microbatches", 1);
@@ -795,7 +847,7 @@ int cmd_evaluate(const Args& args) {
 int cmd_baselines(const Args& args) {
   const auto model = find_model(args.get("model"));
   const double batch = std::atof(args.get("batch", "0").c_str());
-  const auto cluster_spec = find_cluster(args.get("cluster", "8gpu"));
+  const auto cluster_spec = resolve_cluster(args);
   if (!model || batch <= 0.0 || !cluster_spec) return usage();
   const int layers = args.get_int("layers", model->default_layers);
 
