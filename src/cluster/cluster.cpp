@@ -61,6 +61,26 @@ int TopologySpec::rack_count() const {
   return max_rack + 1;
 }
 
+int TopologySpec::switch_count(int level) const {
+  if (empty() || level < 0 || level > static_cast<int>(tiers.size())) return 0;
+  // Group index of rack r at tier t is r / prod(group_size[0..t]); iterated
+  // ceil-division gives the group count exactly.
+  int groups = rack_count();
+  for (int t = 0; t < level; ++t) {
+    const int gs = std::max(1, tiers[static_cast<size_t>(t)].group_size);
+    groups = (groups + gs - 1) / gs;
+  }
+  return groups;
+}
+
+int TopologySpec::group_of_rack(int rack, int level) const {
+  int group = rack;
+  for (int t = 0; t < level && t < static_cast<int>(tiers.size()); ++t) {
+    group /= std::max(1, tiers[static_cast<size_t>(t)].group_size);
+  }
+  return group;
+}
+
 int TopologySpec::common_tier(int rack_a, int rack_b) const {
   if (rack_a == rack_b) return -1;  // ToR-local; callers handle separately
   int group_a = rack_a;
@@ -171,7 +191,41 @@ ClusterSpec ClusterSpec::with_topology(TopologySpec topo) const {
   }
   ClusterSpec out = *this;
   out.topology_ = std::move(topo);
+  // Switch degradations are coordinates into the topology being replaced;
+  // carrying them onto a different switch graph would scale the wrong
+  // switches silently.
+  out.switch_scale_.clear();
   out.recompute_derived();
+  return out;
+}
+
+double ClusterSpec::switch_scale(int level, int index) const {
+  const auto it = switch_scale_.find({level, index});
+  return it != switch_scale_.end() ? it->second : 1.0;
+}
+
+std::vector<std::pair<int, int>> ClusterSpec::switches_on_path(int host_a,
+                                                               int host_b) const {
+  host(host_a);  // validates (throws ClusterSpecError on bad ids)
+  host(host_b);
+  std::vector<std::pair<int, int>> out;
+  if (topology_.empty() || host_a == host_b) return out;
+  const int rack_a = topology_.rack_of_host[static_cast<size_t>(host_a)];
+  const int rack_b = topology_.rack_of_host[static_cast<size_t>(host_b)];
+  out.emplace_back(0, rack_a);
+  if (rack_a == rack_b) return out;
+  out.emplace_back(0, rack_b);
+  const int top = topology_.common_tier(rack_a, rack_b);
+  const size_t crossed =
+      top >= 0 ? static_cast<size_t>(top) + 1 : topology_.tiers.size();
+  int group_a = rack_a;
+  int group_b = rack_b;
+  for (size_t t = 0; t < crossed; ++t) {
+    group_a /= std::max(1, topology_.tiers[t].group_size);
+    group_b /= std::max(1, topology_.tiers[t].group_size);
+    out.emplace_back(static_cast<int>(t) + 1, group_a);
+    if (group_a != group_b) out.emplace_back(static_cast<int>(t) + 1, group_b);
+  }
   return out;
 }
 
@@ -216,15 +270,29 @@ double ClusterSpec::compute_inter_host_path_gbps(int host_a, int host_b) const {
   if (!topology_.empty()) {
     const int rack_a = topology_.rack_of_host[static_cast<size_t>(host_a)];
     const int rack_b = topology_.rack_of_host[static_cast<size_t>(host_b)];
-    switch_path = topology_.tor_gbps;
+    // Each hop runs at its nominal bandwidth times its degrade_switch scale
+    // (1.0 when undegraded, so undegraded clusters price bit-identically).
+    switch_path = topology_.tor_gbps * switch_scale(0, rack_a);
     if (rack_a != rack_b) {
+      switch_path =
+          std::min(switch_path, topology_.tor_gbps * switch_scale(0, rack_b));
       // Traffic leaves both racks' ToR switches and crosses every tier up to
       // the lowest common switch; the path is capped by the narrowest hop.
       const int top = topology_.common_tier(rack_a, rack_b);
       const size_t crossed =
           top >= 0 ? static_cast<size_t>(top) + 1 : topology_.tiers.size();
+      int group_a = rack_a;
+      int group_b = rack_b;
       for (size_t t = 0; t < crossed; ++t) {
-        switch_path = std::min(switch_path, topology_.tiers[t].gbps);
+        group_a /= std::max(1, topology_.tiers[t].group_size);
+        group_b /= std::max(1, topology_.tiers[t].group_size);
+        const int level = static_cast<int>(t) + 1;
+        switch_path = std::min(
+            switch_path, topology_.tiers[t].gbps * switch_scale(level, group_a));
+        if (group_a != group_b) {
+          switch_path = std::min(
+              switch_path, topology_.tiers[t].gbps * switch_scale(level, group_b));
+        }
       }
       // Racks that only meet at the root go through the flat core switch.
       if (top < 0) switch_path = std::min(switch_path, switch_gbps_);
@@ -357,6 +425,8 @@ ClusterSpec ClusterSpec::remove_device(DeviceId id) const {
       topo.rack_of_host[static_cast<size_t>(new_id)] = topology_.rack_of_host[old_host];
     }
     out.topology_ = std::move(topo);
+    // Switch coordinates key off rack ids, which survive unchanged.
+    out.switch_scale_ = switch_scale_;
   }
   out.recompute_derived();
   return out;
@@ -374,6 +444,33 @@ ClusterSpec ClusterSpec::degrade_link(DeviceId a, DeviceId b, double factor) con
   const auto key = std::minmax(device(a).host, device(b).host);
   ClusterSpec out = *this;
   auto [it, inserted] = out.link_scale_.try_emplace(key, factor);
+  if (!inserted) it->second *= factor;
+  out.recompute_derived();
+  return out;
+}
+
+ClusterSpec ClusterSpec::degrade_switch(int level, int index, double factor) const {
+  if (!has_topology()) {
+    throw ClusterSpecError("degrade_switch: cluster has no switch topology");
+  }
+  if (factor <= 0.0 || factor > 1.0) {
+    throw ClusterSpecError("degrade_switch: factor must be in (0, 1], got " +
+                           std::to_string(factor));
+  }
+  if (level < 0 || level >= topology_.level_count()) {
+    throw ClusterSpecError("degrade_switch: level " + std::to_string(level) +
+                           " out of range [0, " +
+                           std::to_string(topology_.level_count()) + ")");
+  }
+  const int count = topology_.switch_count(level);
+  if (index < 0 || index >= count) {
+    throw ClusterSpecError("degrade_switch: switch index " + std::to_string(index) +
+                           " out of range [0, " + std::to_string(count) +
+                           ") at level " + std::to_string(level));
+  }
+  ClusterSpec out = *this;
+  auto [it, inserted] =
+      out.switch_scale_.try_emplace(std::pair<int, int>{level, index}, factor);
   if (!inserted) it->second *= factor;
   out.recompute_derived();
   return out;
@@ -432,6 +529,12 @@ uint32_t cluster_fingerprint(const ClusterSpec& cluster) {
       os << ";t" << t << ":";
       num(topo.tiers[t].gbps);
       os << ":" << topo.tiers[t].group_size;
+    }
+    // Only degraded switches contribute, so undegraded fingerprints (and
+    // every plan/journal written before switch faults existed) stay stable.
+    for (const auto& [coord, scale] : cluster.switch_scales()) {
+      os << ";w" << coord.first << "-" << coord.second << ":";
+      num(scale);
     }
   }
   return crc32(os.str());

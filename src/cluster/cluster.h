@@ -92,6 +92,17 @@ struct TopologySpec {
   /// Tier index (0-based) of the lowest common switch above two racks, or
   /// -1 when they only meet at the root (the flat core switch).
   int common_tier(int rack_a, int rack_b) const;
+
+  /// Addressable switch levels: level 0 is the per-rack ToR layer, level k in
+  /// [1, tiers.size()] is tiers[k-1]. The flat core switch beyond the last
+  /// tier is not addressable (it has no (level, index) coordinate).
+  int level_count() const { return 1 + static_cast<int>(tiers.size()); }
+  /// Number of switches at `level`: rack_count() ToRs at level 0, one switch
+  /// per tier-(level-1) group above. 0 for an out-of-range level.
+  int switch_count(int level) const;
+  /// Group index of `rack` at `level` — i.e. which level-`level` switch its
+  /// northbound traffic crosses. `rack` itself at level 0.
+  int group_of_rack(int rack, int level) const;
 };
 
 class ClusterSpec {
@@ -126,8 +137,25 @@ class ClusterSpec {
   /// Copy of this cluster with the given switch topology attached (or
   /// detached, when `topo` is empty). Throws ClusterSpecError when the rack
   /// assignment does not cover every host, a rack id is negative, or a
-  /// tier/ToR bandwidth or group size is non-positive.
+  /// tier/ToR bandwidth or group size is non-positive. Accumulated
+  /// degrade_switch scales are dropped — they are coordinates into the old
+  /// topology; re-apply them against the new one if needed.
   ClusterSpec with_topology(TopologySpec topo) const;
+
+  /// Accumulated degrade_switch factors keyed by (level, index); 1.0 entries
+  /// are not stored. Exposed for serialisation and fingerprinting.
+  const std::map<std::pair<int, int>, double>& switch_scales() const {
+    return switch_scale_;
+  }
+  /// Effective bandwidth scale of the (level, index) switch (1.0 when
+  /// undegraded). Does not validate the coordinate.
+  double switch_scale(int level, int index) const;
+
+  /// The (level, index) switches the host-pair path crosses, in walk order:
+  /// both ToRs, then one switch per side per tier up to (and including) the
+  /// lowest common switch. Empty for same-host pairs and flat clusters.
+  /// Throws ClusterSpecError on bad host ids.
+  std::vector<std::pair<int, int>> switches_on_path(int host_a, int host_b) const;
 
   /// Effective bandwidth of the (a -> b) link in bytes per millisecond.
   double link_bandwidth_bytes_per_ms(DeviceId a, DeviceId b) const;
@@ -172,6 +200,16 @@ class ClusterSpec {
   /// multiplicatively. Throws ClusterSpecError on a bad factor or device id.
   ClusterSpec degrade_link(DeviceId a, DeviceId b, double factor) const;
 
+  /// Copy of this cluster with the (level, index) switch's bandwidth scaled
+  /// by `factor` in (0, 1]. The whole inter-host bandwidth table is
+  /// recomputed for the degraded switch graph: every path crossing the
+  /// switch is re-priced as min over its hops with the hop's effective
+  /// (scaled) bandwidth, so only traffic actually routed through the switch
+  /// slows down. Degradations compose multiplicatively. Throws
+  /// ClusterSpecError when the cluster has no topology, the coordinate is
+  /// out of range, or the factor is outside (0, 1].
+  ClusterSpec degrade_switch(int level, int index, double factor) const;
+
  private:
   /// Recomputes the cached derived values (slowest device, total relative
   /// power, min link bandwidth). Must be called after any mutation of
@@ -189,6 +227,8 @@ class ClusterSpec {
   double switch_gbps_ = 100.0;
   /// Bandwidth scale per unordered host pair (degrade_link), default 1.0.
   std::map<std::pair<int, int>, double> link_scale_;
+  /// Bandwidth scale per (level, index) switch (degrade_switch), default 1.0.
+  std::map<std::pair<int, int>, double> switch_scale_;
   TopologySpec topology_;
 
   // Derived caches (recompute_derived).

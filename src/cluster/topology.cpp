@@ -496,7 +496,21 @@ std::string cluster_to_json(const ClusterSpec& cluster) {
       os << "[" << json_number(topo.tiers[t].gbps) << ", " << topo.tiers[t].group_size
          << "]";
     }
-    os << "]}";
+    os << "]";
+    // Emitted only when a switch has been degraded, so freshly generated
+    // clusters serialize byte-identically to before switch faults existed.
+    if (!cluster.switch_scales().empty()) {
+      os << ", \"switch_scales\": [";
+      bool first_sw = true;
+      for (const auto& [coord, scale] : cluster.switch_scales()) {
+        if (!first_sw) os << ", ";
+        first_sw = false;
+        os << "[" << coord.first << ", " << coord.second << ", "
+           << json_number(scale) << "]";
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "}";
   return os.str();

@@ -303,6 +303,18 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
   if (online) {
     monitor = std::make_unique<health::HealthMonitor>(cluster_.device_count(), hp,
                                                       config_.events);
+    if (cluster_.has_topology()) {
+      // Rack ids let the monitor attribute coincident same-rack failures to
+      // a domain event — still measurement-only: the map describes where
+      // devices live, not what faults are scheduled.
+      const cluster::TopologySpec& topo = cluster_.topology();
+      std::vector<int> racks(static_cast<size_t>(cluster_.device_count()), -1);
+      for (const auto& d : cluster_.devices()) {
+        racks[static_cast<size_t>(d.id)] =
+            topo.rack_of_host[static_cast<size_t>(d.host)];
+      }
+      monitor->set_rack_map(std::move(racks));
+    }
   }
 
   // Journal bookkeeping. The journal always describes the run from step 0:
@@ -698,6 +710,10 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
                           std::chrono::steady_clock::now() - t0)
                           .count();
       monitor->record_replan(step, live);
+      // Racks the monitor attributed this batch to (consumed before
+      // on_replan clears them). A domain verdict means the whole rack went
+      // into `confirmed` at once — one replan, not N serial ones.
+      const std::vector<int> domain_racks = monitor->take_domain_verdicts();
 
       RecoveryReport report;
       report.fault_step = step;
@@ -711,6 +727,7 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
       report.escalated_transient = escalated;
       report.detection_attempts = attempts_spent;
       report.degraded = degraded;
+      report.domain_rack = domain_racks.empty() ? -1 : domain_racks.front();
       stats.oom = stats.oom || replanned.deployment.oom;
       if (live) {
         stats.recoveries.push_back(report);
@@ -734,6 +751,14 @@ RunStats DistRunner::run_impl(int steps, const faults::FaultPlan& plan, int star
                              .with("reason", breaker ? "breaker_open" : "deadline")
                              .with("devices", static_cast<int>(confirmed.size()))
                              .with("replan", true));
+          }
+          for (const int rack : domain_racks) {
+            events->emit(obs::Event("domain_replan")
+                             .with("step", step)
+                             .with("rack", rack)
+                             .with("devices", static_cast<int>(confirmed.size()))
+                             .with("surviving_devices", report.surviving_devices)
+                             .with("degraded", degraded));
           }
         }
         log_info() << "DistRunner: online detection confirmed failure of "

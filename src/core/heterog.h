@@ -114,6 +114,10 @@ struct RecoveryReport {
   /// The re-plan was degraded to the heuristic path because the circuit
   /// breaker was open or the configured re-plan deadline was exceeded.
   bool degraded = false;
+  /// Online domain attribution only: rack the monitor attributed this batch
+  /// of failures to (-1 = independent failures). In-memory diagnostic; the
+  /// journal's RecoveryRecord format does not carry it.
+  int domain_rack = -1;
 };
 
 struct RunStats {

@@ -13,7 +13,8 @@ void ChaosOptions::validate() const {
   if (device_count < 1) fail("device_count must be >= 1");
   if (min_survivors < 1) fail("min_survivors must be >= 1");
   if (max_failures < 0 || max_stragglers < 0 || max_link_degradations < 0 ||
-      max_transients < 0) {
+      max_transients < 0 || max_rack_failures < 0 || max_switch_outages < 0 ||
+      max_switch_degradations < 0) {
     fail("event caps must be >= 0");
   }
   if (!(min_slowdown > 1.0) || min_slowdown > max_slowdown) {
@@ -26,16 +27,17 @@ void ChaosOptions::validate() const {
   if (max_failed_attempts < 1) fail("max_failed_attempts must be >= 1");
 }
 
-FaultPlan make_chaos_plan(const ChaosOptions& opts) {
-  opts.validate();
-  Rng rng(opts.seed);
-  FaultPlan plan;
+namespace {
 
+/// Flat per-device / per-link draws, shared verbatim by both generators so
+/// a topology-free cluster gets byte-identical schedules per seed. Consumes
+/// `rng`'s stream in a fixed order: failures, stragglers, transients, links.
+void draw_flat_events(Rng& rng, const ChaosOptions& opts, std::set<int>& failed,
+                      FaultPlan& plan) {
   // Failures first: they constrain which devices other events may target
   // (events on a dead device would be unreachable noise).
   const int allowed_failures =
       std::min(opts.max_failures, opts.device_count - opts.min_survivors);
-  std::set<int> failed;
   if (allowed_failures > 0) {
     const int n = rng.uniform_int(0, allowed_failures);
     while (static_cast<int>(failed.size()) < n) {
@@ -102,7 +104,12 @@ FaultPlan make_chaos_plan(const ChaosOptions& opts) {
       plan.events.push_back(e);
     }
   }
+}
 
+/// Stable plan-text order. Domain coordinates only break ties among domain
+/// events (they are -1 everywhere else), so flat plans sort exactly as
+/// before the domain kinds existed.
+void sort_events(FaultPlan& plan) {
   std::stable_sort(plan.events.begin(), plan.events.end(),
                    [](const FaultEvent& x, const FaultEvent& y) {
                      if (x.onset_step != y.onset_step) return x.onset_step < y.onset_step;
@@ -110,8 +117,129 @@ FaultPlan make_chaos_plan(const ChaosOptions& opts) {
                        return static_cast<int>(x.kind) < static_cast<int>(y.kind);
                      }
                      if (x.device != y.device) return x.device < y.device;
-                     return x.device_a < y.device_a;
+                     if (x.device_a != y.device_a) return x.device_a < y.device_a;
+                     if (x.level != y.level) return x.level < y.level;
+                     if (x.switch_index != y.switch_index) {
+                       return x.switch_index < y.switch_index;
+                     }
+                     return x.rack < y.rack;
                    });
+}
+
+}  // namespace
+
+FaultPlan make_chaos_plan(const ChaosOptions& opts) {
+  opts.validate();
+  Rng rng(opts.seed);
+  FaultPlan plan;
+  std::set<int> failed;
+  draw_flat_events(rng, opts, failed, plan);
+  sort_events(plan);
+  return plan;
+}
+
+FaultPlan make_chaos_plan(const cluster::ClusterSpec& cluster,
+                          const ChaosOptions& opts) {
+  opts.validate();
+  if (opts.device_count != cluster.device_count()) {
+    throw FaultPlanError("chaos options: device_count " +
+                         std::to_string(opts.device_count) +
+                         " does not match the target cluster's " +
+                         std::to_string(cluster.device_count()) + " devices");
+  }
+  Rng rng(opts.seed);
+  FaultPlan plan;
+  // `lost` = devices unreachable at some point of the schedule (flat
+  // failures plus every committed domain expansion); the survivability
+  // invariant is enforced against it.
+  std::set<int> lost;
+  draw_flat_events(rng, opts, lost, plan);
+  if (!cluster.has_topology()) {
+    // No switch graph to target: identical RNG consumption to the flat
+    // generator, so the plan is byte-identical per seed.
+    sort_events(plan);
+    return plan;
+  }
+
+  const cluster::TopologySpec& topo = cluster.topology();
+  auto rack_devices = [&](int rack) {
+    std::vector<cluster::DeviceId> out;
+    for (const auto& d : cluster.devices()) {
+      if (topo.rack_of_host[static_cast<size_t>(d.host)] == rack) out.push_back(d.id);
+    }
+    return out;
+  };
+  auto subtree_devices = [&](int level, int index) {
+    std::vector<cluster::DeviceId> out;
+    for (const auto& d : cluster.devices()) {
+      const int rack = topo.rack_of_host[static_cast<size_t>(d.host)];
+      if (topo.group_of_rack(rack, level) == index) out.push_back(d.id);
+    }
+    return out;
+  };
+  auto survivable = [&](const std::vector<cluster::DeviceId>& domain) {
+    std::set<int> merged = lost;
+    for (auto d : domain) merged.insert(d);
+    return opts.device_count - static_cast<int>(merged.size()) >= opts.min_survivors;
+  };
+  auto commit = [&](const std::vector<cluster::DeviceId>& domain) {
+    for (auto d : domain) lost.insert(d);
+  };
+
+  // Rack-correlated failure bursts. A draw that would breach min_survivors
+  // (or hit an empty rack) is skipped — its RNG draws are still consumed so
+  // later draws stay aligned across option tweaks.
+  const int n_racks = rng.uniform_int(0, opts.max_rack_failures);
+  for (int i = 0; i < n_racks; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kRackFailure;
+    e.rack = rng.uniform_int(0, topo.rack_count() - 1);
+    e.onset_step = rng.uniform_int(1, std::max(1, opts.steps - 2));
+    const auto domain = rack_devices(e.rack);
+    if (domain.empty() || !survivable(domain)) continue;
+    commit(domain);
+    plan.events.push_back(e);
+  }
+
+  // Switch outages (any level; level 0 = a rack's ToR). Recovery is drawn
+  // like link degradations, but the cut devices still count as lost — the
+  // runner will have replanned around them before the switch comes back.
+  const int n_outages = rng.uniform_int(0, opts.max_switch_outages);
+  for (int i = 0; i < n_outages; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSwitchOutage;
+    e.level = rng.uniform_int(0, topo.level_count() - 1);
+    e.switch_index = rng.uniform_int(0, std::max(1, topo.switch_count(e.level)) - 1);
+    e.onset_step = rng.uniform_int(1, std::max(1, opts.steps - 2));
+    const int span = rng.uniform_int(2, std::max(2, opts.steps / 2));
+    e.recovery_step =
+        rng.uniform() < 0.3 ? -1 : std::min(opts.steps, e.onset_step + span);
+    const auto domain = subtree_devices(e.level, e.switch_index);
+    if (domain.empty() || static_cast<int>(domain.size()) >= opts.device_count ||
+        !survivable(domain)) {
+      continue;
+    }
+    commit(domain);
+    plan.events.push_back(e);
+  }
+
+  // Switch degradations slow paths but strand no one, so every draw lands.
+  const int n_degradations = rng.uniform_int(0, opts.max_switch_degradations);
+  for (int i = 0; i < n_degradations; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSwitchDegradation;
+    e.level = rng.uniform_int(0, topo.level_count() - 1);
+    e.switch_index = rng.uniform_int(0, std::max(1, topo.switch_count(e.level)) - 1);
+    e.onset_step = rng.uniform_int(0, std::max(0, opts.steps - 2));
+    const int span = rng.uniform_int(2, std::max(2, opts.steps / 2));
+    e.recovery_step =
+        rng.uniform() < 0.3 ? -1 : std::min(opts.steps, e.onset_step + span);
+    e.bandwidth_factor =
+        rng.uniform(opts.min_bandwidth_factor, opts.max_bandwidth_factor);
+    plan.events.push_back(e);
+  }
+
+  sort_events(plan);
   return plan;
 }
 

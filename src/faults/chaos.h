@@ -30,6 +30,13 @@ struct ChaosOptions {
   int max_link_degradations = 2;
   int max_transients = 3;
 
+  /// Caps for correlated domain events. Only the topology-aware overload
+  /// draws these, and only when the cluster carries a switch topology;
+  /// the flat generator ignores them entirely.
+  int max_rack_failures = 1;
+  int max_switch_outages = 1;
+  int max_switch_degradations = 2;
+
   /// At least this many devices are never failed, so every schedule is
   /// survivable by construction.
   int min_survivors = 2;
@@ -54,5 +61,15 @@ struct ChaosOptions {
 /// stable, and the result validates against any cluster with
 /// `opts.device_count` devices.
 FaultPlan make_chaos_plan(const ChaosOptions& opts);
+
+/// Topology-aware overload: the flat schedule above (drawn from the same RNG
+/// stream, so clusters without a switch topology get byte-identical plans
+/// per seed) plus rack-correlated failure bursts, switch outages and switch
+/// degradations drawn against `cluster`'s topology. Every schedule stays
+/// survivable by construction: a domain draw that would leave fewer than
+/// `min_survivors` reachable devices is skipped. Throws FaultPlanError when
+/// `opts.device_count` disagrees with `cluster.device_count()`.
+FaultPlan make_chaos_plan(const cluster::ClusterSpec& cluster,
+                          const ChaosOptions& opts);
 
 }  // namespace heterog::faults

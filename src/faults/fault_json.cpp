@@ -244,6 +244,18 @@ FaultEvent parse_event(const JsonValue& obj) {
     e.kind = FaultKind::kTransient;
     e.device = get_int(obj, "device", -1, /*required=*/true);
     e.failed_attempts = get_int(obj, "failed_attempts", 1);
+  } else if (kind == "rack_failure") {
+    e.kind = FaultKind::kRackFailure;
+    e.rack = get_int(obj, "rack", -1, /*required=*/true);
+  } else if (kind == "switch_outage") {
+    e.kind = FaultKind::kSwitchOutage;
+    e.level = get_int(obj, "level", -1, /*required=*/true);
+    e.switch_index = get_int(obj, "switch", -1, /*required=*/true);
+  } else if (kind == "switch_degradation") {
+    e.kind = FaultKind::kSwitchDegradation;
+    e.level = get_int(obj, "level", -1, /*required=*/true);
+    e.switch_index = get_int(obj, "switch", -1, /*required=*/true);
+    e.bandwidth_factor = get_number(obj, "bandwidth_factor", 0.5);
   } else {
     throw FaultPlanError("fault plan: unknown fault kind \"" + kind + "\"");
   }
@@ -317,6 +329,16 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
         os << ", \"device\": " << e.device
            << ", \"failed_attempts\": " << e.failed_attempts;
         break;
+      case FaultKind::kRackFailure:
+        os << ", \"rack\": " << e.rack;
+        break;
+      case FaultKind::kSwitchOutage:
+        os << ", \"level\": " << e.level << ", \"switch\": " << e.switch_index;
+        break;
+      case FaultKind::kSwitchDegradation:
+        os << ", \"level\": " << e.level << ", \"switch\": " << e.switch_index
+           << ", \"bandwidth_factor\": " << json_number(e.bandwidth_factor);
+        break;
     }
     os << ", \"onset_step\": " << e.onset_step;
     if (e.recovery_step >= 0) os << ", \"recovery_step\": " << e.recovery_step;
@@ -324,6 +346,15 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
   }
   os << "]}";
   return os.str();
+}
+
+const std::vector<std::string>& fault_json_fields() {
+  static const std::vector<std::string> fields = {
+      "kind",        "device",           "device_a",       "device_b",
+      "onset_step",  "recovery_step",    "slowdown",       "bandwidth_factor",
+      "failed_attempts", "level",        "switch",         "rack",
+  };
+  return fields;
 }
 
 }  // namespace heterog::faults

@@ -57,6 +57,10 @@ void HealthPolicy::validate() const {
   }
   if (phi_threshold <= 0.0) fail("phi_threshold must be positive");
   if (heartbeat_timeout_ms < 0.0) fail("heartbeat_timeout_ms must be >= 0");
+  if (!(domain_rack_fraction > 0.0 && domain_rack_fraction <= 1.0)) {
+    fail("domain_rack_fraction must be in (0, 1]");
+  }
+  if (domain_window_steps < 0) fail("domain_window_steps must be >= 0");
 }
 
 HealthMonitor::HealthMonitor(int device_count, HealthPolicy policy,
@@ -87,8 +91,10 @@ void HealthMonitor::confirm_failure(int device, int step, const std::string& kin
   d.state = DeviceState::kFailed;
   d.consecutive_slow = 0;
   d.consecutive_normal = 0;
+  d.confirmed_step = step;
   pending_failures_.push_back(device);
   ++summary_.failures_confirmed;
+  if (kind == "domain") ++summary_.domain_failures;
   summary_.detections.push_back({device, kind, onset, step});
   if (emit && events_ != nullptr && events_->ok()) {
     events_->emit(obs::Event("quarantine")
@@ -98,6 +104,53 @@ void HealthMonitor::confirm_failure(int device, int step, const std::string& kin
                       .with("kind", kind)
                       .with("onset_step", onset)
                       .with("phi", phi(device)));
+  }
+  // Per-device verdicts ("failure", "error") can be the first visible edge
+  // of a correlated burst; domain verdicts themselves never recurse.
+  if (policy_.domain_attribution && kind != "domain" &&
+      static_cast<size_t>(device) < rack_of_device_.size()) {
+    maybe_attribute_domain(step, rack_of_device_[static_cast<size_t>(device)], emit);
+  }
+}
+
+void HealthMonitor::maybe_attribute_domain(int step, int rack, bool emit) {
+  if (rack < 0) return;
+  // Members = rack devices still alive plus those that failed inside the
+  // window (a device failed long ago belongs to an older incident).
+  int members = 0;
+  int recent = 0;
+  for (size_t i = 0; i < devices_.size() && i < rack_of_device_.size(); ++i) {
+    if (rack_of_device_[i] != rack) continue;
+    const DeviceStats& d = devices_[i];
+    if (d.state == DeviceState::kFailed) {
+      if (d.confirmed_step >= 0 && d.confirmed_step + policy_.domain_window_steps >= step) {
+        ++members;
+        ++recent;
+      }
+    } else {
+      ++members;
+    }
+  }
+  if (members < 2 || recent >= members) return;  // nothing left to attribute
+  const int needed =
+      static_cast<int>(std::ceil(policy_.domain_rack_fraction * members));
+  if (recent < needed) return;
+
+  ++summary_.domain_suspicions;
+  domain_verdicts_.push_back(rack);
+  if (emit && events_ != nullptr && events_->ok()) {
+    events_->emit(obs::Event("domain_suspicion")
+                      .with("step", step)
+                      .with("rack", rack)
+                      .with("confirmed", recent)
+                      .with("members", members));
+  }
+  // Fail the rest of the rack in the same batch so the runner replans around
+  // the whole domain in one shot.
+  for (size_t i = 0; i < devices_.size() && i < rack_of_device_.size(); ++i) {
+    if (rack_of_device_[i] != rack) continue;
+    if (devices_[i].state == DeviceState::kFailed) continue;
+    confirm_failure(static_cast<int>(i), step, "domain", emit);
   }
 }
 
@@ -265,6 +318,23 @@ std::vector<int> HealthMonitor::take_confirmed_failures() {
   return out;
 }
 
+void HealthMonitor::set_rack_map(std::vector<int> rack_of_device) {
+  if (static_cast<int>(rack_of_device.size()) != device_count()) {
+    throw HealthError("HealthMonitor::set_rack_map: expected " +
+                      std::to_string(device_count()) + " entries, got " +
+                      std::to_string(rack_of_device.size()));
+  }
+  rack_of_device_ = std::move(rack_of_device);
+}
+
+std::vector<int> HealthMonitor::take_domain_verdicts() {
+  std::vector<int> out = std::move(domain_verdicts_);
+  domain_verdicts_.clear();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 void HealthMonitor::force_failure(int device, int step, const std::string& kind) {
   if (device < 0 || static_cast<size_t>(device) >= devices_.size()) return;
   confirm_failure(device, step, kind, true);
@@ -331,6 +401,16 @@ void HealthMonitor::on_replan(const std::vector<int>& new_id_of) {
     remapped[static_cast<size_t>(new_id)] = devices_[old_id];
   }
   devices_ = std::move(remapped);
+  if (!rack_of_device_.empty()) {
+    std::vector<int> racks(devices_.size(), -1);
+    for (size_t old_id = 0;
+         old_id < rack_of_device_.size() && old_id < new_id_of.size(); ++old_id) {
+      const int new_id = new_id_of[old_id];
+      if (new_id < 0 || static_cast<size_t>(new_id) >= racks.size()) continue;
+      racks[static_cast<size_t>(new_id)] = rack_of_device_[old_id];
+    }
+    rack_of_device_ = std::move(racks);
+  }
   // The workload per device changes under the new plan; baselines re-learn.
   for (DeviceStats& d : devices_) {
     d.mean = 0.0;
@@ -345,6 +425,7 @@ void HealthMonitor::on_replan(const std::vector<int>& new_id_of) {
   step_var_ = 0.0;
   step_samples_ = 0;
   pending_failures_.clear();
+  domain_verdicts_.clear();
 }
 
 std::string HealthMonitor::serialize() const {
@@ -370,6 +451,23 @@ std::string HealthMonitor::serialize() const {
   os << "pending " << pending_failures_.size();
   for (const int p : pending_failures_) os << " " << p;
   os << "\n";
+  // Domain section only when a rack map was set (topology runs). Flat-run
+  // snapshots stay byte-identical to every journal written before domain
+  // attribution existed — the resume cross-check depends on that.
+  if (!rack_of_device_.empty()) {
+    os << "domain " << (policy_.domain_attribution ? 1 : 0) << " "
+       << fmt(policy_.domain_rack_fraction) << " " << policy_.domain_window_steps
+       << "\n";
+    os << "rackmap " << rack_of_device_.size();
+    for (const int r : rack_of_device_) os << " " << r;
+    os << "\n";
+    os << "confirmed " << devices_.size();
+    for (const DeviceStats& d : devices_) os << " " << d.confirmed_step;
+    os << "\n";
+    os << "verdicts " << domain_verdicts_.size();
+    for (const int r : domain_verdicts_) os << " " << r;
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -473,6 +571,52 @@ HealthMonitor HealthMonitor::deserialize(const std::string& text,
     }
     for (long long i = 0; i < n; ++i) {
       monitor.pending_failures_.push_back(parse_num<int>(is, "pending device"));
+    }
+  }
+  // Optional domain section (present iff the run had a rack map).
+  if (std::getline(in, line) && !line.empty()) {
+    {
+      std::istringstream is(line);
+      std::string tag;
+      is >> tag;
+      if (tag != "domain") bad_state("expected domain line");
+      monitor.policy_.domain_attribution = parse_num<int>(is, "domain") != 0;
+      monitor.policy_.domain_rack_fraction = parse_num<double>(is, "domain");
+      monitor.policy_.domain_window_steps = parse_num<int>(is, "domain");
+    }
+    {
+      std::istringstream is(next_line("rackmap"));
+      std::string tag;
+      is >> tag;
+      if (tag != "rackmap") bad_state("expected rackmap line");
+      const long long n = parse_num<long long>(is, "rackmap");
+      if (n != static_cast<long long>(n_devices)) bad_state("rackmap count mismatch");
+      std::vector<int> racks;
+      for (long long i = 0; i < n; ++i) racks.push_back(parse_num<int>(is, "rackmap"));
+      monitor.rack_of_device_ = std::move(racks);
+    }
+    {
+      std::istringstream is(next_line("confirmed"));
+      std::string tag;
+      is >> tag;
+      if (tag != "confirmed") bad_state("expected confirmed line");
+      const long long n = parse_num<long long>(is, "confirmed");
+      if (n != static_cast<long long>(n_devices)) bad_state("confirmed count mismatch");
+      for (long long i = 0; i < n; ++i) {
+        monitor.devices_[static_cast<size_t>(i)].confirmed_step =
+            parse_num<int>(is, "confirmed step");
+      }
+    }
+    {
+      std::istringstream is(next_line("verdicts"));
+      std::string tag;
+      is >> tag;
+      if (tag != "verdicts") bad_state("expected verdicts line");
+      const long long n = parse_num<long long>(is, "verdicts");
+      if (n < 0 || n > 1'000'000) bad_state("verdict count out of range");
+      for (long long i = 0; i < n; ++i) {
+        monitor.domain_verdicts_.push_back(parse_num<int>(is, "verdict rack"));
+      }
     }
   }
   return monitor;

@@ -105,6 +105,17 @@ struct HealthPolicy {
   /// measurement, so the decision is deterministic. <= 0 disables.
   double replan_deadline_ms = 0.0;
 
+  /// Correlated-domain attribution (only active once set_rack_map() gave the
+  /// monitor a rack id per device — i.e. on topology-generated clusters).
+  /// When at least `domain_rack_fraction` of a rack's member devices confirm
+  /// failure within `domain_window_steps` of each other, the burst is
+  /// attributed to the rack as a whole: a `domain_suspicion` event is
+  /// emitted and the rack's remaining devices are failed in the same batch,
+  /// so the runner replans around the domain once instead of N times.
+  bool domain_attribution = true;
+  double domain_rack_fraction = 0.6;
+  int domain_window_steps = 2;
+
   /// Throws HealthError when a knob is out of range.
   void validate() const;
 };
@@ -157,6 +168,8 @@ struct HealthSummary {
   int retries_charged = 0;  // failed attempts charged to the budget
   bool retry_budget_exhausted = false;
   bool breaker_opened = false;
+  int domain_suspicions = 0;  // rack bursts attributed to a domain event
+  int domain_failures = 0;    // devices failed by domain attribution alone
   std::vector<DetectionRecord> detections;
 };
 
@@ -176,6 +189,18 @@ class HealthMonitor {
   /// Devices whose permanent failure was confirmed since the last call
   /// (sorted; consumed). The runner reacts by re-planning on the survivors.
   std::vector<int> take_confirmed_failures();
+
+  /// Rack id per device (same indexing as devices). Enables domain
+  /// attribution; pass what the cluster's TopologySpec says. Throws
+  /// HealthError when the size disagrees with device_count(). Entries < 0
+  /// opt a device out of any domain.
+  void set_rack_map(std::vector<int> rack_of_device);
+  const std::vector<int>& rack_map() const { return rack_of_device_; }
+
+  /// Racks attributed to a correlated domain event since the last call
+  /// (sorted, unique; consumed). Each came with a `domain_suspicion` event
+  /// and the rack's devices queued in take_confirmed_failures().
+  std::vector<int> take_domain_verdicts();
 
   /// Escalates `device` to a confirmed failure immediately (transient error
   /// retries exhausted). Idempotent for already-failed devices.
@@ -227,11 +252,15 @@ class HealthMonitor {
     int consecutive_normal = 0;
     int consecutive_misses = 0;
     int anomaly_onset_step = -1;  // first step of the current streak
+    int confirmed_step = -1;      // step a failure verdict landed; -1 = alive
   };
 
   void emit_suspicion(int step, int device, const char* kind, double score,
                       int streak, bool emit);
   void confirm_failure(int device, int step, const std::string& kind, bool emit);
+  /// After a failure in `rack`: when enough of the rack failed inside the
+  /// attribution window, fail the rest and record a domain verdict.
+  void maybe_attribute_domain(int step, int rack, bool emit);
   void quarantine_device(int device, int step, bool emit);
   void reinstate_device(int device, int step, bool emit);
   void observe_step_time(const Observation& obs, bool any_device_anomalous,
@@ -248,6 +277,8 @@ class HealthMonitor {
   int replans_ = 0;
   bool breaker_open_ = false;
   std::vector<int> pending_failures_;
+  std::vector<int> rack_of_device_;   // empty = no domain attribution
+  std::vector<int> domain_verdicts_;  // racks attributed since last take
   HealthSummary summary_;
 };
 

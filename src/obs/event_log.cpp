@@ -63,6 +63,9 @@ const std::vector<std::string>& all_event_types() {
       // Online health monitoring (health::HealthMonitor, heterog::DistRunner
       // degraded re-planning).
       "suspicion", "quarantine", "breaker_open", "degraded_replan",
+      // Correlated fault domains: a rack burst attributed by the monitor and
+      // the runner's one-shot domain-wide replan.
+      "domain_suspicion", "domain_replan",
       // Persistent plan/eval store (store::PlanStore).
       "store_open", "store_quarantine",
       // Plan server (server::PlanServer): lifecycle, per-request outcomes,

@@ -111,9 +111,15 @@ FaultAwareRun simulate_with_faults(const compile::DistGraph& graph,
 
     StepOutcome outcome;
     outcome.step = step;
+    // Isolated devices (cut off by a switch outage) block a step exactly like
+    // failed ones: the plan cannot reach them.
     for (auto d : scaling.failed) {
       if (plan_uses_device(graph, d)) outcome.failed_devices.push_back(d);
     }
+    for (auto d : scaling.isolated) {
+      if (plan_uses_device(graph, d)) outcome.failed_devices.push_back(d);
+    }
+    std::sort(outcome.failed_devices.begin(), outcome.failed_devices.end());
     if (!outcome.failed_devices.empty()) {
       outcome.executable = false;
       run.steps.push_back(outcome);
@@ -215,15 +221,25 @@ health::Observation FaultInjector::attempt_step(int step, int attempt,
   obs.step = step;
   obs.attempt = attempt;
   obs.responded.assign(static_cast<size_t>(cluster_.device_count()), 1);
+  // Isolated devices (behind a dead switch) are indistinguishable from
+  // failed ones at the telemetry layer: heartbeats stop arriving.
   for (const auto d : scaling.failed) {
     if (d >= 0 && static_cast<size_t>(d) < obs.responded.size()) {
       obs.responded[static_cast<size_t>(d)] = 0;
     }
   }
+  for (const auto d : scaling.isolated) {
+    if (d >= 0 && static_cast<size_t>(d) < obs.responded.size()) {
+      obs.responded[static_cast<size_t>(d)] = 0;
+    }
+  }
 
-  // A failed device the plan depends on blocks the step entirely: the
-  // attempt times out with no error attribution.
+  // A failed or unreachable device the plan depends on blocks the step
+  // entirely: the attempt times out with no error attribution.
   for (const auto d : scaling.failed) {
+    if (plan_uses_device(graph_, d)) return obs;
+  }
+  for (const auto d : scaling.isolated) {
     if (plan_uses_device(graph_, d)) return obs;
   }
 
@@ -255,16 +271,29 @@ health::Observation FaultInjector::attempt_step(int step, int attempt,
 void FaultInjector::apply_replan(compile::DistGraph graph,
                                  cluster::ClusterSpec cluster,
                                  const std::vector<int>& new_id_of) {
-  plan_ = faults::remap_plan(plan_, new_id_of);
   graph_ = std::move(graph);
   cluster_ = std::move(cluster);
+  // The survivor-aware overload drops domain events whose rack/switch no
+  // longer exists in the re-planned cluster.
+  plan_ = faults::remap_plan(plan_, new_id_of, cluster_);
   memo_.clear();
   baseline_.reset();  // the log describes the replaced graph
   plan_.validate(cluster_);
 }
 
 faults::FaultScaling FaultInjector::oracle_scaling(int step) const {
-  return faults::scaling_at(plan_, cluster_, step);
+  faults::FaultScaling scaling = faults::scaling_at(plan_, cluster_, step);
+  // Legacy PR-1 oracle path: isolation is folded into failure (permanent
+  // domain loss) — that runner removes devices and never re-admits them.
+  if (!scaling.isolated.empty()) {
+    scaling.failed.insert(scaling.failed.end(), scaling.isolated.begin(),
+                          scaling.isolated.end());
+    std::sort(scaling.failed.begin(), scaling.failed.end());
+    scaling.failed.erase(std::unique(scaling.failed.begin(), scaling.failed.end()),
+                         scaling.failed.end());
+    scaling.isolated.clear();
+  }
+  return scaling;
 }
 
 }  // namespace heterog::sim

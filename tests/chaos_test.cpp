@@ -15,7 +15,10 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
 #include "ckpt/journal.h"
+#include "cluster/topology.h"
 #include "core/heterog.h"
 #include "faults/chaos.h"
 #include "faults/faults.h"
@@ -336,6 +339,197 @@ TEST(Chaos, KillBeforeFailureDetectsItAfterResume) {
   ASSERT_FALSE(full.recoveries.empty());
   EXPECT_EQ(tail.recoveries[0].fault_step, full.recoveries[0].fault_step);
   EXPECT_GE(tail.health.failures_confirmed, 1);
+}
+
+// Topology-aware chaos (correlated fault domains) ----------------------------
+
+faults::ChaosOptions topo_chaos_options(uint64_t seed, int device_count) {
+  faults::ChaosOptions opts;
+  opts.seed = seed;
+  opts.steps = kChaosSteps;
+  opts.device_count = device_count;
+  return opts;
+}
+
+cluster::ClusterSpec rack16_cluster() {
+  return cluster::generate_cluster(*cluster::topo_preset("rack16"));
+}
+
+faults::FaultPlan topo_chaos_plan(const cluster::ClusterSpec& cluster,
+                                  uint64_t seed) {
+  return faults::make_chaos_plan(
+      cluster, topo_chaos_options(seed, cluster.device_count()));
+}
+
+/// First seed in [from, from+2000) whose rack16 schedule contains a switch
+/// outage with onset in (lo, hi) — used to pin a crash inside the outage
+/// window.
+uint64_t seed_with_switch_outage_between(const cluster::ClusterSpec& cluster,
+                                         uint64_t from, int lo, int hi) {
+  for (uint64_t seed = from; seed < from + 2000; ++seed) {
+    for (const auto& e : topo_chaos_plan(cluster, seed).events) {
+      if (e.kind == faults::FaultKind::kSwitchOutage && e.onset_step > lo &&
+          e.onset_step < hi) {
+        return seed;
+      }
+    }
+  }
+  ADD_FAILURE() << "no chaos seed in [" << from << ", " << from + 2000
+                << ") produces a switch outage in (" << lo << ", " << hi << ")";
+  return from;
+}
+
+TEST(ChaosTopology, FlatClustersGetByteIdenticalLegacyPlans) {
+  // On a cluster without a switch topology the new overload must be a
+  // byte-for-byte alias of the legacy generator — existing flat chaos seeds
+  // keep their schedules across this PR.
+  const auto flat = cluster::make_fig3_testbed();
+  ASSERT_FALSE(flat.has_topology());
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    SCOPED_TRACE(seed);
+    const auto opts = topo_chaos_options(seed, flat.device_count());
+    EXPECT_EQ(faults::fault_plan_to_json(faults::make_chaos_plan(flat, opts)),
+              faults::fault_plan_to_json(faults::make_chaos_plan(opts)));
+  }
+}
+
+TEST(ChaosTopology, RejectsDeviceCountMismatch) {
+  const auto c = rack16_cluster();
+  EXPECT_THROW(faults::make_chaos_plan(c, topo_chaos_options(1, 99)),
+               faults::FaultPlanError);
+}
+
+TEST(ChaosTopology, HundredSeedSweepAtPod256StaysSurvivable) {
+  // The scale sweep: 100 seeds against the 256-GPU generated pod. Every plan
+  // must validate against the cluster, regenerate byte-identically, respect
+  // the domain caps, and — counting every domain member as lost even when
+  // the event recovers — strand fewer than device_count - min_survivors
+  // devices. Plan-level invariants only: the full runner byte-identity
+  // contract is pinned at rack16 below, where a run is cheap.
+  const auto pod = cluster::generate_cluster(*cluster::topo_preset("pod256"));
+  ASSERT_EQ(pod.device_count(), 256);
+
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const auto opts = topo_chaos_options(seed, pod.device_count());
+    const faults::FaultPlan plan = faults::make_chaos_plan(pod, opts);
+    ASSERT_NO_THROW(plan.validate(pod));
+    EXPECT_EQ(faults::fault_plan_to_json(faults::make_chaos_plan(pod, opts)),
+              faults::fault_plan_to_json(plan));
+
+    int rack_failures = 0, outages = 0, degradations = 0;
+    std::set<cluster::DeviceId> lost;
+    for (const auto& e : plan.events) {
+      switch (e.kind) {
+        case faults::FaultKind::kDeviceFailure:
+          lost.insert(e.device);
+          break;
+        case faults::FaultKind::kRackFailure: {
+          ++rack_failures;
+          const auto members = faults::domain_devices(pod, e);
+          EXPECT_FALSE(members.empty());
+          lost.insert(members.begin(), members.end());
+          break;
+        }
+        case faults::FaultKind::kSwitchOutage: {
+          ++outages;
+          const auto members = faults::domain_devices(pod, e);
+          EXPECT_FALSE(members.empty());
+          EXPECT_LT(static_cast<int>(members.size()), pod.device_count());
+          lost.insert(members.begin(), members.end());
+          break;
+        }
+        case faults::FaultKind::kSwitchDegradation:
+          ++degradations;
+          EXPECT_GT(e.bandwidth_factor, 0.0);
+          EXPECT_LT(e.bandwidth_factor, 1.0);
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_LE(rack_failures, opts.max_rack_failures);
+    EXPECT_LE(outages, opts.max_switch_outages);
+    EXPECT_LE(degradations, opts.max_switch_degradations);
+    EXPECT_GE(pod.device_count() - static_cast<int>(lost.size()),
+              opts.min_survivors);
+  }
+}
+
+TEST(ChaosTopology, SameSeedBitIdenticalJournalAndEventLogWithDomains) {
+  // The determinism contract extended to topology chaos: a seed whose rack16
+  // schedule carries a switch outage — so isolation, domain attribution and
+  // the one-shot domain replan are all on the recorded path — still writes
+  // byte-identical journals and event logs across two fresh pipelines.
+  const auto c = rack16_cluster();
+  const uint64_t seed = seed_with_switch_outage_between(c, 1, 0, kChaosSteps - 2);
+  const faults::FaultPlan plan = topo_chaos_plan(c, seed);
+
+  const TempDir dir("topo_bits");
+  const fs::path log_path = dir.path() / "events.jsonl";
+  std::string journals[2];
+  std::string logs[2];
+  for (int i = 0; i < 2; ++i) {
+    {
+      obs::EventLog log(log_path.string());
+      ASSERT_TRUE(log.ok());
+      HeteroGConfig config = chaos_config();
+      config.events = &log;
+      const DistRunner runner = get_runner(chaos_model, c, config);
+      const RunStats stats = runner.run(kChaosSteps, plan, ckpt_opts(dir.str(), 2));
+      ASSERT_TRUE(stats.completed);
+    }
+    journals[i] = read_file(dir.path() / "journal.heterog");
+    logs[i] = read_file(log_path);
+  }
+  EXPECT_FALSE(journals[0].empty());
+  EXPECT_EQ(journals[0], journals[1]);
+  EXPECT_FALSE(logs[0].empty());
+  EXPECT_EQ(logs[0], logs[1]);
+  // The outage reached the monitor: the log records a domain attribution and
+  // the runner's one-shot domain replan.
+  EXPECT_NE(logs[0].find("\"domain_suspicion\""), std::string::npos);
+  EXPECT_NE(logs[0].find("\"domain_replan\""), std::string::npos);
+}
+
+TEST(ChaosTopology, KillDuringSwitchOutageResumesBitIdentical) {
+  // Crash at a checkpoint while a switch outage is in effect (after its
+  // onset, so the isolation-driven recovery is already in the journal). The
+  // resume must replay to the identical tail and leave a final journal
+  // byte-identical to the uninterrupted run's.
+  const auto c = rack16_cluster();
+  const uint64_t seed = seed_with_switch_outage_between(c, 1, 1, 8);
+  const faults::FaultPlan plan = topo_chaos_plan(c, seed);
+
+  TempDir full_dir("topo_full");
+  const DistRunner runner = get_runner(chaos_model, c, chaos_config());
+  const RunStats full = runner.run(kChaosSteps, plan, ckpt_opts(full_dir.str(), 2));
+  ASSERT_TRUE(full.completed);
+  ASSERT_FALSE(full.recoveries.empty());
+
+  TempDir crash_dir("topo_crash");
+  constexpr int kCrashStep = 10;  // past every onset the seed scan allows
+  EXPECT_THROW(
+      runner.run(kChaosSteps, plan, ckpt_opts(crash_dir.str(), 2, kCrashStep)),
+      SimulatedCrash);
+
+  const ckpt::RunJournal journal =
+      ckpt::load_journal(crash_dir.str() + "/journal.heterog");
+  ASSERT_EQ(journal.watermark, kCrashStep);
+  ASSERT_FALSE(journal.recoveries.empty());  // crash landed mid-recovery
+  ASSERT_FALSE(journal.health_state.empty());
+
+  const RunStats tail =
+      resume_run(crash_dir.str() + "/journal.heterog", chaos_model);
+  EXPECT_TRUE(tail.completed);
+  ASSERT_EQ(tail.step_ms.size(), static_cast<size_t>(kChaosSteps - kCrashStep));
+  for (size_t i = 0; i < tail.step_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tail.step_ms[i],
+                     full.step_ms[static_cast<size_t>(kCrashStep) + i])
+        << "tail step " << i;
+  }
+  EXPECT_EQ(read_file(crash_dir.path() / "journal.heterog"),
+            read_file(full_dir.path() / "journal.heterog"));
 }
 
 }  // namespace

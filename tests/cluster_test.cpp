@@ -3,6 +3,7 @@
 #include "common/check.h"
 
 #include "cluster/cluster.h"
+#include "cluster/topology.h"
 
 namespace heterog::cluster {
 namespace {
@@ -202,6 +203,90 @@ TEST(Cluster, RemoveDevicePreservesLinkDegradation) {
   const ClusterSpec survivors = c.remove_device(7);
   EXPECT_DOUBLE_EQ(survivors.link_bandwidth_bytes_per_ms(0, 2),
                    gbps_to_bytes_per_ms(50.0) * 0.5);
+}
+
+// Switch-level degradation (correlated fault domains) ------------------------
+
+/// First device id found in rack `rack`, offset by `nth` within the rack.
+DeviceId rack_device(const ClusterSpec& c, int rack, int nth) {
+  int seen = 0;
+  for (const auto& d : c.devices()) {
+    if (c.topology().rack_of_host[static_cast<size_t>(d.host)] != rack) continue;
+    if (seen++ == nth) return d.id;
+  }
+  ADD_FAILURE() << "rack " << rack << " has fewer than " << nth + 1 << " devices";
+  return -1;
+}
+
+TEST(Cluster, DegradeSwitchRejectsBadInput) {
+  // Flat testbeds carry no switches to degrade.
+  EXPECT_THROW(make_paper_testbed_8gpu().degrade_switch(0, 0, 0.5),
+               ClusterSpecError);
+
+  const ClusterSpec c = generate_cluster(*topo_preset("rack16"));
+  EXPECT_THROW(c.degrade_switch(0, 0, 0.0), ClusterSpecError);   // outage, not scale
+  EXPECT_THROW(c.degrade_switch(0, 0, 1.5), ClusterSpecError);   // speed-up
+  EXPECT_THROW(c.degrade_switch(-1, 0, 0.5), ClusterSpecError);  // level below
+  EXPECT_THROW(c.degrade_switch(c.topology().level_count(), 0, 0.5),
+               ClusterSpecError);                                // level above
+  EXPECT_THROW(c.degrade_switch(0, -1, 0.5), ClusterSpecError);  // index below
+  EXPECT_THROW(c.degrade_switch(0, 2, 0.5), ClusterSpecError);   // only 2 ToRs
+}
+
+TEST(Cluster, DegradeSwitchRepricesPathsCrossingIt) {
+  // rack16: 50 GbE NICs under 100 GbE ToRs. ToR 0 at x0.25 = 25 Gbps becomes
+  // the path min for every pair whose path crosses it — cross-rack pairs and
+  // cross-host pairs inside rack 0 — while rack 1 internals are untouched.
+  const ClusterSpec c = generate_cluster(*topo_preset("rack16"));
+  const DeviceId r0a = rack_device(c, 0, 0);
+  const DeviceId r0b = rack_device(c, 0, 4);  // second host of rack 0
+  const DeviceId r1a = rack_device(c, 1, 0);
+  const DeviceId r1b = rack_device(c, 1, 4);
+  ASSERT_NE(c.device(r0a).host, c.device(r0b).host);
+
+  const ClusterSpec degraded = c.degrade_switch(0, 0, 0.25);
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(r0a, r0b),
+                   gbps_to_bytes_per_ms(25.0));
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(r0a, r1a),
+                   gbps_to_bytes_per_ms(25.0));
+  EXPECT_EQ(degraded.link_bandwidth_bytes_per_ms(r1a, r1b),
+            c.link_bandwidth_bytes_per_ms(r1a, r1b));
+
+  // A mild degradation that stays above the 50 GbE NIC floor changes nothing
+  // observable: the NIC is still the path min.
+  const ClusterSpec mild = c.degrade_switch(0, 0, 0.8);
+  EXPECT_EQ(mild.link_bandwidth_bytes_per_ms(r0a, r1a),
+            c.link_bandwidth_bytes_per_ms(r0a, r1a));
+
+  // Degradations compose multiplicatively on one switch.
+  const ClusterSpec twice = degraded.degrade_switch(0, 0, 0.5);
+  EXPECT_DOUBLE_EQ(twice.link_bandwidth_bytes_per_ms(r0a, r1a),
+                   gbps_to_bytes_per_ms(12.5));
+}
+
+TEST(Cluster, DegradeSwitchChangesFingerprintAndJson) {
+  // The fingerprint and the JSON round-trip must see switch scales — two
+  // clusters differing only in a degraded ToR are different deployments.
+  const ClusterSpec c = generate_cluster(*topo_preset("rack16"));
+  const ClusterSpec degraded = c.degrade_switch(0, 1, 0.25);
+  EXPECT_NE(cluster_fingerprint(c), cluster_fingerprint(degraded));
+  EXPECT_NE(cluster_to_json(c), cluster_to_json(degraded));
+  // An undegraded topology cluster serialises without a switch_scales block
+  // (pre-PR byte stability).
+  EXPECT_EQ(cluster_to_json(c).find("switch_scales"), std::string::npos);
+  EXPECT_NE(cluster_to_json(degraded).find("switch_scales"), std::string::npos);
+}
+
+TEST(Cluster, RemoveDevicePreservesSwitchDegradation) {
+  // Switch coordinates key off rack ids, which survive device removal — the
+  // degraded ToR must stay degraded on the survivor cluster.
+  const ClusterSpec c =
+      generate_cluster(*topo_preset("rack16")).degrade_switch(0, 1, 0.25);
+  const ClusterSpec survivors = c.remove_device(rack_device(c, 0, 0));
+  const DeviceId r1a = rack_device(survivors, 1, 0);
+  const DeviceId r1b = rack_device(survivors, 1, 4);
+  EXPECT_DOUBLE_EQ(survivors.link_bandwidth_bytes_per_ms(r1a, r1b),
+                   gbps_to_bytes_per_ms(25.0));
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cluster/topology.h"
 #include "common/rng.h"
 #include "core/heterog.h"
 #include "faults/faults.h"
@@ -80,6 +84,54 @@ FaultEvent link_degradation(cluster::DeviceId a, cluster::DeviceId b, double fac
   e.onset_step = onset;
   e.recovery_step = recovery;
   return e;
+}
+
+FaultEvent rack_failure(int rack, int onset) {
+  FaultEvent e;
+  e.kind = FaultKind::kRackFailure;
+  e.rack = rack;
+  e.onset_step = onset;
+  return e;
+}
+
+FaultEvent switch_outage(int level, int index, int onset, int recovery = -1) {
+  FaultEvent e;
+  e.kind = FaultKind::kSwitchOutage;
+  e.level = level;
+  e.switch_index = index;
+  e.onset_step = onset;
+  e.recovery_step = recovery;
+  return e;
+}
+
+FaultEvent switch_degradation(int level, int index, double factor, int onset,
+                              int recovery = -1) {
+  FaultEvent e;
+  e.kind = FaultKind::kSwitchDegradation;
+  e.level = level;
+  e.switch_index = index;
+  e.bandwidth_factor = factor;
+  e.onset_step = onset;
+  e.recovery_step = recovery;
+  return e;
+}
+
+/// rack16: 2 racks x 2 hosts x 4 GPUs — the smallest generated topology with
+/// an inter-rack hop, and the domain-event fixture throughout this file.
+cluster::ClusterSpec rack16_cluster() {
+  return cluster::generate_cluster(*cluster::topo_preset("rack16"));
+}
+
+/// Device ids living in rack `rack` of a generated cluster, sorted.
+std::vector<cluster::DeviceId> devices_in_rack(const cluster::ClusterSpec& c,
+                                               int rack) {
+  std::vector<cluster::DeviceId> out;
+  for (const auto& d : c.devices()) {
+    if (c.topology().rack_of_host[static_cast<size_t>(d.host)] == rack) {
+      out.push_back(d.id);
+    }
+  }
+  return out;
 }
 
 HeteroGConfig fast_config() {
@@ -640,6 +692,292 @@ TEST(RunnerFaults, StragglerAwareReplanningBeatsStaleStrategy) {
   const RunStats stale = clean_runner.run(1, plan);
   ASSERT_EQ(stale.step_ms.size(), 1u);
   EXPECT_LE(degraded_runner.per_iteration_ms(), stale.step_ms[0] * 1.05);
+}
+
+// Correlated fault domains: JSON ---------------------------------------------
+
+TEST(FaultJson, ParsesDomainKinds) {
+  const std::string json = R"({"faults": [
+    {"kind": "rack_failure", "rack": 1, "onset_step": 5},
+    {"kind": "switch_outage", "level": 0, "switch": 1, "onset_step": 5,
+     "recovery_step": 9},
+    {"kind": "switch_degradation", "level": 1, "switch": 0, "onset_step": 3,
+     "bandwidth_factor": 0.5}
+  ]})";
+  const FaultPlan plan = faults::parse_fault_plan_json(json);
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kRackFailure);
+  EXPECT_EQ(plan.events[0].rack, 1);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kSwitchOutage);
+  EXPECT_EQ(plan.events[1].level, 0);
+  EXPECT_EQ(plan.events[1].switch_index, 1);
+  EXPECT_EQ(plan.events[1].recovery_step, 9);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kSwitchDegradation);
+  EXPECT_EQ(plan.events[2].level, 1);
+  EXPECT_EQ(plan.events[2].switch_index, 0);
+  EXPECT_DOUBLE_EQ(plan.events[2].bandwidth_factor, 0.5);
+}
+
+TEST(FaultJson, DomainKindsReachJsonFixedPoint) {
+  FaultPlan plan;
+  plan.events = {rack_failure(0, 2), switch_outage(0, 1, 3, 7),
+                 switch_degradation(1, 0, 0.25, 1)};
+  const std::string json = faults::fault_plan_to_json(plan);
+  const FaultPlan reparsed = faults::parse_fault_plan_json(json);
+  ASSERT_EQ(reparsed.events.size(), 3u);
+  EXPECT_EQ(faults::fault_plan_to_json(reparsed), json);
+}
+
+TEST(FaultJson, DomainKindsRequireTheirFields) {
+  // A rack failure without a rack, and switch events missing either
+  // coordinate, are schema errors — not silently defaulted targets.
+  EXPECT_THROW(faults::parse_fault_plan_json(
+                   R"([{"kind": "rack_failure", "onset_step": 1}])"),
+               faults::FaultPlanError);
+  EXPECT_THROW(faults::parse_fault_plan_json(
+                   R"([{"kind": "switch_outage", "switch": 0, "onset_step": 1}])"),
+               faults::FaultPlanError);
+  EXPECT_THROW(faults::parse_fault_plan_json(
+                   R"([{"kind": "switch_degradation", "level": 0, "onset_step": 1}])"),
+               faults::FaultPlanError);
+}
+
+// Correlated fault domains: validation sweep ---------------------------------
+
+TEST(FaultPlanValidate, DomainEventsRejectFlatClusters) {
+  // The paper testbeds carry no switch topology, so every domain event must
+  // be rejected with a typed error — not resolved against phantom racks.
+  const auto flat = cluster::make_paper_testbed_8gpu();
+  for (const FaultEvent& e :
+       {rack_failure(0, 1), switch_outage(0, 0, 1), switch_degradation(0, 0, 0.5, 1)}) {
+    FaultPlan plan;
+    plan.events = {e};
+    EXPECT_THROW(plan.validate(flat), faults::FaultPlanError) << e.describe();
+  }
+}
+
+TEST(FaultPlanValidate, DomainRejectionSweep) {
+  const auto c = rack16_cluster();
+  ASSERT_TRUE(c.has_topology());
+
+  auto rejects = [&](const FaultEvent& e) {
+    FaultPlan plan;
+    plan.events = {e};
+    EXPECT_THROW(plan.validate(c), faults::FaultPlanError) << e.describe();
+  };
+
+  rejects(rack_failure(-1, 1));                  // rack below range
+  rejects(rack_failure(2, 1));                   // unknown rack (2 racks)
+  rejects(switch_outage(-1, 0, 1));              // level below range
+  rejects(switch_outage(0, -1, 1));              // index below range
+  rejects(switch_outage(0, 2, 1));               // index past the 2 ToRs
+  rejects(switch_outage(c.topology().level_count(), 0, 1));  // level past top
+  rejects(switch_outage(0, 1, 5, 5));            // recovery == onset
+  rejects(switch_outage(0, 1, 5, 3));            // recovery before onset
+  rejects(switch_degradation(0, 0, 0.0, 1));     // factor == 0 is an outage
+  rejects(switch_degradation(0, 0, 1.0, 1));     // factor == 1 is a no-op
+  rejects(switch_degradation(0, 0, 1.5, 1));     // factor above 1
+
+  // The well-formed versions of all three kinds validate.
+  FaultPlan ok;
+  ok.events = {rack_failure(1, 1), switch_outage(0, 1, 5, 9),
+               switch_degradation(0, 0, 0.5, 1)};
+  EXPECT_NO_THROW(ok.validate(c));
+}
+
+TEST(FaultPlanValidate, SwitchOutageCoveringEveryDeviceRejected) {
+  // One rack under one ToR: an outage of that ToR would isolate the whole
+  // cluster, which can never be survived — rejected at validation time.
+  auto options = *cluster::topo_preset("rack16");
+  options.racks = 1;
+  const auto c = cluster::generate_cluster(options);
+  FaultPlan plan;
+  plan.events = {switch_outage(0, 0, 1)};
+  EXPECT_THROW(plan.validate(c), faults::FaultPlanError);
+}
+
+// Correlated fault domains: expansion and scaling ----------------------------
+
+TEST(FaultDomains, DomainDevicesMatchesTopology) {
+  const auto c = rack16_cluster();
+  EXPECT_EQ(faults::domain_devices(c, rack_failure(0, 1)), devices_in_rack(c, 0));
+  EXPECT_EQ(faults::domain_devices(c, rack_failure(1, 1)), devices_in_rack(c, 1));
+  // A ToR outage strands exactly its rack.
+  EXPECT_EQ(faults::domain_devices(c, switch_outage(0, 1, 1)), devices_in_rack(c, 1));
+  // Degradation slows paths but strands no one.
+  EXPECT_TRUE(faults::domain_devices(c, switch_degradation(0, 0, 0.5, 1)).empty());
+  // Expansion validates its event first.
+  EXPECT_THROW(faults::domain_devices(c, rack_failure(5, 1)), faults::FaultPlanError);
+}
+
+TEST(FaultDomains, RackFailureExpandsToMemberFailures) {
+  const auto c = rack16_cluster();
+  FaultPlan plan;
+  plan.events = {rack_failure(0, 2)};
+  EXPECT_FALSE(faults::scaling_at(plan, c, 1).any());
+  const auto scaling = faults::scaling_at(plan, c, 2);
+  EXPECT_EQ(scaling.failed, devices_in_rack(c, 0));
+  EXPECT_TRUE(scaling.isolated.empty());
+}
+
+TEST(FaultDomains, SwitchOutageIsolatesWithoutFailing) {
+  const auto c = rack16_cluster();
+  FaultPlan plan;
+  plan.events = {switch_outage(0, 1, 3, 6)};
+  const auto scaling = faults::scaling_at(plan, c, 3);
+  EXPECT_TRUE(scaling.failed.empty());
+  EXPECT_EQ(scaling.isolated, devices_in_rack(c, 1));
+  EXPECT_TRUE(scaling.is_isolated(devices_in_rack(c, 1).front()));
+  // The window closes: the isolated devices come back.
+  EXPECT_FALSE(faults::scaling_at(plan, c, 6).any());
+  // degraded_cluster removes isolated devices like failed ones.
+  const auto degraded = faults::degraded_cluster(c, scaling);
+  EXPECT_EQ(degraded.device_count(),
+            c.device_count() - static_cast<int>(devices_in_rack(c, 1).size()));
+}
+
+TEST(FaultDomains, FailureDominatesIsolation) {
+  // A rack that both fails and is stranded by its ToR appears only in
+  // `failed` — the sets stay disjoint so degraded_cluster removes each
+  // device exactly once.
+  const auto c = rack16_cluster();
+  FaultPlan plan;
+  plan.events = {rack_failure(1, 2), switch_outage(0, 1, 2)};
+  const auto scaling = faults::scaling_at(plan, c, 2);
+  EXPECT_EQ(scaling.failed, devices_in_rack(c, 1));
+  EXPECT_TRUE(scaling.isolated.empty());
+}
+
+TEST(FaultDomains, SwitchDegradationRepricesPathsCrossingIt) {
+  // rack16: 50 GbE NICs under 100 GbE ToRs. Degrading ToR 0 to x0.25 drops
+  // it to 25 Gbps — now the path min for every pair whose path crosses it.
+  const auto c = rack16_cluster();
+  const auto rack0 = devices_in_rack(c, 0);
+  const auto rack1 = devices_in_rack(c, 1);
+  // A cross-host pair inside rack 0 (hosts are 4-GPU machines).
+  const cluster::DeviceId r0a = rack0.front(), r0b = rack0.back();
+  const cluster::DeviceId r1a = rack1.front(), r1b = rack1.back();
+  ASSERT_NE(c.device(r0a).host, c.device(r0b).host);
+
+  FaultPlan plan;
+  plan.events = {switch_degradation(0, 0, 0.25, 0)};
+  const auto scaling = faults::scaling_at(plan, c, 0);
+  ASSERT_EQ(scaling.switches.size(), 1u);
+
+  // link_factor: cross-rack and intra-rack-0 cross-host paths scale; rack 1
+  // internals do not.
+  EXPECT_LT(scaling.link_factor(c, r0a, r1a), 1.0);
+  EXPECT_LT(scaling.link_factor(c, r0a, r0b), 1.0);
+  EXPECT_DOUBLE_EQ(scaling.link_factor(c, r1a, r1b), 1.0);
+
+  // degraded_cluster re-prices the inter-host bandwidth table itself.
+  const auto degraded = faults::degraded_cluster(c, scaling);
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(r0a, r0b),
+                   cluster::gbps_to_bytes_per_ms(25.0));
+  EXPECT_DOUBLE_EQ(degraded.link_bandwidth_bytes_per_ms(r0a, r1a),
+                   cluster::gbps_to_bytes_per_ms(25.0));
+  EXPECT_EQ(degraded.link_bandwidth_bytes_per_ms(r1a, r1b),
+            c.link_bandwidth_bytes_per_ms(r1a, r1b));
+  // Intra-host fabric is never switch-priced.
+  EXPECT_EQ(degraded.link_bandwidth_bytes_per_ms(rack0[0], rack0[1]),
+            c.link_bandwidth_bytes_per_ms(rack0[0], rack0[1]));
+}
+
+TEST(FaultDomains, SignatureSeparatesSwitchAndIsolationTerms) {
+  // Distinct domain fault sets must not alias in the simulation memo.
+  faults::FaultScaling a;
+  a.switches.push_back({0, 1, 0.5});
+  faults::FaultScaling b;
+  b.isolated = {3, 4};
+  faults::FaultScaling none;
+  EXPECT_NE(a.signature(), none.signature());
+  EXPECT_NE(b.signature(), none.signature());
+  EXPECT_NE(a.signature(), b.signature());
+  // Malformed switch factors are rejected like link factors.
+  faults::FaultScaling bad;
+  bad.step = 4;
+  bad.switches.push_back({0, 1, 1.5});
+  EXPECT_THROW(bad.signature(), faults::FaultPlanError);
+}
+
+TEST(FaultDomains, RemapAgainstSurvivorsDropsDeadDomains) {
+  // After rack 1 is removed, a rack_failure(1) has no members and a ToR-0
+  // outage would isolate everyone left: both must be dropped, while
+  // device-targeted events remap as before.
+  const auto c = rack16_cluster();
+  faults::FaultScaling scaling;
+  scaling.failed = devices_in_rack(c, 1);
+  const auto survivors = faults::degraded_cluster(c, scaling);
+
+  std::vector<int> id_map(static_cast<size_t>(c.device_count()), -1);
+  int next = 0;
+  for (const auto d : devices_in_rack(c, 0)) id_map[static_cast<size_t>(d)] = next++;
+
+  FaultPlan plan;
+  plan.events = {rack_failure(1, 5), switch_outage(0, 0, 6),
+                 switch_degradation(0, 0, 0.5, 7),
+                 straggler(devices_in_rack(c, 0).front(), 2.0, 8)};
+  const FaultPlan remapped = faults::remap_plan(plan, id_map, survivors);
+  ASSERT_EQ(remapped.events.size(), 2u);
+  EXPECT_EQ(remapped.events[0].kind, FaultKind::kSwitchDegradation);
+  EXPECT_EQ(remapped.events[1].kind, FaultKind::kStraggler);
+  EXPECT_NO_THROW(remapped.validate(survivors));
+
+  // The id-map-only overload keeps domain events untouched.
+  const FaultPlan kept = faults::remap_plan(plan, id_map);
+  ASSERT_EQ(kept.events.size(), 4u);
+  EXPECT_EQ(kept.events[0].kind, FaultKind::kRackFailure);
+}
+
+// Docs <-> code schema sync (same pattern as docs/topology.md in
+// tests/topo_test.cpp) -------------------------------------------------------
+
+std::string read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// docs/faults.md must document every JSON field the parser accepts (one
+// "### `field`" heading each) and no field it does not — the doc and
+// fault_json_fields() are the same schema. Every kind name must appear too.
+TEST(Docs, FaultDocCoversExactlyTheSchemaFields) {
+  const std::filesystem::path doc_path =
+      std::filesystem::path(HETEROG_SOURCE_DIR) / "docs/faults.md";
+  const std::string doc = read_text_file(doc_path);
+  ASSERT_FALSE(doc.empty());
+
+  const std::vector<std::string>& fields = faults::fault_json_fields();
+  for (const std::string& field : fields) {
+    EXPECT_NE(doc.find("### `" + field + "`"), std::string::npos)
+        << "docs/faults.md lacks a section for field `" << field << "`";
+  }
+
+  size_t pos = 0;
+  int documented = 0;
+  while ((pos = doc.find("### `", pos)) != std::string::npos) {
+    pos += 5;
+    const size_t end = doc.find('`', pos);
+    ASSERT_NE(end, std::string::npos);
+    const std::string name = doc.substr(pos, end - pos);
+    ++documented;
+    EXPECT_NE(std::find(fields.begin(), fields.end(), name), fields.end())
+        << "docs/faults.md documents `" << name
+        << "`, which fault_json_fields() does not know";
+  }
+  EXPECT_EQ(documented, static_cast<int>(fields.size()));
+
+  for (const FaultKind kind :
+       {FaultKind::kDeviceFailure, FaultKind::kStraggler,
+        FaultKind::kLinkDegradation, FaultKind::kTransient,
+        FaultKind::kRackFailure, FaultKind::kSwitchOutage,
+        FaultKind::kSwitchDegradation}) {
+    const std::string name = faults::fault_kind_name(kind);
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "docs/faults.md does not mention kind `" << name << "`";
+  }
 }
 
 }  // namespace

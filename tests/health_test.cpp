@@ -119,6 +119,114 @@ TEST(HealthMonitor, HeartbeatRecoveryResetsPhi) {
   EXPECT_TRUE(monitor.take_confirmed_failures().empty());
 }
 
+// Correlated domain attribution -----------------------------------------------
+
+/// A timed-out attempt where every device in `silent` missed the round.
+Observation multi_timeout_obs(int step, int attempt, int devices,
+                              const std::vector<int>& silent) {
+  Observation obs;
+  obs.step = step;
+  obs.attempt = attempt;
+  obs.completed = false;
+  obs.responded.assign(static_cast<size_t>(devices), 1);
+  for (const int d : silent) obs.responded[static_cast<size_t>(d)] = 0;
+  return obs;
+}
+
+TEST(HealthDomain, PolicyValidatesDomainKnobs) {
+  HealthPolicy p;
+  p.domain_rack_fraction = 0.0;
+  EXPECT_THROW(p.validate(), health::HealthError);
+  p = HealthPolicy{};
+  p.domain_rack_fraction = 1.5;
+  EXPECT_THROW(p.validate(), health::HealthError);
+  p = HealthPolicy{};
+  p.domain_window_steps = -1;
+  EXPECT_THROW(p.validate(), health::HealthError);
+}
+
+TEST(HealthDomain, SetRackMapValidatesSize) {
+  HealthMonitor monitor(4, monitor_policy());
+  EXPECT_THROW(monitor.set_rack_map({0, 0, 1}), health::HealthError);
+  EXPECT_NO_THROW(monitor.set_rack_map({0, 0, 1, 1}));
+}
+
+TEST(HealthDomain, CoincidentRackFailuresAttributedAndRestFailedInOneBatch) {
+  // 8 devices over two 4-device racks. Three of rack 0's members go silent
+  // at once: with the default fraction (0.6 -> ceil(0.6*4) = 3 needed), the
+  // third confirmation crosses the threshold, the burst is attributed to
+  // rack 0, and the still-live fourth member is failed with kind "domain" in
+  // the SAME confirmed batch — the runner sees one replan, not four.
+  HealthMonitor monitor(8, monitor_policy());
+  monitor.set_rack_map({0, 0, 0, 0, 1, 1, 1, 1});
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    monitor.observe(multi_timeout_obs(5, attempt, 8, {0, 1, 2}));
+  }
+  const auto confirmed = monitor.take_confirmed_failures();
+  EXPECT_EQ(confirmed, (std::vector<cluster::DeviceId>{0, 1, 2, 3}));
+  EXPECT_EQ(monitor.summary().domain_suspicions, 1);
+  EXPECT_EQ(monitor.summary().domain_failures, 1);  // device 3, by attribution
+  EXPECT_EQ(monitor.take_domain_verdicts(), (std::vector<int>{0}));
+  EXPECT_TRUE(monitor.take_domain_verdicts().empty());  // consumed
+  EXPECT_EQ(monitor.state(3), DeviceState::kFailed);
+  // Rack 1 is untouched.
+  for (int d = 4; d < 8; ++d) EXPECT_EQ(monitor.state(d), DeviceState::kHealthy);
+}
+
+TEST(HealthDomain, BelowFractionStaysIndividual) {
+  // Two of four members is under the 0.6 threshold: both fail individually,
+  // no domain verdict, and the remaining members stay live.
+  HealthMonitor monitor(8, monitor_policy());
+  monitor.set_rack_map({0, 0, 0, 0, 1, 1, 1, 1});
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    monitor.observe(multi_timeout_obs(5, attempt, 8, {0, 1}));
+  }
+  EXPECT_EQ(monitor.take_confirmed_failures(),
+            (std::vector<cluster::DeviceId>{0, 1}));
+  EXPECT_EQ(monitor.summary().domain_suspicions, 0);
+  EXPECT_TRUE(monitor.take_domain_verdicts().empty());
+  EXPECT_EQ(monitor.state(2), DeviceState::kHealthy);
+}
+
+TEST(HealthDomain, AttributionCanBeDisabled) {
+  HealthPolicy policy = monitor_policy();
+  policy.domain_attribution = false;
+  HealthMonitor monitor(8, policy);
+  monitor.set_rack_map({0, 0, 0, 0, 1, 1, 1, 1});
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    monitor.observe(multi_timeout_obs(5, attempt, 8, {0, 1, 2}));
+  }
+  EXPECT_EQ(monitor.take_confirmed_failures(),
+            (std::vector<cluster::DeviceId>{0, 1, 2}));
+  EXPECT_EQ(monitor.summary().domain_suspicions, 0);
+  EXPECT_EQ(monitor.state(3), DeviceState::kHealthy);
+}
+
+TEST(HealthDomain, SerializeRoundTripsDomainState) {
+  // With a rack map the snapshot carries the domain section and must
+  // round-trip byte-exactly; without one, no domain lines appear at all so
+  // flat-cluster snapshots keep their pre-domain bytes.
+  HealthMonitor flat(4, monitor_policy());
+  EXPECT_EQ(flat.serialize().find("domain"), std::string::npos);
+
+  HealthMonitor monitor(8, monitor_policy());
+  monitor.set_rack_map({0, 0, 0, 0, 1, 1, 1, 1});
+  for (int s = 0; s < 4; ++s) {
+    monitor.observe(completed_obs(s, {10, 10, 10, 10, 10, 10, 10, 10}));
+  }
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    monitor.observe(multi_timeout_obs(4, attempt, 8, {0, 1, 2}));
+  }
+  const std::string bytes = monitor.serialize();
+  EXPECT_NE(bytes.find("domain"), std::string::npos);
+  HealthMonitor restored = HealthMonitor::deserialize(bytes);
+  EXPECT_EQ(restored.serialize(), bytes);
+  EXPECT_EQ(restored.state(3), DeviceState::kFailed);
+  EXPECT_EQ(restored.rack_map(), monitor.rack_map());
+  // The un-consumed verdict survives the round trip.
+  EXPECT_EQ(restored.take_domain_verdicts(), (std::vector<int>{0}));
+}
+
 // Straggler detection ---------------------------------------------------------
 
 TEST(HealthMonitor, StragglerQuarantinedAfterHysteresisAndReinstatedOnProbation) {

@@ -251,7 +251,7 @@ int usage() {
       "  search    alias of plan\n"
       "  run       --model NAME --batch B [--cluster ...] [--layers L]\n"
       "            [--steps N] [--groups N]\n"
-      "            [--fault-plan FILE | --chaos-seed N]\n"
+      "            [--fault-plan FILE | --chaos-seed N [--chaos-devices D]]\n"
       "            [--health] [--detect-threshold X] [--retry-budget N]\n"
       "            [--checkpoint-dir DIR] [--ckpt-every K] [--metrics FILE]\n"
       "            [--plan-store DIR]\n"
@@ -542,11 +542,28 @@ int cmd_run(const Args& args) {
     chaos.seed = static_cast<uint64_t>(
         std::strtoull(args.get("chaos-seed").c_str(), nullptr, 10));
     chaos.steps = steps;
+    // Derived from the resolved cluster, never guessed: with --cluster-gen
+    // the generated device count is only known after resolution. An explicit
+    // --chaos-devices must agree — a silent mismatch used to generate plans
+    // targeting devices that don't exist (or missing most that do).
     chaos.device_count = cluster_spec->device_count();
-    fault_plan = faults::make_chaos_plan(chaos);
+    if (args.has("chaos-devices")) {
+      const int requested = args.get_int("chaos-devices", -1);
+      if (requested != cluster_spec->device_count()) {
+        std::fprintf(stderr,
+                     "error: --chaos-devices %d does not match the resolved "
+                     "cluster's %d devices (drop the flag to derive it)\n",
+                     requested, cluster_spec->device_count());
+        return 1;
+      }
+    }
+    fault_plan = faults::make_chaos_plan(*cluster_spec, chaos);
     // Chaos runs are for reproduction: zero the wall-clock journal fields so
     // the same seed yields byte-identical journals and event logs.
     config.fault_handling.deterministic_wall_times = true;
+  } else if (args.has("chaos-devices")) {
+    std::fprintf(stderr, "error: --chaos-devices requires --chaos-seed\n");
+    return 1;
   }
 
   bool metrics_failed = false;
